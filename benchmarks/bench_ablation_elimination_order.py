@@ -1,0 +1,60 @@
+"""Design-choice ablation: elimination-order heuristic.
+
+Not a paper figure — DESIGN.md calls out the elimination order as the
+one free parameter of Algorithm 1.  The paper uses min-degree (as H2H
+does); min-fill typically yields a slightly smaller treewidth at a
+higher ordering cost.  This bench quantifies the trade on the NY-like
+network: index build cost, treewidth/height, label size, and the query
+time both indexes deliver for QHL.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import get_bundle, record_rows
+from repro.core import QHLIndex
+from repro.instrument import run_workload
+from repro.workloads import index_queries_from_sets
+
+STRATEGIES = ("min_degree", "min_fill")
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_ablation_elimination_order(benchmark, strategy):
+    bundle = get_bundle("NY")
+    index_queries = index_queries_from_sets(
+        list(bundle.q_sets.values()), 1000, seed=42
+    )
+
+    index = benchmark.pedantic(
+        QHLIndex.build,
+        args=(bundle.network,),
+        kwargs={
+            "index_queries": index_queries,
+            "strategy": strategy,
+            "store_paths": False,
+            "seed": 42,
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    report = run_workload(
+        index.qhl_engine(), bundle.q_sets["Q4"].queries, "Q4"
+    )
+    stats = index.stats()
+    benchmark.extra_info["treewidth"] = stats.treewidth
+    benchmark.extra_info["q4_ms"] = round(report.avg_ms, 4)
+    record_rows(
+        "ablation_elimination_order.txt",
+        f"[NY] {'strategy':>11} {'width':>6} {'height':>7} "
+        f"{'label KB':>9} {'build s':>8} {'Q4 query':>11}",
+        [
+            f"[NY] {strategy:>11} {stats.treewidth:>6} "
+            f"{stats.treeheight:>7} {stats.label_bytes / 1024:>9.0f} "
+            f"{stats.tree_seconds + stats.label_seconds:>8.2f} "
+            f"{report.avg_ms:>8.3f} ms"
+        ],
+    )
+    assert report.feasible == report.num_queries

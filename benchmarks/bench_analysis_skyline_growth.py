@@ -1,0 +1,41 @@
+"""Mechanism check: skyline-set growth across distance bands.
+
+Not a paper figure — this measures the *explanation* the paper gives
+for Figure 6: skyline sets grow with the s-t distance, fastest on dense
+networks, which is what makes CSP-2Hop's Cartesian concatenation
+collapse on long queries.  Expected shape: avg |P_st| increases
+monotonically-ish from Q1 to Q5 on every dataset, with NY/COL well
+above BAY.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import DATASETS, get_bundle, record_rows
+from repro.analysis import skyline_growth_profile
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_skyline_growth_profile(benchmark, dataset):
+    bundle = get_bundle(dataset)
+
+    profiles = benchmark.pedantic(
+        skyline_growth_profile,
+        args=(bundle.network,),
+        kwargs={"d_max": bundle.d_max, "num_sources": 8, "seed": 3},
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = [f"[{dataset}] {p.row()}" for p in profiles]
+    record_rows(
+        "analysis_skyline_growth.txt",
+        f"[{dataset}] {'band':>4}  {'distance range':>22}  {'pairs':>7}  "
+        f"{'avg |P|':>8}  {'max |P|':>8}",
+        rows,
+    )
+    benchmark.extra_info["q5_avg"] = round(profiles[-1].avg_size, 2)
+    # The mechanism behind Fig. 6: long bands have larger skylines.
+    sampled = [p for p in profiles if p.samples > 0]
+    assert sampled[-1].avg_size >= sampled[0].avg_size

@@ -1,0 +1,47 @@
+"""Approximation knob: index size vs answer quality under skyline
+truncation.
+
+The paper keeps its index exact and pays 26-149 GB; `max_skyline` is
+this repo's pressure valve for that cost.  Expected shape: tight caps
+shrink the label index and introduce small weight errors plus a few
+false-infeasible answers on tight budgets; loose caps converge to exact.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import get_bundle, record_rows
+from repro.analysis import measure_approximation
+
+CAPS = (2, 4, 8)
+
+
+def test_approximation_tradeoff(benchmark):
+    bundle = get_bundle("NY")
+    queries = bundle.q_sets["Q4"].queries[:50]
+
+    reports = benchmark.pedantic(
+        measure_approximation,
+        args=(bundle.network, queries, CAPS),
+        kwargs={"seed": 3},
+        rounds=1,
+        iterations=1,
+    )
+
+    record_rows(
+        "approximation_tradeoff.txt",
+        f"{'cap':>6}  {'entries':>9}  {'size':>11}  "
+        f"{'false-inf':>12} {'avg err':>10}  {'max err':>10}",
+        [r.row() for r in reports],
+    )
+
+    exact, *truncated = reports
+    assert exact.avg_weight_error == 0.0
+    # Caps shrink the index monotonically...
+    sizes = [r.label_entries for r in truncated]
+    assert sizes == sorted(sizes)
+    assert all(size < exact.label_entries for size in sizes)
+    # ... and looser caps never increase the error.
+    errors = [r.avg_weight_error for r in truncated]
+    assert errors == sorted(errors, reverse=True)

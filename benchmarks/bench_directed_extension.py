@@ -1,0 +1,91 @@
+"""Directed-graph extension: the same QHL-vs-CSP-2Hop race, one-way
+streets enabled (paper §2.3 defers the construction to [20]; the query
+advantage should carry over unchanged).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from benchmarks.conftest import record_rows
+from repro.datasets import load_dataset
+from repro.directed import DirectedQHLIndex, directed_from_undirected
+from repro.graph import dijkstra
+from repro.instrument import run_workload
+from repro.types import CSPQuery
+
+_CACHE: dict[str, tuple] = {}
+
+
+def directed_bundle():
+    cached = _CACHE.get("NY")
+    if cached is not None:
+        return cached
+    base = load_dataset("NY", scale="benchmark").network
+    network = directed_from_undirected(base, seed=77, one_way_prob=0.1)
+    index = DirectedQHLIndex.build(network, num_index_queries=1500, seed=77)
+
+    # Directed workload: mid-to-long random pairs with feasible budgets
+    # (C = 1.5x the directed shortest cost distance).
+    rng = random.Random(78)
+    queries = []
+    while len(queries) < 60:
+        s = rng.randrange(network.num_vertices)
+        dist = _directed_cost_distances(network, s)
+        targets = [
+            t for t, d in enumerate(dist)
+            if t != s and d != float("inf") and d > 80
+        ]
+        if not targets:
+            continue
+        for t in rng.sample(targets, min(4, len(targets))):
+            queries.append(CSPQuery(s, t, dist[t] * 1.5))
+    _CACHE["NY"] = (network, index, queries[:60])
+    return _CACHE["NY"]
+
+
+def _directed_cost_distances(network, source):
+    import heapq
+
+    dist = [float("inf")] * network.num_vertices
+    dist[source] = 0
+    heap = [(0, source)]
+    while heap:
+        d, v = heapq.heappop(heap)
+        if d > dist[v]:
+            continue
+        for head, _w, c in network.out_neighbors(v):
+            nd = d + c
+            if nd < dist[head]:
+                dist[head] = nd
+                heapq.heappush(heap, (nd, head))
+    return dist
+
+
+@pytest.mark.parametrize("engine_name", ["QHL", "CSP-2Hop"])
+def test_directed_extension(benchmark, engine_name):
+    network, index, queries = directed_bundle()
+    engine = (
+        index.qhl_engine()
+        if engine_name == "QHL"
+        else index.csp2hop_engine()
+    )
+
+    report = benchmark.pedantic(
+        run_workload, args=(engine, queries, "directed"),
+        rounds=1, iterations=1,
+    )
+
+    benchmark.extra_info["avg_query_ms"] = round(report.avg_ms, 4)
+    record_rows(
+        "directed_extension.txt",
+        f"[NY-directed] {'engine':>10} {'avg query':>12} {'hoplinks':>9} "
+        f"{'concats':>9}",
+        [
+            f"[NY-directed] {engine_name:>10} {report.avg_ms:>9.3f} ms "
+            f"{report.avg_hoplinks:>9.1f} {report.avg_concatenations:>9.1f}"
+        ],
+    )
+    assert report.feasible == report.num_queries

@@ -1,0 +1,66 @@
+"""Figure 10 — pruning-condition index cost, varying |Q_index|.
+
+Paper: index time (a) and size (b) grow linearly with |Q_index| for
+|Q_index| in {50k, 100k, 150k, 200k}; sizes stay within 1% of the label
+index; per-|Q_index| costs are proportional to each dataset's label
+sizes.
+
+Here: the same sweep at scaled |Q_index| multiples of the benchmark
+default.  Expected shape: near-linear time/size growth (sub-linear once
+the frequently visited separators saturate — the paper's "bottleneck"
+remark in §5.2.2), and pruning size ≪ label size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import (
+    BENCH_QINDEX,
+    DATASETS,
+    get_bundle,
+    record_rows,
+)
+from repro.core import build_pruning_index
+from repro.workloads import index_queries_from_sets
+
+MULTIPLIERS = (0.5, 1.0, 1.5, 2.0)
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("multiplier", MULTIPLIERS)
+def test_fig10_pruning_index_cost(benchmark, dataset, multiplier):
+    bundle = get_bundle(dataset)
+    count = int(BENCH_QINDEX * multiplier)
+    queries = index_queries_from_sets(
+        list(bundle.q_sets.values()), count, seed=int(multiplier * 100)
+    )
+
+    index = benchmark.pedantic(
+        build_pruning_index,
+        args=(bundle.index.tree, bundle.index.labels, bundle.index.lca,
+              queries),
+        kwargs={"seed": 1},
+        rounds=1,
+        iterations=1,
+    )
+
+    label_bytes = bundle.index.labels.size_bytes()
+    benchmark.extra_info["dataset"] = dataset
+    benchmark.extra_info["q_index"] = count
+    benchmark.extra_info["conditions"] = index.num_conditions
+    benchmark.extra_info["bytes"] = index.size_bytes()
+    record_rows(
+        "fig10_pruning_cost.txt",
+        f"[{dataset}] {'|Qindex|':>9} {'build s':>9} {'size KB':>9} "
+        f"{'conds':>7} {'vs labels':>10}",
+        [
+            f"[{dataset}] {count:>9} {index.build_seconds:>9.3f} "
+            f"{index.size_bytes() / 1024:>9.1f} {index.num_conditions:>7} "
+            f"{index.size_bytes() / label_bytes:>9.1%}"
+        ],
+    )
+    assert index.num_conditions > 0
+    # The paper's headline: the additional index is a small fraction of
+    # the labels.
+    assert index.size_bytes() < label_bytes

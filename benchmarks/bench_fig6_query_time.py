@@ -1,0 +1,89 @@
+"""Figure 6 — query time varying the query set Q and the ratio r.
+
+Paper: average query time of COLA, CSP-2Hop and QHL over 1000 queries,
+for Q1..Q5 (left column) and r = 0.1..0.9 (right column) on NY, BAY,
+COL.  Headline numbers: QHL ~50 µs on NY; QHL beats CSP-2Hop by up to
+two orders of magnitude on COL's Q5; COLA is slowest throughout; all
+engines are roughly flat in r.
+
+Here: the same sweeps on the stand-in networks.  Expected shape:
+``QHL < CSP-2Hop < COLA`` per workload; the QHL/CSP-2Hop gap widens
+with the band index and is largest on COL; the r column is flat.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import DATASETS, get_bundle, record_rows
+from repro.instrument import run_workload
+
+ENGINES = ("QHL", "CSP-2Hop", "COLA")
+Q_SETS = ("Q1", "Q2", "Q3", "Q4", "Q5")
+RATIOS = (0.1, 0.3, 0.5, 0.7, 0.9)
+
+
+def engine_of(bundle, engine_name):
+    if engine_name == "QHL":
+        return bundle.index.qhl_engine()
+    if engine_name == "CSP-2Hop":
+        return bundle.index.csp2hop_engine()
+    if engine_name == "COLA":
+        return bundle.cola
+    raise AssertionError(engine_name)
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("engine_name", ENGINES)
+@pytest.mark.parametrize("q_set", Q_SETS)
+def test_fig6_varying_q(benchmark, dataset, engine_name, q_set):
+    bundle = get_bundle(dataset)
+    engine = engine_of(bundle, engine_name)
+    queries = bundle.q_sets[q_set].queries
+
+    report = benchmark.pedantic(
+        run_workload,
+        args=(engine, queries, q_set),
+        rounds=1,
+        iterations=1,
+    )
+
+    benchmark.extra_info["dataset"] = dataset
+    benchmark.extra_info["avg_query_ms"] = round(report.avg_ms, 4)
+    record_rows(
+        "fig6_varying_q.txt",
+        f"[{dataset}] {'set':>4} {'engine':>10} {'avg query':>12}",
+        [
+            f"[{dataset}] {q_set:>4} {engine_name:>10} "
+            f"{report.avg_ms:>9.3f} ms"
+        ],
+    )
+    assert report.feasible == report.num_queries
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("engine_name", ENGINES)
+@pytest.mark.parametrize("ratio", RATIOS)
+def test_fig6_varying_r(benchmark, dataset, engine_name, ratio):
+    bundle = get_bundle(dataset)
+    engine = engine_of(bundle, engine_name)
+    queries = bundle.r_sets[ratio].queries
+
+    report = benchmark.pedantic(
+        run_workload,
+        args=(engine, queries, f"r={ratio}"),
+        rounds=1,
+        iterations=1,
+    )
+
+    benchmark.extra_info["dataset"] = dataset
+    benchmark.extra_info["avg_query_ms"] = round(report.avg_ms, 4)
+    record_rows(
+        "fig6_varying_r.txt",
+        f"[{dataset}] {'r':>4} {'engine':>10} {'avg query':>12}",
+        [
+            f"[{dataset}] {ratio:>4} {engine_name:>10} "
+            f"{report.avg_ms:>9.3f} ms"
+        ],
+    )
+    assert report.feasible == report.num_queries

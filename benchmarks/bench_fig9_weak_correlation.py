@@ -1,0 +1,112 @@
+"""Figure 9 — query time under weakly correlated weights and costs.
+
+Paper: weights become traffic-signal indicators (edges incident to
+high-degree "signal" vertices) while costs stay road lengths; query
+times for the same Q/r sweeps.  QHL still wins by orders of magnitude.
+
+Here: the :func:`traffic_signal_network` variant (positive-weight
+substitution documented in repro.workloads.correlation).  The cost
+metric is untouched, so the original Q/R query sets (built from cost
+distances) remain valid and are reused verbatim.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import DATASETS, get_bundle, record_rows
+from repro.baselines import COLAEngine
+from repro.core import QHLIndex
+from repro.instrument import run_workload
+from repro.workloads import index_queries_from_sets, traffic_signal_network
+
+Q_SETS = ("Q1", "Q2", "Q3", "Q4", "Q5")
+RATIOS = (0.1, 0.5, 0.9)
+ENGINES = ("QHL", "CSP-2Hop", "COLA")
+
+_WEAK: dict[str, tuple] = {}
+
+
+def weak_bundle(name):
+    """The weak-correlation index/engines for a dataset (cached)."""
+    cached = _WEAK.get(name)
+    if cached is not None:
+        return cached
+    base = get_bundle(name)
+    weak_net, signals = traffic_signal_network(base.network)
+    index_queries = index_queries_from_sets(
+        list(base.q_sets.values()), 1000, seed=505
+    )
+    index = QHLIndex.build(
+        weak_net, index_queries=index_queries, store_paths=False, seed=606
+    )
+    cola = COLAEngine(weak_net, num_parts=8, seed=707)
+    _WEAK[name] = (base, weak_net, signals, index, cola)
+    return _WEAK[name]
+
+
+def engine_of(index, cola, engine_name):
+    if engine_name == "QHL":
+        return index.qhl_engine()
+    if engine_name == "CSP-2Hop":
+        return index.csp2hop_engine()
+    return cola
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("engine_name", ENGINES)
+def test_fig9_weak_correlation_varying_q(benchmark, dataset, engine_name):
+    base, _net, signals, index, cola = weak_bundle(dataset)
+    engine = engine_of(index, cola, engine_name)
+
+    def sweep():
+        return [
+            run_workload(engine, base.q_sets[name].queries, name)
+            for name in Q_SETS
+        ]
+
+    reports = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    for report in reports:
+        benchmark.extra_info[f"{report.workload}_ms"] = round(
+            report.avg_ms, 4
+        )
+        rows.append(
+            f"[{dataset}] {report.workload:>5} {engine_name:>10} "
+            f"{report.avg_ms:>9.3f} ms"
+        )
+    record_rows(
+        "fig9_weak_correlation.txt",
+        f"[{dataset}] signals={len(signals)} {'set':>5} {'engine':>10} "
+        f"{'avg query':>12}",
+        rows,
+    )
+    assert all(r.feasible == r.num_queries for r in reports)
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("engine_name", ENGINES)
+def test_fig9_weak_correlation_varying_r(benchmark, dataset, engine_name):
+    base, _net, _signals, index, cola = weak_bundle(dataset)
+    engine = engine_of(index, cola, engine_name)
+
+    def sweep():
+        return [
+            run_workload(engine, base.r_sets[r].queries, f"r={r}")
+            for r in RATIOS
+        ]
+
+    reports = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [
+        f"[{dataset}] {report.workload:>5} {engine_name:>10} "
+        f"{report.avg_ms:>9.3f} ms"
+        for report in reports
+    ]
+    record_rows(
+        "fig9_weak_correlation.txt",
+        f"[{dataset}] {'r':>5} {'engine':>10} {'avg query':>12}",
+        rows,
+    )
+    assert all(r.feasible == r.num_queries for r in reports)

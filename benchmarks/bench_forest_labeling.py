@@ -1,0 +1,79 @@
+"""Forest labeling: the paper's §7 future-work trade-off quantified.
+
+Partitioning the network shrinks the index and its build time but
+slows queries (overlay search replaces label lookups) — the trade [20]
+reports for its forest labeling.  Swept over the number of regions on
+the NY-like network.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import get_bundle, record_rows
+from repro.forest import ForestQHLIndex
+from repro.instrument import run_workload
+
+NUM_PARTS = (4, 8, 16)
+
+
+@pytest.mark.parametrize("num_parts", NUM_PARTS)
+def test_forest_labeling_tradeoff(benchmark, num_parts):
+    bundle = get_bundle("NY")
+    queries = bundle.q_sets["Q3"].queries[:30]
+
+    forest = benchmark.pedantic(
+        ForestQHLIndex,
+        args=(bundle.network,),
+        kwargs={"num_parts": num_parts, "seed": 5},
+        rounds=1,
+        iterations=1,
+    )
+
+    report = run_workload(forest, queries, "Q3")
+    mono_size = (
+        bundle.index.labels.size_bytes()
+        + bundle.index.pruning.size_bytes()
+    )
+    benchmark.extra_info["size_kb"] = round(forest.size_bytes() / 1024, 1)
+    benchmark.extra_info["q3_ms"] = round(report.avg_ms, 3)
+    record_rows(
+        "forest_labeling.txt",
+        f"[NY] {'parts':>6} {'build s':>8} {'size KB':>8} "
+        f"{'vs mono':>8} {'Q3 query':>11}",
+        [
+            f"[NY] {num_parts:>6} {forest.build_seconds:>8.2f} "
+            f"{forest.size_bytes() / 1024:>8.0f} "
+            f"{forest.size_bytes() / mono_size:>7.1%} "
+            f"{report.avg_ms:>8.3f} ms"
+        ],
+    )
+    assert report.feasible == report.num_queries
+
+
+def test_forest_vs_monolithic_baseline(benchmark):
+    """The monolithic row of the same table, for direct comparison."""
+    bundle = get_bundle("NY")
+    queries = bundle.q_sets["Q3"].queries[:30]
+    engine = bundle.index.qhl_engine()
+
+    report = benchmark.pedantic(
+        run_workload, args=(engine, queries, "Q3"), rounds=1, iterations=1
+    )
+
+    mono_size = (
+        bundle.index.labels.size_bytes()
+        + bundle.index.pruning.size_bytes()
+    )
+    record_rows(
+        "forest_labeling.txt",
+        f"[NY] {'parts':>6} {'build s':>8} {'size KB':>8} "
+        f"{'vs mono':>8} {'Q3 query':>11}",
+        [
+            f"[NY] {'mono':>6} {'-':>8} {mono_size / 1024:>8.0f} "
+            f"{'100.0%':>8} {report.avg_ms:>8.3f} ms"
+        ],
+    )
+    assert report.feasible == report.num_queries

@@ -1,0 +1,110 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Each paper table/figure has one ``bench_*.py`` file.  This conftest
+builds (and caches for the session) everything a figure needs per
+dataset: the network, its diameter, the full QHL index, the COLA
+engine, and the paper's Q1..Q5 / R query sets.
+
+Knobs (environment variables):
+
+* ``REPRO_BENCH_QUERIES``  — queries per set (paper: 1000; default 80).
+* ``REPRO_BENCH_QINDEX``   — |Q_index| for pruning conditions
+  (paper: 50,000; default 1500).
+
+Results are appended to ``benchmarks/results/*.txt`` so EXPERIMENTS.md
+can quote them; the same rows echo to stdout (visible with ``-s`` or in
+the benchmark summary's extra_info columns).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import pytest
+
+from repro.baselines import COLAEngine
+from repro.core import QHLIndex
+from repro.datasets import load_dataset
+from repro.graph import estimate_diameter
+from repro.graph.network import RoadNetwork
+from repro.workloads import (
+    QuerySet,
+    generate_distance_sets,
+    generate_ratio_sets,
+    index_queries_from_sets,
+)
+
+BENCH_QUERIES = int(os.environ.get("REPRO_BENCH_QUERIES", "80"))
+BENCH_QINDEX = int(os.environ.get("REPRO_BENCH_QINDEX", "1500"))
+DATASETS = ("NY", "BAY", "COL")
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@dataclass
+class Bundle:
+    """Everything the benchmarks need for one dataset."""
+
+    name: str
+    network: RoadNetwork
+    d_max: float
+    index: QHLIndex
+    cola: COLAEngine
+    q_sets: dict[str, QuerySet]
+    r_sets: dict[float, QuerySet]
+
+
+_BUNDLES: dict[str, Bundle] = {}
+
+
+def get_bundle(name: str) -> Bundle:
+    """Build (once per session) the full benchmark bundle for a dataset."""
+    bundle = _BUNDLES.get(name)
+    if bundle is not None:
+        return bundle
+    dataset = load_dataset(name, scale="benchmark")
+    network = dataset.network
+    d_max = estimate_diameter(network)
+    q_sets = generate_distance_sets(
+        network, size=BENCH_QUERIES, d_max=d_max, seed=101
+    )
+    r_sets = generate_ratio_sets(q_sets["Q3"], d_max)
+    index_queries = index_queries_from_sets(
+        list(q_sets.values()), BENCH_QINDEX, seed=202
+    )
+    index = QHLIndex.build(
+        network, index_queries=index_queries, store_paths=False, seed=303
+    )
+    cola = COLAEngine(network, num_parts=8, seed=404)
+    bundle = Bundle(
+        name=name,
+        network=network,
+        d_max=d_max,
+        index=index,
+        cola=cola,
+        q_sets=q_sets,
+        r_sets=r_sets,
+    )
+    _BUNDLES[name] = bundle
+    return bundle
+
+
+@pytest.fixture(params=DATASETS)
+def bundle(request) -> Bundle:
+    """Parametrised per-dataset bundle fixture."""
+    return get_bundle(request.param)
+
+
+def record_rows(filename: str, header: str, rows: list[str]) -> None:
+    """Append a formatted block to ``benchmarks/results/<filename>``."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, filename)
+    with open(path, "a") as f:
+        f.write(header + "\n")
+        for row in rows:
+            f.write(row + "\n")
+        f.write("\n")
+    print(header)
+    for row in rows:
+        print(row)

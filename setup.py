@@ -1,0 +1,6 @@
+"""Legacy shim: lets `pip install -e .` work without the `wheel` package
+(this offline environment ships setuptools 65 but no wheel)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,110 @@
+"""QHL: exact constrained shortest path search on road networks.
+
+A full Python reproduction of *"QHL: A Fast Algorithm for Exact
+Constrained Shortest Path Search on Road Networks"* (SIGMOD 2023):
+the QHL algorithm, the CSP-2Hop index it extends, the COLA-like and
+index-free baselines it is compared against, and the paper's complete
+experimental workloads.
+
+Quickstart
+----------
+>>> from repro import QHLIndex, grid_network
+>>> network = grid_network(8, 8, seed=1)
+>>> index = QHLIndex.build(network, num_index_queries=200, seed=1)
+>>> result = index.query(0, 63, budget=250, want_path=True)
+>>> result.feasible
+True
+"""
+
+from repro.baselines import (
+    COLAEngine,
+    CSP2HopEngine,
+    constrained_dijkstra,
+    ksp_csp,
+    skyline_between,
+)
+from repro.core import QHLEngine, QHLIndex
+from repro.datasets import load_dataset
+from repro.directed import (
+    DirectedQHLIndex,
+    DirectedRoadNetwork,
+    directed_from_undirected,
+)
+from repro.dynamic import DynamicQHLIndex
+from repro.forest import ForestQHLIndex
+from repro.multicsp import MultiCSPIndex, MultiMetricNetwork
+from repro.exceptions import (
+    DisconnectedGraphError,
+    IndexBuildError,
+    InfeasibleQueryError,
+    InvalidGraphError,
+    QueryError,
+    ReproError,
+    SerializationError,
+)
+from repro.graph import (
+    RoadNetwork,
+    dense_core_network,
+    estimate_diameter,
+    grid_network,
+    random_connected_network,
+    random_geometric_network,
+    read_csp_text,
+    read_dimacs_pair,
+    ring_network,
+    write_csp_text,
+    write_dimacs_pair,
+)
+from repro.storage import load_index, save_index
+from repro.types import CSPQuery, QueryResult, QueryStats
+from repro.workloads import (
+    generate_distance_sets,
+    generate_ratio_sets,
+    traffic_signal_network,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "COLAEngine",
+    "CSP2HopEngine",
+    "CSPQuery",
+    "DirectedQHLIndex",
+    "DirectedRoadNetwork",
+    "DisconnectedGraphError",
+    "DynamicQHLIndex",
+    "ForestQHLIndex",
+    "IndexBuildError",
+    "InfeasibleQueryError",
+    "InvalidGraphError",
+    "MultiCSPIndex",
+    "MultiMetricNetwork",
+    "QHLEngine",
+    "QHLIndex",
+    "QueryError",
+    "QueryResult",
+    "QueryStats",
+    "ReproError",
+    "RoadNetwork",
+    "SerializationError",
+    "constrained_dijkstra",
+    "dense_core_network",
+    "directed_from_undirected",
+    "estimate_diameter",
+    "generate_distance_sets",
+    "generate_ratio_sets",
+    "grid_network",
+    "ksp_csp",
+    "load_dataset",
+    "load_index",
+    "random_connected_network",
+    "random_geometric_network",
+    "read_csp_text",
+    "read_dimacs_pair",
+    "ring_network",
+    "save_index",
+    "skyline_between",
+    "traffic_signal_network",
+    "write_csp_text",
+    "write_dimacs_pair",
+]

@@ -1,0 +1,21 @@
+"""Analysis tooling: skyline-growth profiling (the mechanism behind the
+paper's Figure 6 trends) and approximation-quality measurement for
+truncated indexes."""
+
+from repro.analysis.approximation import (
+    ApproximationReport,
+    measure_approximation,
+)
+from repro.analysis.skylines import (
+    BandProfile,
+    label_depth_profile,
+    skyline_growth_profile,
+)
+
+__all__ = [
+    "ApproximationReport",
+    "BandProfile",
+    "label_depth_profile",
+    "measure_approximation",
+    "skyline_growth_profile",
+]

@@ -1,0 +1,116 @@
+"""Approximation-quality measurement for truncated indexes.
+
+The index builders accept ``max_skyline``, a cap on skyline-set sizes
+(`repro.skyline.set_ops.truncate`), trading exactness for bounded index
+size — the knob one would reach for on paper-scale networks whose sets
+grow into the thousands.  A truncated index stays *sound* (every answer
+is a real path within budget) but can be *incomplete*: answers may be
+heavier than the optimum, and tight-budget queries may be misreported
+as infeasible.
+
+This module quantifies both failure modes against the exact index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.engine import QHLIndex
+from repro.graph.network import RoadNetwork
+from repro.types import CSPQuery
+
+
+@dataclass
+class ApproximationReport:
+    """Quality of one truncated index over one query set."""
+
+    max_skyline: int | None
+    label_entries: int
+    label_bytes: int
+    queries: int
+    answered: int
+    false_infeasible: int
+    avg_weight_error: float
+    max_weight_error: float
+
+    def row(self) -> str:
+        cap = "exact" if self.max_skyline is None else str(self.max_skyline)
+        return (
+            f"{cap:>6}  {self.label_entries:>9}  "
+            f"{self.label_bytes / 1024:>8.0f} KB  "
+            f"{self.false_infeasible:>6}/{self.queries:<5} "
+            f"{self.avg_weight_error:>9.4%}  {self.max_weight_error:>9.4%}"
+        )
+
+
+def measure_approximation(
+    network: RoadNetwork,
+    queries: Sequence[CSPQuery],
+    caps: Sequence[int],
+    index_queries: Sequence[CSPQuery] | None = None,
+    seed: int = 0,
+) -> list[ApproximationReport]:
+    """Build one exact and one index per cap; measure errors.
+
+    Returns one report per entry of ``caps`` plus a leading exact row
+    (zero error by construction, as a sanity anchor).
+    """
+    exact = QHLIndex.build(
+        network,
+        index_queries=index_queries,
+        store_paths=False,
+        seed=seed,
+    )
+    truth = [
+        exact.query(q.source, q.target, q.budget) for q in queries
+    ]
+
+    reports = [
+        ApproximationReport(
+            max_skyline=None,
+            label_entries=exact.labels.num_entries(),
+            label_bytes=exact.labels.size_bytes(),
+            queries=len(queries),
+            answered=sum(1 for r in truth if r.feasible),
+            false_infeasible=0,
+            avg_weight_error=0.0,
+            max_weight_error=0.0,
+        )
+    ]
+
+    for cap in caps:
+        index = QHLIndex.build(
+            network,
+            index_queries=index_queries,
+            store_paths=False,
+            max_skyline=cap,
+            seed=seed,
+        )
+        false_infeasible = 0
+        errors = []
+        for query, want in zip(queries, truth):
+            got = index.query(query.source, query.target, query.budget)
+            if want.feasible and not got.feasible:
+                false_infeasible += 1
+            elif want.feasible:
+                # Soundness: never better than the optimum, never over
+                # budget.
+                assert got.weight >= want.weight
+                assert got.cost <= query.budget
+                errors.append((got.weight - want.weight) / want.weight)
+        reports.append(
+            ApproximationReport(
+                max_skyline=cap,
+                label_entries=index.labels.num_entries(),
+                label_bytes=index.labels.size_bytes(),
+                queries=len(queries),
+                answered=len(errors),
+                false_infeasible=false_infeasible,
+                avg_weight_error=(
+                    sum(errors) / len(errors) if errors else 0.0
+                ),
+                max_weight_error=max(errors, default=0.0),
+            )
+        )
+    return reports

@@ -1,0 +1,106 @@
+"""Skyline-growth analysis.
+
+The paper's Figure 6 explanation rests on an empirical claim: "a long
+distance between s and t indicates that there are many path choices
+between s and t, [so] the size of the skyline path set … increases
+quickly".  This module measures that relationship directly, per
+distance band, so the claim can be checked on any network — and so the
+reader can see *why* CSP-2Hop's Cartesian cost explodes on dense
+networks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.baselines.sky_dijkstra import skyline_search
+from repro.graph.algorithms import dijkstra, estimate_diameter
+from repro.graph.network import RoadNetwork
+from repro.workloads.queries import distance_band
+
+
+@dataclass
+class BandProfile:
+    """Skyline-set statistics for one distance band."""
+
+    band: str
+    low: float
+    high: float
+    samples: int
+    avg_size: float
+    max_size: int
+
+    def row(self) -> str:
+        return (
+            f"{self.band:>4}  [{self.low:>8.1f}, {self.high:>8.1f}]  "
+            f"{self.samples:>7}  {self.avg_size:>8.2f}  {self.max_size:>8}"
+        )
+
+
+def skyline_growth_profile(
+    network: RoadNetwork,
+    d_max: float | None = None,
+    num_sources: int = 12,
+    seed: int = 0,
+) -> list[BandProfile]:
+    """Average/maximum skyline-set sizes per paper distance band.
+
+    Runs full skyline searches from sampled sources and buckets every
+    reached vertex by its shortest cost distance into the Q1..Q5 bands.
+    """
+    if d_max is None:
+        d_max = estimate_diameter(network)
+    rng = random.Random(seed)
+    n = network.num_vertices
+    bands = [distance_band(i, d_max) for i in range(1, 6)]
+    totals = [0] * 5
+    counts = [0] * 5
+    maxima = [0] * 5
+
+    for _ in range(num_sources):
+        source = rng.randrange(n)
+        dist = dijkstra(network, source, metric="cost")
+        frontiers = skyline_search(network, source)
+        for target in range(n):
+            if target == source or dist[target] == float("inf"):
+                continue
+            for b, (low, high) in enumerate(bands):
+                if low <= dist[target] <= high:
+                    size = len(frontiers[target])
+                    totals[b] += size
+                    counts[b] += 1
+                    if size > maxima[b]:
+                        maxima[b] = size
+                    break
+
+    return [
+        BandProfile(
+            band=f"Q{i + 1}",
+            low=bands[i][0],
+            high=bands[i][1],
+            samples=counts[i],
+            avg_size=totals[i] / counts[i] if counts[i] else 0.0,
+            max_size=maxima[i],
+        )
+        for i in range(5)
+    ]
+
+
+def label_depth_profile(labels, tree) -> dict[int, tuple[int, float]]:
+    """Per tree-depth label statistics: (num sets, avg set size).
+
+    Shows where the index's bytes live — the deep, wide parts of the
+    hierarchy, which is why the paper's Table 2 label sizes track the
+    average treeheight.
+    """
+    sums: dict[int, int] = {}
+    counts: dict[int, int] = {}
+    for v, _u, entries in labels.items():
+        depth = tree.depth[v]
+        sums[depth] = sums.get(depth, 0) + len(entries)
+        counts[depth] = counts.get(depth, 0) + 1
+    return {
+        depth: (counts[depth], sums[depth] / counts[depth])
+        for depth in sorted(counts)
+    }

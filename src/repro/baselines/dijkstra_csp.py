@@ -1,0 +1,172 @@
+"""Index-free exact CSP baselines based on bi-criteria label setting.
+
+:func:`constrained_dijkstra` is the classic extension of Dijkstra's idea
+(Hansen 1980, paper §6.2.2): each vertex keeps a Pareto set of
+``(weight, cost)`` labels, labels are settled in increasing weight order,
+and any label whose cost exceeds the budget is discarded immediately.
+Because labels are settled by weight, the first label settled *at the
+target* is the CSP optimum.
+
+These baselines are exponential in the worst case (CSP is NP-hard) but
+exact, which makes them the ground truth every index-based algorithm is
+tested against — and the "index-free solutions are unscalable" yardstick
+of the paper's introduction.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Sequence
+
+from repro.graph.network import RoadNetwork
+from repro.types import CSPQuery, QueryResult, QueryStats
+
+
+def constrained_dijkstra(
+    network: RoadNetwork,
+    source: int,
+    target: int,
+    budget: float,
+    want_path: bool = True,
+) -> QueryResult:
+    """Exact CSP via bi-criteria label setting.
+
+    Returns a :class:`QueryResult`; ``feasible`` is False when no path
+    meets the budget.
+    """
+    query = CSPQuery(source, target, budget).validated(network.num_vertices)
+    stats = QueryStats()
+    if source == target:
+        return QueryResult(
+            query, weight=0, cost=0, path=[source] if want_path else None,
+            stats=stats,
+        )
+
+    # Per-vertex Pareto frontier of (weight, cost) labels seen so far,
+    # kept as cost-sorted lists (weight decreasing).
+    frontier: list[list[tuple[float, float]]] = [
+        [] for _ in range(network.num_vertices)
+    ]
+
+    def dominated(v: int, w: float, c: float) -> bool:
+        return any(fw <= w and fc <= c for fw, fc in frontier[v])
+
+    def insert(v: int, w: float, c: float) -> None:
+        frontier[v] = [
+            (fw, fc) for fw, fc in frontier[v] if not (w <= fw and c <= fc)
+        ]
+        frontier[v].append((w, c))
+
+    # Heap of (weight, cost, vertex, parent_label); parent links rebuild
+    # the path without storing whole paths in the heap.
+    counter = 0
+    heap: list[tuple[float, float, int, int, tuple | None]] = [
+        (0, 0, counter, source, None)
+    ]
+    while heap:
+        w, c, _tie, v, parent = heapq.heappop(heap)
+        if dominated(v, w, c) and (w, c) not in frontier[v]:
+            continue
+        if v == target:
+            path = _unwind(parent, v) if want_path else None
+            return QueryResult(query, weight=w, cost=c, path=path, stats=stats)
+        for nbr, ew, ec in network.neighbors(v):
+            nw, nc = w + ew, c + ec
+            if nc > budget or dominated(nbr, nw, nc):
+                continue
+            insert(nbr, nw, nc)
+            counter += 1
+            stats.concatenations += 1  # one edge relaxation
+            heapq.heappush(heap, (nw, nc, counter, nbr, (v, parent)))
+    return QueryResult(query, stats=stats)
+
+
+def _unwind(parent: tuple | None, last: int) -> list[int]:
+    path = [last]
+    node = parent
+    while node is not None:
+        v, node = node
+        path.append(v)
+    path.reverse()
+    return path
+
+
+def multi_adjacency(
+    network: RoadNetwork, extra_costs: Sequence[Sequence[float]]
+) -> list[list[tuple[int, float, tuple[float, ...]]]]:
+    """Adjacency with vector costs for the multi-constraint extension.
+
+    ``extra_costs[k][i]`` is the k-th additional cost of the i-th edge in
+    insertion order; the result's cost vectors are ``(c, extra_1, ...)``.
+    """
+    adj: list[list[tuple[int, float, tuple[float, ...]]]] = [
+        [] for _ in range(network.num_vertices)
+    ]
+    for idx, (u, v, w, c) in enumerate(network.edges()):
+        costs = (c,) + tuple(extra[idx] for extra in extra_costs)
+        adj[u].append((v, w, costs))
+        adj[v].append((u, w, costs))
+    return adj
+
+
+def multi_constrained_dijkstra(
+    network: RoadNetwork,
+    source: int,
+    target: int,
+    budgets: Sequence[float],
+    extra_costs: Sequence[Sequence[float]] = (),
+) -> tuple[float, tuple[float, ...]] | None:
+    """Exact CSP under multiple cost budgets (paper §1: "multiple
+    constraints").
+
+    The first budget constrains the network's built-in cost metric; each
+    entry of ``extra_costs`` adds one more metric (see
+    :func:`multi_adjacency`).  Returns ``(weight, costs)`` or ``None``.
+    """
+    if len(budgets) != 1 + len(extra_costs):
+        raise ValueError(
+            f"{len(budgets)} budgets given for {1 + len(extra_costs)} metrics"
+        )
+    adj = multi_adjacency(network, extra_costs)
+    if source == target:
+        return (0, tuple(0 for _ in budgets))
+
+    frontier: list[list[tuple[float, tuple[float, ...]]]] = [
+        [] for _ in range(network.num_vertices)
+    ]
+
+    def dominated(v: int, w: float, costs: tuple[float, ...]) -> bool:
+        return any(
+            fw <= w and all(fc <= c for fc, c in zip(fcosts, costs))
+            for fw, fcosts in frontier[v]
+        )
+
+    def insert(v: int, w: float, costs: tuple[float, ...]) -> None:
+        frontier[v] = [
+            (fw, fcosts)
+            for fw, fcosts in frontier[v]
+            if not (
+                w <= fw and all(c <= fc for c, fc in zip(costs, fcosts))
+            )
+        ]
+        frontier[v].append((w, costs))
+
+    heap: list[tuple[float, tuple[float, ...], int]] = [
+        (0, tuple(0 for _ in budgets), source)
+    ]
+    while heap:
+        w, costs, v = heapq.heappop(heap)
+        if v == target:
+            return (w, costs)
+        if dominated(v, w, costs) and (w, costs) not in frontier[v]:
+            continue
+        for nbr, ew, ecosts in adj[v]:
+            nw = w + ew
+            ncosts = tuple(c + ec for c, ec in zip(costs, ecosts))
+            if any(nc > budget for nc, budget in zip(ncosts, budgets)):
+                continue
+            if dominated(nbr, nw, ncosts):
+                continue
+            insert(nbr, nw, ncosts)
+            heapq.heappush(heap, (nw, ncosts, nbr))
+    return None

@@ -1,0 +1,129 @@
+"""Skyline (bi-criteria) Dijkstra: exact skyline path sets, index-free.
+
+Computes the full skyline set ``P_st`` — or ``P_sv`` for every vertex —
+by multi-label search.  Used as the ground truth for label construction
+tests and as the in-partition search engine of the COLA-like baseline.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Sequence
+
+from repro.graph.network import RoadNetwork
+from repro.skyline.entries import Entry, edge_entry, join_entry, zero_entry
+from repro.skyline.set_ops import SkylineSet, skyline_of
+
+
+def skyline_search(
+    network: RoadNetwork,
+    source: int,
+    max_cost: float | None = None,
+    allowed: Callable[[int], bool] | None = None,
+    with_prov: bool = False,
+) -> list[SkylineSet]:
+    """All skyline sets ``P_sv`` from ``source`` (label-setting).
+
+    Parameters
+    ----------
+    network:
+        The road network.
+    source:
+        Start vertex.
+    max_cost:
+        Optional cost ceiling; labels above it are pruned (sound when the
+        caller only needs paths within a known budget).
+    allowed:
+        Optional vertex filter; the search never leaves
+        ``{v : allowed(v)}`` (used for intra-partition searches).
+    with_prov:
+        Record provenance on labels so concrete paths can be expanded.
+
+    Returns
+    -------
+    list[SkylineSet]
+        ``result[v]`` is the canonical skyline set from source to ``v``
+        (``[(0, 0, ...)]`` for the source itself).
+
+    Notes
+    -----
+    Labels are settled in ``(cost, weight)`` order.  When a label is
+    popped, no future label can have smaller cost, so dominance against
+    the settled frontier (whose last member has the smallest weight seen)
+    is a single comparison.
+    """
+    n = network.num_vertices
+    frontiers: list[SkylineSet] = [[] for _ in range(n)]
+    counter = 0
+    start = zero_entry(source, with_prov=with_prov)
+    heap: list[tuple[float, float, int, int, Entry]] = [
+        (0, 0, counter, source, start)
+    ]
+    while heap:
+        c, w, _tie, v, entry = heapq.heappop(heap)
+        frontier = frontiers[v]
+        if frontier and frontier[-1][0] <= w:
+            # Settled in cost order: the last frontier member has both
+            # smaller-or-equal cost and smaller-or-equal weight.
+            continue
+        frontier.append(entry)
+        for nbr, ew, ec in network.neighbors(v):
+            if allowed is not None and nbr != source and not allowed(nbr):
+                continue
+            nw, nc = w + ew, c + ec
+            if max_cost is not None and nc > max_cost:
+                continue
+            nbr_frontier = frontiers[nbr]
+            if nbr_frontier and nbr_frontier[-1][0] <= nw:
+                continue
+            counter += 1
+            if with_prov:
+                edge = edge_entry(ew, ec, v, nbr, with_prov=True)
+                nxt = join_entry(entry, edge, mid=v)
+            else:
+                nxt = (nw, nc, None)
+            heapq.heappush(heap, (nc, nw, counter, nbr, nxt))
+    return frontiers
+
+
+def skyline_between(
+    network: RoadNetwork,
+    source: int,
+    target: int,
+    max_cost: float | None = None,
+    with_prov: bool = False,
+) -> SkylineSet:
+    """The exact skyline set ``P_st`` (paper Definition 6)."""
+    if source == target:
+        return [zero_entry(source, with_prov=with_prov)]
+    return skyline_search(
+        network, source, max_cost=max_cost, with_prov=with_prov
+    )[target]
+
+
+def skyline_pairs_bruteforce(
+    network: RoadNetwork, source: int, target: int, max_hops: int | None = None
+) -> list[tuple[float, float]]:
+    """Skyline ``(w, c)`` pairs by exhaustive simple-path enumeration.
+
+    Exponential — strictly for cross-checking on tiny test graphs.
+    """
+    limit = max_hops if max_hops is not None else network.num_vertices
+    pairs: list[tuple[float, float]] = []
+    visited = [False] * network.num_vertices
+    visited[source] = True
+
+    def walk(v: int, w: float, c: float, hops: int) -> None:
+        if v == target:
+            pairs.append((w, c))
+            return
+        if hops == limit:
+            return
+        for nbr, ew, ec in network.neighbors(v):
+            if not visited[nbr]:
+                visited[nbr] = True
+                walk(nbr, w + ew, c + ec, hops + 1)
+                visited[nbr] = False
+
+    walk(source, 0, 0, 0)
+    return [(e[0], e[1]) for e in skyline_of([(w, c, None) for w, c in pairs])]

@@ -1,0 +1,228 @@
+"""Command-line interface: ``repro-qhl`` (or ``python -m repro``).
+
+Subcommands::
+
+    generate   write a named synthetic dataset to a network file
+    build      build the QHL index for a network file
+    query      answer a CSP query against a saved index
+    stats      print index statistics (Table 2-style)
+    workload   generate the paper's Q1..Q5 query sets for a network
+    bench      race QHL / CSP-2Hop (/ COLA) over a query-set file
+
+Example session::
+
+    repro-qhl generate --dataset NY --scale small --out ny.csp
+    repro-qhl build --network ny.csp --out ny.idx --index-queries 2000
+    repro-qhl query --index ny.idx --source 0 --target 140 --budget 400 --path
+    repro-qhl stats --index ny.idx
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.engine import QHLIndex
+from repro.datasets.catalog import DATASET_NAMES, load_dataset
+from repro.exceptions import ReproError
+from repro.graph.io import read_csp_text, write_csp_text
+from repro.instrument.timing import Timer, format_bytes, format_seconds
+from repro.storage.serialize import load_index, save_index
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset, scale=args.scale)
+    write_csp_text(dataset.network, args.out)
+    print(
+        f"{dataset.name} ({dataset.description}): "
+        f"|V|={dataset.network.num_vertices} "
+        f"|E|={dataset.network.num_edges} -> {args.out}"
+    )
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    network = read_csp_text(args.network)
+    with Timer() as timer:
+        index = QHLIndex.build(
+            network,
+            num_index_queries=args.index_queries,
+            store_paths=not args.no_paths,
+            seed=args.seed,
+        )
+    size = save_index(index, args.out)
+    print(
+        f"built index for |V|={network.num_vertices} in "
+        f"{format_seconds(timer.seconds)}; file {format_bytes(size)} "
+        f"-> {args.out}"
+    )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    index = load_index(args.index)
+    result = index.query(
+        args.source, args.target, args.budget, want_path=args.path
+    )
+    if not result.feasible:
+        print(
+            f"no path from {args.source} to {args.target} within "
+            f"budget {args.budget}"
+        )
+        return 1
+    print(
+        f"optimal weight {result.weight} at cost {result.cost} "
+        f"(budget {args.budget}) in {format_seconds(result.stats.seconds)}"
+    )
+    if args.path and result.path is not None:
+        print(" -> ".join(str(v) for v in result.path))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    index = load_index(args.index)
+    stats = index.stats()
+    print(f"vertices          {index.network.num_vertices}")
+    print(f"edges             {index.network.num_edges}")
+    print(f"treewidth         {stats.treewidth}")
+    print(f"treeheight        {stats.treeheight}")
+    print(f"avg height        {stats.average_height:.1f}")
+    print(f"tree build        {format_seconds(stats.tree_seconds)}")
+    print(f"label build       {format_seconds(stats.label_seconds)}")
+    print(f"label size        {format_bytes(stats.label_bytes)}")
+    print(f"label entries     {stats.label_entries}")
+    print(f"max skyline set   {stats.max_skyline_set}")
+    print(f"pruning build     {format_seconds(stats.pruning_seconds)}")
+    print(f"pruning size      {format_bytes(stats.pruning_bytes)}")
+    print(f"pruning conds     {stats.pruning_conditions}")
+    return 0
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    from repro.graph.algorithms import estimate_diameter
+    from repro.workloads import generate_distance_sets, write_query_sets
+
+    network = read_csp_text(args.network)
+    d_max = estimate_diameter(network)
+    sets = generate_distance_sets(
+        network, size=args.size, d_max=d_max, seed=args.seed
+    )
+    write_query_sets(sets, args.out)
+    print(
+        f"wrote {sum(len(s) for s in sets.values())} queries "
+        f"({', '.join(sets)}) for d_max={d_max:g} -> {args.out}"
+    )
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.instrument import WorkloadReport, run_workload
+    from repro.workloads import index_queries_from_sets, read_query_sets
+
+    network = read_csp_text(args.network)
+    sets = read_query_sets(args.queries)
+    with Timer() as timer:
+        index = QHLIndex.build(
+            network,
+            index_queries=index_queries_from_sets(
+                list(sets.values()), args.index_queries, seed=args.seed
+            ),
+            store_paths=False,
+            seed=args.seed,
+        )
+    print(f"index built in {format_seconds(timer.seconds)}")
+
+    engines = [index.qhl_engine(), index.csp2hop_engine()]
+    if args.cola:
+        from repro.baselines import COLAEngine
+
+        engines.append(COLAEngine(network, num_parts=8, seed=args.seed))
+
+    print(WorkloadReport.header())
+    for name, query_set in sets.items():
+        for engine in engines:
+            report = run_workload(engine, query_set.queries, name)
+            print(report.row())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-qhl",
+        description="QHL: exact constrained shortest path search",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_gen = sub.add_parser("generate", help="write a synthetic dataset")
+    p_gen.add_argument("--dataset", choices=DATASET_NAMES, required=True)
+    p_gen.add_argument(
+        "--scale", choices=("benchmark", "small"), default="small"
+    )
+    p_gen.add_argument("--out", required=True)
+    p_gen.set_defaults(func=_cmd_generate)
+
+    p_build = sub.add_parser("build", help="build the QHL index")
+    p_build.add_argument("--network", required=True)
+    p_build.add_argument("--out", required=True)
+    p_build.add_argument("--index-queries", type=int, default=2000)
+    p_build.add_argument("--seed", type=int, default=0)
+    p_build.add_argument(
+        "--no-paths",
+        action="store_true",
+        help="skip path provenance (smaller index, no path retrieval)",
+    )
+    p_build.set_defaults(func=_cmd_build)
+
+    p_query = sub.add_parser("query", help="answer one CSP query")
+    p_query.add_argument("--index", required=True)
+    p_query.add_argument("--source", type=int, required=True)
+    p_query.add_argument("--target", type=int, required=True)
+    p_query.add_argument("--budget", type=float, required=True)
+    p_query.add_argument(
+        "--path", action="store_true", help="print the vertex path"
+    )
+    p_query.set_defaults(func=_cmd_query)
+
+    p_stats = sub.add_parser("stats", help="print index statistics")
+    p_stats.add_argument("--index", required=True)
+    p_stats.set_defaults(func=_cmd_stats)
+
+    p_workload = sub.add_parser(
+        "workload", help="generate the paper's Q1..Q5 query sets"
+    )
+    p_workload.add_argument("--network", required=True)
+    p_workload.add_argument("--out", required=True)
+    p_workload.add_argument("--size", type=int, default=100)
+    p_workload.add_argument("--seed", type=int, default=0)
+    p_workload.set_defaults(func=_cmd_workload)
+
+    p_bench = sub.add_parser(
+        "bench", help="race engines over a query-set file"
+    )
+    p_bench.add_argument("--network", required=True)
+    p_bench.add_argument("--queries", required=True)
+    p_bench.add_argument("--index-queries", type=int, default=1000)
+    p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument(
+        "--cola", action="store_true",
+        help="include the (slow) COLA baseline",
+    )
+    p_bench.set_defaults(func=_cmd_bench)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

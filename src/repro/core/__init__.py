@@ -1,0 +1,40 @@
+"""QHL core: the paper's contribution — query-aware hop labeling."""
+
+from repro.core.concatenation import concat_best_under, concat_cartesian
+from repro.core.engine import IndexStats, QHLIndex, random_index_queries
+from repro.core.explain import (
+    ConditionApplication,
+    HoplinkWork,
+    QueryExplanation,
+)
+from repro.core.pruning import (
+    PruningConditionIndex,
+    build_condition,
+    build_pruning_index,
+    compute_cub,
+)
+from repro.core.qhl import QHLEngine
+from repro.core.separators import (
+    LabelFetcher,
+    estimated_cost,
+    initial_separators,
+)
+
+__all__ = [
+    "ConditionApplication",
+    "HoplinkWork",
+    "IndexStats",
+    "LabelFetcher",
+    "QueryExplanation",
+    "PruningConditionIndex",
+    "QHLEngine",
+    "QHLIndex",
+    "build_condition",
+    "build_pruning_index",
+    "compute_cub",
+    "concat_best_under",
+    "concat_cartesian",
+    "estimated_cost",
+    "initial_separators",
+    "random_index_queries",
+]

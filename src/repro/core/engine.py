@@ -1,0 +1,181 @@
+"""High-level facade: build the full QHL index and query it.
+
+:class:`QHLIndex` bundles the four index pieces — tree decomposition,
+2-hop skyline labels, LCA structure, and pruning conditions — behind one
+``build`` call, and hands out query engines:
+
+>>> from repro import QHLIndex, grid_network
+>>> network = grid_network(8, 8, seed=1)
+>>> index = QHLIndex.build(network, num_index_queries=200, seed=1)
+>>> result = index.query(0, 63, budget=200)
+>>> result.feasible
+True
+
+Engines for the baselines and the paper's ablation variants share the
+same underlying index, so comparisons measure algorithms, not indexes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.baselines.csp2hop import CSP2HopEngine
+from repro.core.pruning import PruningConditionIndex, build_pruning_index
+from repro.core.qhl import QHLEngine
+from repro.graph.algorithms import sample_connected_pair
+from repro.graph.network import RoadNetwork
+from repro.hierarchy.decomposition import Strategy, build_tree_decomposition
+from repro.hierarchy.lca import LCAIndex
+from repro.hierarchy.tree import TreeDecomposition
+from repro.labeling.builder import build_labels
+from repro.labeling.labels import LabelStore
+from repro.types import CSPQuery, QueryResult
+
+
+@dataclass
+class IndexStats:
+    """Build-cost summary (paper Table 2 + Figure 10)."""
+
+    treewidth: int
+    treeheight: int
+    average_height: float
+    tree_seconds: float
+    label_seconds: float
+    label_bytes: int
+    label_entries: int
+    max_skyline_set: int
+    pruning_seconds: float
+    pruning_bytes: int
+    pruning_conditions: int
+
+
+class QHLIndex:
+    """The complete QHL index over one road network."""
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        tree: TreeDecomposition,
+        labels: LabelStore,
+        lca: LCAIndex,
+        pruning: PruningConditionIndex,
+    ):
+        self.network = network
+        self.tree = tree
+        self.labels = labels
+        self.lca = lca
+        self.pruning = pruning
+        self._default_engine = QHLEngine(tree, labels, lca, pruning)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        network: RoadNetwork,
+        index_queries: Sequence[CSPQuery] | None = None,
+        num_index_queries: int = 2000,
+        strategy: Strategy = "min_degree",
+        store_paths: bool = True,
+        max_skyline: int | None = None,
+        seed: int = 0,
+    ) -> "QHLIndex":
+        """Build the full index.
+
+        Parameters
+        ----------
+        network:
+            A connected road network.
+        index_queries:
+            The workload sample ``Q_index`` driving pruning-condition
+            construction (§4.2).  When ``None``, ``num_index_queries``
+            uniform random queries are generated (the paper samples
+            uniformly from past workloads).
+        strategy, store_paths, max_skyline:
+            Passed through to the decomposition / label builders.
+        seed:
+            Seed for query sampling and Algorithm 7's random pruner
+            choice.
+        """
+        tree = build_tree_decomposition(
+            network,
+            strategy=strategy,
+            store_paths=store_paths,
+            max_skyline=max_skyline,
+        )
+        labels = build_labels(
+            tree, store_paths=store_paths, max_skyline=max_skyline
+        )
+        lca = LCAIndex(tree)
+        if index_queries is None:
+            index_queries = random_index_queries(
+                network, num_index_queries, seed=seed
+            )
+        pruning = build_pruning_index(
+            tree, labels, lca, index_queries, seed=seed
+        )
+        return cls(network, tree, labels, lca, pruning)
+
+    # ------------------------------------------------------------------
+    # Engines
+    # ------------------------------------------------------------------
+    def qhl_engine(
+        self,
+        use_pruning_conditions: bool = True,
+        use_two_pointer: bool = True,
+    ) -> QHLEngine:
+        """A QHL engine; flip the flags for the Figure 8 ablations."""
+        return QHLEngine(
+            self.tree,
+            self.labels,
+            self.lca,
+            self.pruning,
+            use_pruning_conditions=use_pruning_conditions,
+            use_two_pointer=use_two_pointer,
+        )
+
+    def csp2hop_engine(self) -> CSP2HopEngine:
+        """The CSP-2Hop baseline over the same labels."""
+        return CSP2HopEngine(self.tree, self.labels, self.lca)
+
+    def query(
+        self, source: int, target: int, budget: float, want_path: bool = False
+    ) -> QueryResult:
+        """Answer a CSP query with the default QHL engine."""
+        return self._default_engine.query(
+            source, target, budget, want_path=want_path
+        )
+
+    # ------------------------------------------------------------------
+    def stats(self) -> IndexStats:
+        """Build-cost summary for Table 2 / Figure 10 reporting."""
+        return IndexStats(
+            treewidth=self.tree.treewidth,
+            treeheight=self.tree.treeheight,
+            average_height=self.tree.average_height,
+            tree_seconds=self.tree.build_seconds,
+            label_seconds=self.labels.build_seconds,
+            label_bytes=self.labels.size_bytes(),
+            label_entries=self.labels.num_entries(),
+            max_skyline_set=self.labels.max_set_size(),
+            pruning_seconds=self.pruning.build_seconds,
+            pruning_bytes=self.pruning.size_bytes(),
+            pruning_conditions=self.pruning.num_conditions,
+        )
+
+
+def random_index_queries(
+    network: RoadNetwork, count: int, seed: int = 0
+) -> list[CSPQuery]:
+    """Uniform random ``Q_index`` queries (§4.2).
+
+    Budgets are irrelevant to condition *construction* (conditions store
+    the largest valid θ), so a placeholder budget of 0 is used.
+    """
+    rng = random.Random(seed)
+    queries = []
+    for _ in range(count):
+        s, t = sample_connected_pair(network, rng)
+        queries.append(CSPQuery(s, t, 0))
+    return queries

@@ -1,0 +1,108 @@
+"""Query-plan explanation.
+
+``QHLEngine.explain(s, t, C)`` re-runs the query pipeline and records
+every decision — which case fired, the initial separators, which
+pruning conditions applied and what they removed, each candidate's
+estimated cost, and the per-hoplink concatenation work.  The paper's
+worked examples (10-15) are exactly this trace for one query; the
+feature makes that narration available for *any* query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.types import CSPQuery
+
+
+@dataclass
+class ConditionApplication:
+    """One pruning condition matched during Algorithm 4."""
+
+    separator_child: int
+    v_end: int
+    before: tuple[int, ...]
+    after: tuple[int, ...]
+
+    @property
+    def pruned(self) -> tuple[int, ...]:
+        return tuple(h for h in self.before if h not in set(self.after))
+
+
+@dataclass
+class HoplinkWork:
+    """Concatenation work for one chosen hoplink."""
+
+    hoplink: int
+    size_sh: int
+    size_ht: int
+    inspected: int
+    found: tuple[float, float] | None
+
+
+@dataclass
+class QueryExplanation:
+    """Structured trace of one QHL query."""
+
+    query: CSPQuery
+    case: str  # "same-vertex" | "ancestor-descendant" | "separator"
+    lca: int | None = None
+    initial_separators: list[tuple[int, tuple[int, ...]]] = field(
+        default_factory=list
+    )
+    conditions: list[ConditionApplication] = field(default_factory=list)
+    candidates: list[tuple[tuple[int, ...], int]] = field(
+        default_factory=list
+    )
+    chosen: tuple[int, ...] = ()
+    hoplinks: list[HoplinkWork] = field(default_factory=list)
+    answer: tuple[float, float] | None = None
+
+    def render(self) -> str:
+        """A human-readable multi-line account of the plan."""
+        q = self.query
+        lines = [
+            f"query: {q.source} -> {q.target} within budget {q.budget:g}"
+        ]
+        if self.case == "same-vertex":
+            lines.append("case: source equals target — zero path")
+        elif self.case == "ancestor-descendant":
+            lines.append(
+                "case: ancestor-descendant — answer read from one label"
+            )
+        else:
+            lines.append(f"case: separator search (LCA bag of {self.lca})")
+            for child, separator in self.initial_separators:
+                lines.append(
+                    f"  initial separator via child {child}: "
+                    f"{list(separator)}"
+                )
+            if self.conditions:
+                for app in self.conditions:
+                    lines.append(
+                        f"  condition (child {app.separator_child}, "
+                        f"v_end {app.v_end}) pruned {list(app.pruned)}"
+                    )
+            else:
+                lines.append("  no pruning condition matched")
+            for separator, cost in self.candidates:
+                marker = "*" if separator == self.chosen else " "
+                lines.append(
+                    f"  {marker} candidate {list(separator)}  "
+                    f"T(H) = {cost}"
+                )
+            for work in self.hoplinks:
+                found = (
+                    f"best {work.found}" if work.found else "nothing better"
+                )
+                lines.append(
+                    f"  hoplink {work.hoplink}: |P_sh|={work.size_sh} "
+                    f"|P_ht|={work.size_ht} inspected {work.inspected} "
+                    f"-> {found}"
+                )
+        lines.append(
+            f"answer: {self.answer}"
+            if self.answer
+            else "answer: infeasible"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,265 @@
+"""The QHL query algorithm (paper §3, Algorithm 3).
+
+Pipeline for a non-ancestor-descendant query ``(s, t, C)``:
+
+1. **Separator initialisation** (§3.2) — candidates ``H(s)``, ``H(t)``
+   from the LCA's children, both subsets of ``X(l)``.
+2. **Separator pruning** (§3.3, Algorithm 4) — each candidate that has a
+   matching pruning condition (``v_end ∈ {s, t}``) is replaced by its
+   pruned variant(s); each variant applies a *single* end-vertex's
+   condition (mixing two conditions in one candidate could create pruning
+   cycles and lose the answer — see DESIGN.md §5).  |H| ends up 2..4.
+3. **Hoplink selection** — the candidate with the smallest estimated cost
+   ``T(H) = Σ_h (|P_sh| + |P_ht|)`` becomes ``Hoplinks``.
+4. **Path concatenation** (§3.4, Algorithm 5) — a two-pointer sweep per
+   hoplink; the best ``p*_h`` across hoplinks is the answer.
+
+Ablation switches reproduce the paper's Figure 8 variants:
+``use_pruning_conditions=False`` ("QHL-w/o Alg. 3/4") skips step 2;
+``use_two_pointer=False`` ("QHL-w/o Alg. 4/5") replaces the sweep with the
+Cartesian product.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.concatenation import (
+    concat_best_under,
+    concat_cartesian,
+    rejoin_with_mid,
+)
+from repro.core.pruning import PruningConditionIndex
+from repro.core.separators import (
+    LabelFetcher,
+    estimated_cost,
+    initial_separators,
+)
+from repro.hierarchy.lca import LCAIndex
+from repro.hierarchy.tree import TreeDecomposition
+from repro.labeling.labels import LabelStore
+from repro.skyline.entries import Entry, expand
+from repro.skyline.set_ops import best_under
+from repro.types import CSPQuery, QueryResult, QueryStats
+
+
+class QHLEngine:
+    """Query-aware hop labeling engine over a shared label index."""
+
+    name = "QHL"
+
+    def __init__(
+        self,
+        tree: TreeDecomposition,
+        labels: LabelStore,
+        lca: LCAIndex | None = None,
+        pruning: PruningConditionIndex | None = None,
+        use_pruning_conditions: bool = True,
+        use_two_pointer: bool = True,
+    ):
+        self._tree = tree
+        self._labels = labels
+        self._lca = lca if lca is not None else LCAIndex(tree)
+        self._pruning = pruning
+        self.use_pruning_conditions = use_pruning_conditions and (
+            pruning is not None
+        )
+        self.use_two_pointer = use_two_pointer
+
+    # ------------------------------------------------------------------
+    def query(
+        self, source: int, target: int, budget: float, want_path: bool = False
+    ) -> QueryResult:
+        """Answer one CSP query exactly (Algorithm 3)."""
+        query = CSPQuery(source, target, budget).validated(
+            self._tree.num_vertices
+        )
+        stats = QueryStats()
+        started = time.perf_counter()
+        result = self._answer(query, stats, want_path)
+        stats.seconds = time.perf_counter() - started
+        result.stats = stats
+        return result
+
+    # ------------------------------------------------------------------
+    def _answer(
+        self, query: CSPQuery, stats: QueryStats, want_path: bool
+    ) -> QueryResult:
+        s, t, budget = query
+        if s == t:
+            return QueryResult(
+                query, weight=0, cost=0, path=[s] if want_path else None
+            )
+        lca_v, s_is_anc, t_is_anc = self._lca.relation(s, t)
+
+        # Lines 2-5: ancestor-descendant fast path (as in CSP-2Hop).
+        if s_is_anc or t_is_anc:
+            entries = self._labels.get(s, t)
+            stats.label_lookups += 1
+            best = best_under(entries, budget)
+            return self._finish(query, best, s, t, want_path)
+
+        # Line 7: initial separators.
+        c_s, h_s, c_t, h_t = initial_separators(self._tree, lca_v, s, t)
+
+        # Line 8: separator pruning (Algorithm 4 per initial separator).
+        candidates = self._candidate_separators(
+            ((c_s, h_s), (c_t, h_t)), s, t, budget
+        )
+        stats.candidates = len(candidates)
+
+        # Line 9: pick the candidate with the smallest estimated cost.
+        fetcher = LabelFetcher(self._labels, s, t)
+        hoplinks = min(
+            candidates, key=lambda h: estimated_cost(fetcher, h)
+        )
+        stats.hoplinks = len(hoplinks)
+
+        # Lines 10-12: per-hoplink concatenation.
+        concat = (
+            concat_best_under if self.use_two_pointer else concat_cartesian
+        )
+        best: Entry | None = None
+        best_hop = -1
+        for h in hoplinks:
+            p_sh = fetcher.from_s(h)
+            p_ht = fetcher.from_t(h)
+            prune = (best[0], best[1]) if best is not None else None
+            found, inspected = concat(p_sh, p_ht, budget, prune=prune)
+            stats.concatenations += inspected
+            if found is not None:
+                # concat only returns entries better than `prune`.
+                best = found
+                best_hop = h
+        stats.label_lookups += fetcher.lookups
+        if best is not None:
+            best = rejoin_with_mid(best, best_hop)
+        return self._finish(query, best, s, t, want_path)
+
+    # ------------------------------------------------------------------
+    def explain(self, source: int, target: int, budget: float):
+        """Re-run the query recording every planning decision.
+
+        Returns a :class:`repro.core.explain.QueryExplanation`; its
+        ``render()`` produces the paper's Example-10-to-15 style
+        narration for any query.
+        """
+        from repro.core.explain import (
+            ConditionApplication,
+            HoplinkWork,
+            QueryExplanation,
+        )
+
+        query = CSPQuery(source, target, budget).validated(
+            self._tree.num_vertices
+        )
+        s, t, _ = query
+        if s == t:
+            return QueryExplanation(query, "same-vertex", answer=(0, 0))
+        lca_v, s_is_anc, t_is_anc = self._lca.relation(s, t)
+        if s_is_anc or t_is_anc:
+            best = best_under(self._labels.get(s, t), budget)
+            return QueryExplanation(
+                query,
+                "ancestor-descendant",
+                lca=lca_v,
+                answer=(best[0], best[1]) if best else None,
+            )
+
+        trace = QueryExplanation(query, "separator", lca=lca_v)
+        c_s, h_s, c_t, h_t = initial_separators(self._tree, lca_v, s, t)
+        trace.initial_separators = [(c_s, tuple(h_s)), (c_t, tuple(h_t))]
+
+        if self.use_pruning_conditions:
+            for child, separator in trace.initial_separators:
+                for v_end in (s, t):
+                    pruned = self._pruning.prune(
+                        child, v_end, separator, budget
+                    )
+                    if pruned is not None and pruned != tuple(separator):
+                        trace.conditions.append(
+                            ConditionApplication(
+                                child, v_end, tuple(separator), pruned
+                            )
+                        )
+
+        candidates = self._candidate_separators(
+            trace.initial_separators, s, t, budget
+        )
+        fetcher = LabelFetcher(self._labels, s, t)
+        trace.candidates = [
+            (sep, estimated_cost(fetcher, sep)) for sep in candidates
+        ]
+        trace.chosen = min(trace.candidates, key=lambda item: item[1])[0]
+
+        concat = (
+            concat_best_under if self.use_two_pointer else concat_cartesian
+        )
+        best: Entry | None = None
+        for h in trace.chosen:
+            p_sh = fetcher.from_s(h)
+            p_ht = fetcher.from_t(h)
+            prune = (best[0], best[1]) if best is not None else None
+            found, inspected = concat(p_sh, p_ht, budget, prune=prune)
+            trace.hoplinks.append(
+                HoplinkWork(
+                    h, len(p_sh), len(p_ht), inspected,
+                    (found[0], found[1]) if found else None,
+                )
+            )
+            if found is not None:
+                best = found
+        trace.answer = (best[0], best[1]) if best else None
+        return trace
+
+    # ------------------------------------------------------------------
+    def _candidate_separators(
+        self,
+        initial: tuple[tuple[int, tuple[int, ...]], ...],
+        s: int,
+        t: int,
+        budget: float,
+    ) -> list[tuple[int, ...]]:
+        """Algorithm 4, applied to each initial separator.
+
+        Per separator: if a condition matches ``s`` and/or ``t``, its
+        pruned variant(s) replace the original; otherwise the original
+        stays.  Result size is 2..4.
+        """
+        candidates: list[tuple[int, ...]] = []
+        seen: set[tuple[int, ...]] = set()
+        for child, separator in initial:
+            if self.use_pruning_conditions:
+                pruned_any = False
+                for v_end in (s, t):
+                    pruned = self._pruning.prune(
+                        child, v_end, separator, budget
+                    )
+                    # Corollary 1 guarantees a pruned separator is never
+                    # empty; the emptiness check is a defensive guard so
+                    # a bad condition could only cost speed, not answers.
+                    if pruned and pruned not in seen:
+                        candidates.append(pruned)
+                        seen.add(pruned)
+                        pruned_any = True
+                if pruned_any:
+                    continue
+            separator = tuple(separator)
+            if separator not in seen:
+                candidates.append(separator)
+                seen.add(separator)
+        return candidates
+
+    # ------------------------------------------------------------------
+    def _finish(
+        self,
+        query: CSPQuery,
+        best: Entry | None,
+        s: int,
+        t: int,
+        want_path: bool,
+    ) -> QueryResult:
+        if best is None:
+            return QueryResult(query)
+        path = expand(best, s, t) if want_path else None
+        return QueryResult(query, weight=best[0], cost=best[1], path=path)

@@ -1,0 +1,25 @@
+"""Named synthetic stand-ins for the paper's DIMACS road networks."""
+
+from repro.datasets.catalog import (
+    DATASET_NAMES,
+    Dataset,
+    load_all,
+    load_dataset,
+)
+from repro.datasets.paper_example import (
+    NUM_PAPER_VERTICES,
+    PAPER_EDGES,
+    paper_figure1_network,
+    v,
+)
+
+__all__ = [
+    "DATASET_NAMES",
+    "Dataset",
+    "NUM_PAPER_VERTICES",
+    "PAPER_EDGES",
+    "load_all",
+    "load_dataset",
+    "paper_figure1_network",
+    "v",
+]

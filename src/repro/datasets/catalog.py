@@ -1,0 +1,94 @@
+"""Named synthetic datasets standing in for the paper's DIMACS networks.
+
+The paper evaluates on NY (264k vertices, dense grid-like), BAY (321k,
+ring around the bays, few route alternatives) and COL (436k, very dense
+around Denver).  Pure Python cannot build 26-149 GB label indexes, so
+each dataset here is a scaled-down generator configuration reproducing
+the *structural* property that drives the paper's results (DESIGN.md §3).
+
+Two scales per dataset:
+
+* ``"benchmark"`` — used by the ``benchmarks/`` suite; a few hundred to a
+  couple thousand vertices, index builds in seconds.
+* ``"small"`` — used by tests; builds in well under a second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ReproError
+from repro.graph.generators import (
+    dense_core_network,
+    grid_network,
+    ring_network,
+)
+from repro.graph.network import RoadNetwork
+
+
+@dataclass
+class Dataset:
+    """A named network plus its provenance description."""
+
+    name: str
+    network: RoadNetwork
+    description: str
+
+
+_BUILDERS = {
+    ("NY", "benchmark"): lambda: grid_network(
+        26, 26, seed=11, diagonal_prob=0.12
+    ),
+    ("NY", "small"): lambda: grid_network(
+        12, 12, seed=11, diagonal_prob=0.12
+    ),
+    ("BAY", "benchmark"): lambda: ring_network(
+        num_towns=18, town_rows=6, town_cols=6, num_bridges=8, seed=12
+    ),
+    ("BAY", "small"): lambda: ring_network(
+        num_towns=8, town_rows=3, town_cols=3, num_bridges=2, seed=12
+    ),
+    ("COL", "benchmark"): lambda: dense_core_network(
+        core_rows=22, core_cols=22, num_corridors=10,
+        corridor_length=20, seed=13,
+    ),
+    ("COL", "small"): lambda: dense_core_network(
+        core_rows=8, core_cols=8, num_corridors=4,
+        corridor_length=6, seed=13,
+    ),
+}
+
+_DESCRIPTIONS = {
+    "NY": "dense grid with diagonal shortcuts (New York City stand-in)",
+    "BAY": "towns on a coastal ring with a few bridges (SF Bay stand-in)",
+    "COL": "very dense core with sparse corridors (Colorado stand-in)",
+}
+
+DATASET_NAMES = ("NY", "BAY", "COL")
+
+
+def load_dataset(name: str, scale: str = "benchmark") -> Dataset:
+    """Load a named dataset at the given scale.
+
+    Raises
+    ------
+    ReproError
+        For an unknown name or scale.
+    """
+    key = (name.upper(), scale)
+    builder = _BUILDERS.get(key)
+    if builder is None:
+        raise ReproError(
+            f"unknown dataset {name!r} at scale {scale!r}; datasets: "
+            f"{DATASET_NAMES}, scales: ('benchmark', 'small')"
+        )
+    return Dataset(
+        name=name.upper(),
+        network=builder(),
+        description=_DESCRIPTIONS[name.upper()],
+    )
+
+
+def load_all(scale: str = "benchmark") -> list[Dataset]:
+    """All three datasets in paper order."""
+    return [load_dataset(name, scale) for name in DATASET_NAMES]

@@ -1,0 +1,68 @@
+"""The paper's Figure 1 running example, reconstructed.
+
+The paper never lists its edge-to-metric mapping outright, but the worked
+examples over-determine most of it.  The assignment below satisfies every
+numeric claim in the paper:
+
+* ``w((v8, v3)) = 2, c = 4`` (Example 1);
+* ``P_v8v9 = {(8,7) via v3, (7,8) via v2}`` (Examples 3-4);
+* path ``(v8, v1, v13, v11, v10, v9)`` has pair ``(14, 18)`` (Example 3);
+* ``P_v8v4 = {(18,12), (17,13), (16,18)}`` and the answer to the query
+  ``(v8, v4, C=13)`` is ``(17, 13)`` via ``(v8,v2,v9,v10,v5,v4)``
+  (Examples 2 and 5);
+* ``P_v8v13 = {(12,11), (11,12), (10,14)}``, ``P_v8v10 = {(9,8), (8,9)}``,
+  ``P_v10v13 = {(3,3)}``, ``P_v10v4 = {(9,4), (8,9)}`` (Examples 14-16);
+* Algorithm 6 yields ``C_ub = 14`` for pruning ``v13`` by ``v10`` with
+  ``v_end = v8`` (Examples 12 and 16);
+* min-degree elimination with ties broken by vertex id reproduces the
+  paper's Figure 3 tree decomposition exactly (Example 6), including
+  ``X(v10) = {v10, v11, v12, v13}`` as LCA bag for ``(v8, v4)``
+  (Example 8) and ``H(s) = {v10, v13}``, ``H(t) = {v10, v12}``
+  (Example 11);
+* the query of Example 10/15 costs QHL exactly 3 path concatenations.
+
+Vertices are 0-based here: paper ``v1`` is vertex ``0`` … ``v13`` is
+``12``; use :func:`v` to translate.
+"""
+
+from __future__ import annotations
+
+from repro.graph.network import RoadNetwork
+
+PAPER_EDGES = (
+    # (paper u, paper v, weight, cost) — 1-based vertex names
+    (1, 8, 2, 5),
+    (1, 13, 8, 9),
+    (2, 8, 1, 6),
+    (2, 9, 6, 2),
+    (3, 8, 2, 4),
+    (3, 9, 6, 3),
+    (4, 5, 5, 2),
+    (4, 12, 1, 2),
+    (5, 10, 4, 2),
+    (6, 11, 2, 1),
+    (6, 12, 3, 4),
+    (7, 10, 3, 2),
+    (7, 11, 2, 3),
+    (9, 10, 1, 1),
+    (10, 11, 2, 2),
+    (11, 13, 1, 1),
+    (12, 13, 7, 6),
+)
+
+NUM_PAPER_VERTICES = 13
+
+
+def v(paper_id: int) -> int:
+    """Translate a paper vertex name (``v1``.. ``v13``) to a vertex id."""
+    if not 1 <= paper_id <= NUM_PAPER_VERTICES:
+        raise ValueError(f"the paper example has v1..v13, got v{paper_id}")
+    return paper_id - 1
+
+
+def paper_figure1_network() -> RoadNetwork:
+    """The 13-vertex road network of Figure 1 (0-based vertex ids)."""
+    network = RoadNetwork(NUM_PAPER_VERTICES)
+    for pu, pv, weight, cost in PAPER_EDGES:
+        network.add_edge(v(pu), v(pv), weight, cost)
+    return network

@@ -1,0 +1,36 @@
+"""Directed-graph extension of QHL/CSP-2Hop (paper §2.3's deferral to
+[20]): one-way streets, per-direction metrics, two-directional labels."""
+
+from repro.directed.baselines import (
+    directed_constrained_dijkstra,
+    directed_skyline_search,
+)
+from repro.directed.engine import (
+    DirectedCSP2HopEngine,
+    DirectedQHLEngine,
+    DirectedQHLIndex,
+    build_directed_pruning,
+)
+from repro.directed.index import (
+    DirectedLabelStore,
+    build_directed_labels,
+    build_directed_tree,
+)
+from repro.directed.network import (
+    DirectedRoadNetwork,
+    directed_from_undirected,
+)
+
+__all__ = [
+    "DirectedCSP2HopEngine",
+    "DirectedLabelStore",
+    "DirectedQHLEngine",
+    "DirectedQHLIndex",
+    "DirectedRoadNetwork",
+    "build_directed_labels",
+    "build_directed_pruning",
+    "build_directed_tree",
+    "directed_constrained_dijkstra",
+    "directed_from_undirected",
+    "directed_skyline_search",
+]

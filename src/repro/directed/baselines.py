@@ -1,0 +1,70 @@
+"""Index-free exact baselines for directed networks (ground truth)."""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.directed.network import DirectedRoadNetwork
+from repro.skyline.set_ops import SkylineSet
+from repro.types import CSPQuery, QueryResult, QueryStats
+
+
+def directed_constrained_dijkstra(
+    network: DirectedRoadNetwork, source: int, target: int, budget: float
+) -> QueryResult:
+    """Exact directed CSP via bi-criteria label setting."""
+    query = CSPQuery(source, target, budget).validated(network.num_vertices)
+    stats = QueryStats()
+    if source == target:
+        return QueryResult(query, weight=0, cost=0, stats=stats)
+
+    frontier: list[list[tuple[float, float]]] = [
+        [] for _ in range(network.num_vertices)
+    ]
+
+    def dominated(v, w, c):
+        return any(fw <= w and fc <= c for fw, fc in frontier[v])
+
+    def insert(v, w, c):
+        frontier[v] = [
+            (fw, fc) for fw, fc in frontier[v] if not (w <= fw and c <= fc)
+        ]
+        frontier[v].append((w, c))
+
+    heap: list[tuple[float, float, int]] = [(0, 0, source)]
+    while heap:
+        w, c, v = heapq.heappop(heap)
+        if v == target:
+            return QueryResult(query, weight=w, cost=c, stats=stats)
+        if dominated(v, w, c) and (w, c) not in frontier[v]:
+            continue
+        for head, aw, ac in network.out_neighbors(v):
+            nw, nc = w + aw, c + ac
+            if nc > budget or dominated(head, nw, nc):
+                continue
+            insert(head, nw, nc)
+            stats.concatenations += 1
+            heapq.heappush(heap, (nw, nc, head))
+    return QueryResult(query, stats=stats)
+
+
+def directed_skyline_search(
+    network: DirectedRoadNetwork, source: int
+) -> list[SkylineSet]:
+    """Skyline sets of directed paths from ``source`` to every vertex."""
+    n = network.num_vertices
+    frontiers: list[SkylineSet] = [[] for _ in range(n)]
+    heap: list[tuple[float, float, int]] = [(0, 0, source)]
+    while heap:
+        c, w, v = heapq.heappop(heap)
+        frontier = frontiers[v]
+        if frontier and frontier[-1][0] <= w:
+            continue
+        frontier.append((w, c, None))
+        for head, aw, ac in network.out_neighbors(v):
+            nw, nc = w + aw, c + ac
+            head_frontier = frontiers[head]
+            if head_frontier and head_frontier[-1][0] <= nw:
+                continue
+            heapq.heappush(heap, (nc, nw, head))
+    return frontiers

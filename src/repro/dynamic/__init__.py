@@ -1,0 +1,6 @@
+"""Dynamic maintenance: incremental edge-metric updates for the QHL
+index (fixed topology, changing congestion/tolls)."""
+
+from repro.dynamic.updates import DynamicQHLIndex, UpdateReport
+
+__all__ = ["DynamicQHLIndex", "UpdateReport"]

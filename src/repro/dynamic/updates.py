@@ -1,0 +1,261 @@
+"""Dynamic maintenance: edge-metric updates without a full rebuild.
+
+The paper's related work (§6.1, [34-36]) studies dynamic hub labeling;
+this module brings the capability to the QHL index for the common road-
+network case — *metric* changes (congestion, tolls) on a fixed topology.
+
+Key observation: with the topology fixed, the elimination order, bags
+and tree are all unchanged, and the shortcut sets obey a clean
+order-respecting recurrence::
+
+    S(v, w) = skyline( edges(v, w)
+                       ∪ ⋃ { S(x, v) ⊗ S(x, w) : v, w ∈ X(x) } )
+
+for ``w ∈ X(v)\\{v}`` — every contributor ``x`` is eliminated before
+``v``, so processing vertices in elimination order revalidates each
+shortcut exactly once.  An update therefore:
+
+1. marks the updated edge's pair dirty,
+2. sweeps the elimination order recomputing only pairs with a dirty
+   input (tracked via a prebuilt contributor index),
+3. sweeps the tree top-down recomputing only labels with a dirty input,
+4. rebuilds the pruning conditions from the remembered ``Q_index`` when
+   any label changed (they are the cheap part of the index).
+
+The result is bit-identical to a fresh build with the same elimination
+order — which is what the tests assert.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.engine import QHLIndex, random_index_queries
+from repro.core.pruning import build_pruning_index
+from repro.exceptions import InvalidGraphError
+from repro.graph.network import RoadNetwork
+from repro.skyline.entries import edge_entry
+from repro.skyline.set_ops import SkylineSet, join, merge, skyline_of
+from repro.types import CSPQuery, QueryResult
+
+
+@dataclass
+class UpdateReport:
+    """What one metric update cost."""
+
+    shortcuts_checked: int
+    shortcuts_changed: int
+    labels_checked: int
+    labels_changed: int
+    pruning_rebuilt: bool
+    seconds: float
+
+
+class DynamicQHLIndex:
+    """A QHL index that absorbs edge-metric updates incrementally.
+
+    Construction delegates to :meth:`repro.core.QHLIndex.build`; the
+    wrapper additionally remembers the contributor index and the
+    ``Q_index`` workload so updates can repair the structures in place.
+    """
+
+    def __init__(self, index: QHLIndex, index_queries: list[CSPQuery],
+                 store_paths: bool):
+        self.index = index
+        self._index_queries = index_queries
+        self._store_paths = store_paths
+        self._edges: list[tuple[int, int, float, float]] = list(
+            index.network.edges()
+        )
+        self._contributors = _build_contributor_index(index.tree)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        network: RoadNetwork,
+        index_queries: list[CSPQuery] | None = None,
+        num_index_queries: int = 2000,
+        store_paths: bool = True,
+        seed: int = 0,
+    ) -> "DynamicQHLIndex":
+        if index_queries is None:
+            index_queries = random_index_queries(
+                network, num_index_queries, seed=seed
+            )
+        index = QHLIndex.build(
+            network,
+            index_queries=index_queries,
+            store_paths=store_paths,
+            seed=seed,
+        )
+        return cls(index, list(index_queries), store_paths)
+
+    # ------------------------------------------------------------------
+    def query(self, source, target, budget, want_path=False) -> QueryResult:
+        """Answer a CSP query against the current metrics."""
+        return self.index.query(source, target, budget, want_path=want_path)
+
+    def network_edges(self):
+        """The current edge list (insertion order, updated metrics)."""
+        return list(self._edges)
+
+    # ------------------------------------------------------------------
+    def update_edge(
+        self,
+        edge_index: int,
+        weight: float | None = None,
+        cost: float | None = None,
+    ) -> UpdateReport:
+        """Change the metrics of one edge and repair the index.
+
+        ``edge_index`` follows edge-insertion order (as in
+        :meth:`RoadNetwork.with_metrics`).
+        """
+        started = time.perf_counter()
+        if not 0 <= edge_index < len(self._edges):
+            raise InvalidGraphError(f"edge index {edge_index} out of range")
+        u, v, old_w, old_c = self._edges[edge_index]
+        new_w = old_w if weight is None else weight
+        new_c = old_c if cost is None else cost
+        if new_w <= 0 or new_c <= 0:
+            raise InvalidGraphError("metrics must stay strictly positive")
+        self._edges[edge_index] = (u, v, new_w, new_c)
+
+        # Refresh the stored network object (queries never read it, but
+        # stats and serialisation do).
+        self.index.network = RoadNetwork.from_edges(
+            self.index.network.num_vertices, self._edges
+        )
+
+        report = self._repair(dirty_seed=_ordered(u, v, self.index.tree))
+        report.seconds = time.perf_counter() - started
+        return report
+
+    # ------------------------------------------------------------------
+    def _repair(self, dirty_seed: tuple[int, int]) -> UpdateReport:
+        tree = self.index.tree
+        labels = self.index.labels
+        store_paths = self._store_paths
+
+        # Base edge entries per ordered shortcut pair.
+        base: dict[tuple[int, int], SkylineSet] = {}
+        for a, b, w, c in self._edges:
+            key = _ordered(a, b, tree)
+            entry = edge_entry(w, c, a, b, with_prov=store_paths)
+            base.setdefault(key, []).append(entry)
+
+        dirty_pairs: set[tuple[int, int]] = set()
+        shortcuts_checked = 0
+
+        # Sweep 1: shortcuts in elimination order.
+        for x in tree.order:
+            bag = tree.bag[x]
+            if not bag:
+                continue
+            for w in bag:
+                key = (x, w)
+                needs = key == dirty_seed or any(
+                    (c, x) in dirty_pairs or (c, w) in dirty_pairs
+                    for c in self._contributors.get(key, ())
+                )
+                if not needs:
+                    continue
+                shortcuts_checked += 1
+                rebuilt = skyline_of(base.get(key, []))
+                for c in self._contributors.get(key, ()):
+                    through = join(
+                        tree.shortcuts[c][x], tree.shortcuts[c][w], mid=c
+                    )
+                    rebuilt = merge(rebuilt, through)
+                if _pairs(rebuilt) != _pairs(tree.shortcuts[x][w]):
+                    tree.shortcuts[x][w] = rebuilt
+                    dirty_pairs.add(key)
+                else:
+                    tree.shortcuts[x][w] = rebuilt  # refresh provenance
+
+        # Sweep 2: labels top-down.
+        dirty_labels: set[tuple[int, int]] = set()
+        labels_checked = 0
+        for v in tree.topdown_order:
+            if v == tree.root:
+                continue
+            bag = tree.bag[v]
+            shortcut_dirty = any((v, w) in dirty_pairs for w in bag)
+            for u in tree.ancestors(v):
+                needs = shortcut_dirty or any(
+                    _label_key(w, u, tree) in dirty_labels
+                    for w in bag
+                    if w != u
+                )
+                if not needs:
+                    continue
+                labels_checked += 1
+                acc: SkylineSet = []
+                for w in bag:
+                    s_vw = tree.shortcuts[v][w]
+                    if w == u:
+                        part = s_vw
+                    else:
+                        part = join(s_vw, labels.get(w, u), mid=w)
+                    acc = merge(acc, part) if acc else list(part)
+                if _pairs(acc) != _pairs(labels.get(v, u)):
+                    labels.set(v, u, acc)
+                    dirty_labels.add((v, u))
+                else:
+                    labels.set(v, u, acc)
+
+        # Sweep 3: pruning conditions (cheap; rebuild when labels moved).
+        pruning_rebuilt = False
+        if dirty_labels:
+            self.index.pruning = build_pruning_index(
+                tree, labels, self.index.lca, self._index_queries, seed=0
+            )
+            self.index._default_engine = self.index.qhl_engine()
+            pruning_rebuilt = True
+
+        return UpdateReport(
+            shortcuts_checked=shortcuts_checked,
+            shortcuts_changed=len(dirty_pairs),
+            labels_checked=labels_checked,
+            labels_changed=len(dirty_labels),
+            pruning_rebuilt=pruning_rebuilt,
+            seconds=0.0,
+        )
+
+
+def _ordered(a: int, b: int, tree) -> tuple[int, int]:
+    """Order a pair as (earlier-eliminated, later-eliminated)."""
+    if tree.position[a] < tree.position[b]:
+        return (a, b)
+    return (b, a)
+
+
+def _label_key(w: int, u: int, tree) -> tuple[int, int]:
+    """The (deeper, shallower) key under which P_wu is stored."""
+    if tree.depth[w] >= tree.depth[u]:
+        return (w, u)
+    return (u, w)
+
+
+def _pairs(entries: SkylineSet) -> list[tuple[float, float]]:
+    return [(e[0], e[1]) for e in entries]
+
+
+def _build_contributor_index(tree) -> dict[tuple[int, int], list[int]]:
+    """``contributors[(v, w)]`` = vertices ``x`` with ``v, w ∈ X(x)``.
+
+    Eliminating such an ``x`` folds ``S(x,v) ⊗ S(x,w)`` into
+    ``S(v, w)``; these are exactly the join inputs of the shortcut
+    recurrence.
+    """
+    contributors: dict[tuple[int, int], list[int]] = {}
+    for x in tree.order:
+        bag = tree.bag[x]
+        for i, a in enumerate(bag):
+            for b in bag[i + 1:]:
+                contributors.setdefault(
+                    _ordered(a, b, tree), []
+                ).append(x)
+    return contributors

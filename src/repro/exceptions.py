@@ -1,0 +1,43 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised on purpose by this library derives from
+:class:`ReproError`, so callers can catch one type at the boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class InvalidGraphError(ReproError):
+    """The graph violates a structural requirement.
+
+    Raised for self loops, non-positive metrics, vertex ids out of range,
+    or operations that require a connected graph.
+    """
+
+
+class DisconnectedGraphError(InvalidGraphError):
+    """The operation requires a connected road network."""
+
+
+class IndexBuildError(ReproError):
+    """Index construction failed or was given inconsistent inputs."""
+
+
+class QueryError(ReproError):
+    """A CSP query is malformed (bad vertex ids, non-positive budget)."""
+
+
+class InfeasibleQueryError(QueryError):
+    """No s-t path satisfies the cost budget C.
+
+    The paper's queries are generated with ``C >= d_c(s, t)`` so this never
+    fires on paper workloads, but arbitrary user queries can be infeasible.
+    """
+
+
+class SerializationError(ReproError):
+    """An index file is missing, truncated, or of an unsupported version."""

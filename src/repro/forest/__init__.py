@@ -1,0 +1,6 @@
+"""Forest hop labeling: partitioned QHL indexes with an overlay
+(the paper's §7 future-work direction / [20]'s forest labeling)."""
+
+from repro.forest.index import ForestQHLIndex, Region
+
+__all__ = ["ForestQHLIndex", "Region"]

@@ -1,0 +1,197 @@
+"""Forest hop labeling: the paper's future-work direction (§7).
+
+"One may explore how to divide the network into sub-networks and
+combine the intermediate results since the index costs on the
+sub-networks should be limited."  This is also [20]'s *forest labeling*,
+which the paper's related work notes "sacrifices the query efficiency"
+for a smaller index.
+
+Construction:
+
+1. partition the network into connected regions (BFS growth);
+2. build a **full QHL index per region subgraph** — label cost grows
+   super-linearly with region size, so k regions cost far less than one
+   monolithic index;
+3. summarise each region by the exact skyline sets between its boundary
+   vertices (read straight off the region labels) and assemble the
+   overlay graph (boundary summaries + original cross-region edges).
+
+Queries answer from the region index when both endpoints share a region
+and the optimum stays inside, and otherwise stitch region-label lookups
+to an overlay search — exact either way, by the same maximal-segment
+argument as the COLA engine, but with every intra-region search replaced
+by label lookups.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.baselines.cola import partition_network
+from repro.baselines.overlay import overlay_csp_search
+from repro.core.engine import QHLIndex
+from repro.exceptions import IndexBuildError
+from repro.graph.network import RoadNetwork
+from repro.labeling.derive import skyline_between_via_labels
+from repro.skyline.set_ops import SkylineSet, best_under
+from repro.types import CSPQuery, QueryResult, QueryStats
+
+
+class Region:
+    """One partition: its induced subgraph, QHL index, and id maps."""
+
+    def __init__(self, pid: int, vertices: list[int],
+                 network: RoadNetwork, seed: int,
+                 index_queries_per_region: int):
+        self.pid = pid
+        self.vertices = vertices
+        self.to_local = {g: i for i, g in enumerate(vertices)}
+        members = set(vertices)
+        sub = RoadNetwork(len(vertices))
+        for u, v, w, c in network.edges():
+            if u in members and v in members:
+                sub.add_edge(self.to_local[u], self.to_local[v], w, c)
+        if not sub.is_connected():
+            raise IndexBuildError(
+                f"region {pid} is not connected — BFS partition invariant "
+                "violated"
+            )
+        self.subgraph = sub
+        self.index = QHLIndex.build(
+            sub,
+            # Tiny regions cannot sample (s, t) pairs — and need no
+            # pruning conditions anyway.
+            index_queries=[] if len(vertices) < 2 else None,
+            num_index_queries=index_queries_per_region,
+            store_paths=False,
+            seed=seed + pid,
+        )
+
+    def skyline(self, global_s: int, global_t: int) -> SkylineSet:
+        """Exact skyline between two member vertices, region-internal."""
+        return skyline_between_via_labels(
+            self.index.tree,
+            self.index.labels,
+            self.index.lca,
+            self.to_local[global_s],
+            self.to_local[global_t],
+        )
+
+
+class ForestQHLIndex:
+    """Partitioned QHL: smaller index, slower cross-region queries."""
+
+    name = "Forest-QHL"
+
+    def __init__(self, network: RoadNetwork, num_parts: int = 8,
+                 seed: int = 0, index_queries_per_region: int = 400):
+        started = time.perf_counter()
+        self._network = network
+        part = partition_network(network, num_parts, seed)
+        self._part = part
+
+        groups: dict[int, list[int]] = {}
+        for v, pid in enumerate(part):
+            groups.setdefault(pid, []).append(v)
+        self.regions = {
+            pid: Region(pid, members, network, seed,
+                        index_queries_per_region)
+            for pid, members in sorted(groups.items())
+        }
+
+        # Boundary vertices and the overlay.
+        boundary: set[int] = set()
+        cross_edges = []
+        for u, v, w, c in network.edges():
+            if part[u] != part[v]:
+                boundary.add(u)
+                boundary.add(v)
+                cross_edges.append((u, v, w, c))
+        self._boundary = boundary
+        self._boundary_of: dict[int, list[int]] = {}
+        for v in sorted(boundary):
+            self._boundary_of.setdefault(part[v], []).append(v)
+
+        overlay: dict[int, list[tuple[int, SkylineSet]]] = {
+            v: [] for v in boundary
+        }
+        for pid, members in self._boundary_of.items():
+            region = self.regions[pid]
+            for i, b in enumerate(members):
+                for other in members[i + 1:]:
+                    entries = region.skyline(b, other)
+                    if entries:
+                        overlay[b].append((other, entries))
+                        overlay[other].append((b, entries))
+        for u, v, w, c in cross_edges:
+            overlay[u].append((v, [(w, c, None)]))
+            overlay[v].append((u, [(w, c, None)]))
+        self._overlay = overlay
+        self.build_seconds = time.perf_counter() - started
+
+    # ------------------------------------------------------------------
+    def query(self, source: int, target: int, budget: float) -> QueryResult:
+        """Answer one CSP query exactly."""
+        query = CSPQuery(source, target, budget).validated(
+            self._network.num_vertices
+        )
+        stats = QueryStats()
+        started = time.perf_counter()
+        if source == target:
+            return QueryResult(query, weight=0, cost=0, stats=stats)
+
+        best: tuple[float, float] | None = None
+        ps, pt = self._part[source], self._part[target]
+
+        if ps == pt:
+            entries = self.regions[ps].skyline(source, target)
+            stats.label_lookups += 1
+            found = best_under(entries, budget)
+            if found is not None:
+                best = (found[0], found[1])
+
+        s_links = []
+        for b in self._boundary_of.get(ps, []):
+            entries = (
+                self.regions[ps].skyline(source, b)
+                if b != source
+                else [(0, 0, None)]
+            )
+            stats.label_lookups += 1
+            if entries:
+                s_links.append((b, entries))
+        t_links = {}
+        for b in self._boundary_of.get(pt, []):
+            entries = (
+                self.regions[pt].skyline(b, target)
+                if b != target
+                else [(0, 0, None)]
+            )
+            stats.label_lookups += 1
+            if entries:
+                t_links[b] = entries
+
+        overlay_best = overlay_csp_search(
+            self._overlay, s_links, t_links, budget, stats
+        )
+        if overlay_best is not None and (best is None or overlay_best < best):
+            best = overlay_best
+
+        stats.seconds = time.perf_counter() - started
+        if best is None:
+            return QueryResult(query, stats=stats)
+        return QueryResult(query, weight=best[0], cost=best[1], stats=stats)
+
+    # ------------------------------------------------------------------
+    def size_bytes(self) -> int:
+        """Region labels + pruning conditions + overlay summaries."""
+        total = 0
+        for region in self.regions.values():
+            total += region.index.labels.size_bytes()
+            total += region.index.pruning.size_bytes()
+        total += 16 * sum(
+            len(entries)
+            for edges in self._overlay.values()
+            for _v, entries in edges
+        )
+        return total

@@ -1,0 +1,47 @@
+"""Road-network substrate: graph type, generators, file IO, and classic
+single-criterion algorithms."""
+
+from repro.graph.algorithms import (
+    bfs_hops,
+    connected_components,
+    dijkstra,
+    estimate_diameter,
+    exact_diameter,
+    shortest_distance,
+    shortest_path,
+)
+from repro.graph.generators import (
+    dense_core_network,
+    grid_network,
+    random_connected_network,
+    random_geometric_network,
+    ring_network,
+)
+from repro.graph.io import (
+    read_csp_text,
+    read_dimacs_pair,
+    write_csp_text,
+    write_dimacs_pair,
+)
+from repro.graph.network import Edge, RoadNetwork
+
+__all__ = [
+    "Edge",
+    "RoadNetwork",
+    "bfs_hops",
+    "connected_components",
+    "dijkstra",
+    "estimate_diameter",
+    "exact_diameter",
+    "shortest_distance",
+    "shortest_path",
+    "dense_core_network",
+    "grid_network",
+    "random_connected_network",
+    "random_geometric_network",
+    "ring_network",
+    "read_csp_text",
+    "read_dimacs_pair",
+    "write_csp_text",
+    "write_dimacs_pair",
+]

@@ -1,0 +1,244 @@
+"""Single-criterion graph algorithms used across the package.
+
+These are the classic building blocks the paper's evaluation setup needs:
+Dijkstra over either metric (the query generator bins queries by their
+shortest *cost* distance ``d``), BFS, connectivity, and the double-sweep
+diameter estimate that stands in for the paper's ``d_max`` column in
+Table 1.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Iterable, Literal, Sequence
+
+from repro.exceptions import DisconnectedGraphError, InvalidGraphError
+from repro.graph.network import RoadNetwork
+
+Metric = Literal["weight", "cost"]
+
+INF = float("inf")
+
+
+def _metric_index(metric: Metric) -> int:
+    if metric == "weight":
+        return 1
+    if metric == "cost":
+        return 2
+    raise InvalidGraphError(f"unknown metric {metric!r}; use 'weight' or 'cost'")
+
+
+def dijkstra(
+    network: RoadNetwork,
+    source: int,
+    metric: Metric = "cost",
+    targets: Iterable[int] | None = None,
+) -> list[float]:
+    """Single-source shortest distances over one metric.
+
+    Parameters
+    ----------
+    network:
+        The road network.
+    source:
+        Start vertex.
+    metric:
+        ``"cost"`` (the paper's *distance*, used to bin query sets) or
+        ``"weight"`` (the objective).
+    targets:
+        Optional set of vertices; the search stops early once all of them
+        are settled.
+
+    Returns
+    -------
+    list[float]
+        ``dist[v]`` for every vertex, ``inf`` where unreachable (or not
+        settled before an early stop).
+    """
+    idx = _metric_index(metric)
+    n = network.num_vertices
+    dist = [INF] * n
+    dist[source] = 0.0
+    pending = set(targets) if targets is not None else None
+    if pending is not None:
+        pending.discard(source)
+
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    while heap:
+        d, v = heapq.heappop(heap)
+        if d > dist[v]:
+            continue
+        if pending is not None:
+            pending.discard(v)
+            if not pending:
+                break
+        for entry in network.neighbors(v):
+            nbr = entry[0]
+            nd = d + entry[idx]
+            if nd < dist[nbr]:
+                dist[nbr] = nd
+                heapq.heappush(heap, (nd, nbr))
+    return dist
+
+
+def shortest_distance(
+    network: RoadNetwork, source: int, target: int, metric: Metric = "cost"
+) -> float:
+    """Shortest distance between two vertices over one metric."""
+    return dijkstra(network, source, metric=metric, targets=[target])[target]
+
+
+def shortest_path(
+    network: RoadNetwork, source: int, target: int, metric: Metric = "cost"
+) -> list[int]:
+    """A concrete shortest vertex path over one metric.
+
+    Raises
+    ------
+    DisconnectedGraphError
+        If ``target`` is unreachable from ``source``.
+    """
+    idx = _metric_index(metric)
+    n = network.num_vertices
+    dist = [INF] * n
+    parent = [-1] * n
+    dist[source] = 0.0
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    while heap:
+        d, v = heapq.heappop(heap)
+        if d > dist[v]:
+            continue
+        if v == target:
+            break
+        for entry in network.neighbors(v):
+            nbr = entry[0]
+            nd = d + entry[idx]
+            if nd < dist[nbr]:
+                dist[nbr] = nd
+                parent[nbr] = v
+                heapq.heappush(heap, (nd, nbr))
+    if dist[target] == INF:
+        raise DisconnectedGraphError(
+            f"vertex {target} unreachable from {source}"
+        )
+    path = [target]
+    while path[-1] != source:
+        path.append(parent[path[-1]])
+    path.reverse()
+    return path
+
+
+def bfs_hops(network: RoadNetwork, source: int) -> list[int]:
+    """Hop counts from ``source``; ``-1`` where unreachable."""
+    n = network.num_vertices
+    hops = [-1] * n
+    hops[source] = 0
+    frontier = [source]
+    while frontier:
+        nxt = []
+        for v in frontier:
+            for nbr, _w, _c in network.neighbors(v):
+                if hops[nbr] < 0:
+                    hops[nbr] = hops[v] + 1
+                    nxt.append(nbr)
+        frontier = nxt
+    return hops
+
+
+def connected_components(network: RoadNetwork) -> list[list[int]]:
+    """Connected components as lists of vertex ids."""
+    n = network.num_vertices
+    seen = bytearray(n)
+    components = []
+    for start in range(n):
+        if seen[start]:
+            continue
+        seen[start] = 1
+        stack = [start]
+        comp = [start]
+        while stack:
+            v = stack.pop()
+            for nbr, _w, _c in network.neighbors(v):
+                if not seen[nbr]:
+                    seen[nbr] = 1
+                    comp.append(nbr)
+                    stack.append(nbr)
+        components.append(comp)
+    return components
+
+
+def farthest_vertex(
+    network: RoadNetwork, source: int, metric: Metric = "cost"
+) -> tuple[int, float]:
+    """The reachable vertex farthest from ``source`` and its distance."""
+    dist = dijkstra(network, source, metric=metric)
+    best_v, best_d = source, 0.0
+    for v, d in enumerate(dist):
+        if d != INF and d > best_d:
+            best_v, best_d = v, d
+    return best_v, best_d
+
+
+def estimate_diameter(
+    network: RoadNetwork,
+    metric: Metric = "cost",
+    sweeps: int = 4,
+    seed: int = 0,
+) -> float:
+    """Estimate ``d_max``, the maximum shortest distance (Table 1).
+
+    Uses the classic double-sweep heuristic: start from a few random
+    vertices, repeatedly hop to the farthest vertex found, and keep the
+    largest eccentricity seen.  Exact on trees; a tight lower bound in
+    practice on road-like graphs, which is all the query generator needs.
+
+    Raises
+    ------
+    DisconnectedGraphError
+        If the network is not connected (the diameter would be infinite).
+    """
+    if not network.is_connected():
+        raise DisconnectedGraphError("diameter of a disconnected network")
+    rng = random.Random(seed)
+    n = network.num_vertices
+    best = 0.0
+    start = rng.randrange(n)
+    for _ in range(max(1, sweeps)):
+        far, dist = farthest_vertex(network, start, metric=metric)
+        if dist > best:
+            best = dist
+        start = far
+    return best
+
+
+def eccentricity(
+    network: RoadNetwork, v: int, metric: Metric = "cost"
+) -> float:
+    """Exact eccentricity of ``v`` (max shortest distance to any vertex)."""
+    dist = dijkstra(network, v, metric=metric)
+    finite = [d for d in dist if d != INF]
+    return max(finite)
+
+
+def exact_diameter(network: RoadNetwork, metric: Metric = "cost") -> float:
+    """Exact diameter via all-pairs sweeps; only for small test graphs."""
+    if not network.is_connected():
+        raise DisconnectedGraphError("diameter of a disconnected network")
+    return max(
+        eccentricity(network, v, metric=metric) for v in network.vertices()
+    )
+
+
+def sample_connected_pair(
+    network: RoadNetwork, rng: random.Random
+) -> tuple[int, int]:
+    """Draw a random ``(s, t)`` pair with ``s != t`` in a connected network."""
+    n = network.num_vertices
+    if n < 2:
+        raise InvalidGraphError("need at least two vertices to sample a pair")
+    s = rng.randrange(n)
+    t = rng.randrange(n)
+    while t == s:
+        t = rng.randrange(n)
+    return s, t

@@ -1,0 +1,269 @@
+"""Synthetic road-network generators.
+
+The paper evaluates on DIMACS NY / BAY / COL (264k-436k vertices).  Those
+inputs are not available offline and are far beyond what a pure-Python
+index build can hold, so this module provides scaled-down generators that
+reproduce each network's *qualitative* structure, which is what drives the
+paper's results:
+
+* :func:`grid_network` — "NY-like": a dense grid with occasional diagonal
+  shortcuts.  Many alternative routes ⇒ large skyline sets.
+* :func:`ring_network` — "BAY-like": towns around a bay connected by a
+  coastal ring and a few bridges.  Few alternatives ⇒ small skyline sets.
+* :func:`dense_core_network` — "COL-like": a very dense core (Denver) with
+  sparse corridors radiating outwards.  Skyline sets blow up inside the
+  core, which is what makes CSP-2Hop's Cartesian concatenation collapse.
+* :func:`random_connected_network` / :func:`random_geometric_network` —
+  small random graphs for tests and property checks.
+
+All generators take a ``seed`` and are fully deterministic.  Edge metrics
+are positive integers: the *cost* models road length and the *weight*
+models travel time, correlated with the length but jittered by a speed
+factor (mirroring the DIMACS travel-time/distance pairing the paper uses).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.exceptions import InvalidGraphError
+from repro.graph.network import RoadNetwork
+
+
+def _edge_metrics(rng: random.Random, scale: int = 10) -> tuple[int, int]:
+    """A correlated (weight, cost) pair for one road segment.
+
+    ``cost`` is the segment length; ``weight`` is length times a random
+    speed factor, so the two metrics correlate but routinely disagree on
+    which of two routes is better — the regime in which skyline sets are
+    non-trivial.
+    """
+    cost = rng.randint(max(2, scale // 2), scale + scale // 2)
+    # Speed factors span highways to congested streets; the wide range
+    # keeps skyline sets non-trivial on scaled-down networks, standing in
+    # for the sheer size of the paper's DIMACS inputs (DESIGN.md §3).
+    factor = rng.uniform(0.3, 2.5)
+    weight = max(1, round(cost * factor))
+    return weight, cost
+
+
+def grid_network(
+    rows: int,
+    cols: int,
+    seed: int = 0,
+    diagonal_prob: float = 0.12,
+    scale: int = 10,
+) -> RoadNetwork:
+    """A dense grid with random diagonal shortcuts (NY-like).
+
+    Vertices are laid out row-major; every horizontal/vertical neighbour
+    pair is connected, plus each cell gets a diagonal with probability
+    ``diagonal_prob``.  Grids maximise route diversity, which is what makes
+    New York the paper's large-skyline-set dataset.
+    """
+    if rows < 2 or cols < 2:
+        raise InvalidGraphError("grid needs at least 2x2 vertices")
+    rng = random.Random(seed)
+    network = RoadNetwork(rows * cols)
+
+    def vid(r: int, c: int) -> int:
+        return r * cols + c
+
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                w, cst = _edge_metrics(rng, scale)
+                network.add_edge(vid(r, c), vid(r, c + 1), w, cst)
+            if r + 1 < rows:
+                w, cst = _edge_metrics(rng, scale)
+                network.add_edge(vid(r, c), vid(r + 1, c), w, cst)
+            if r + 1 < rows and c + 1 < cols and rng.random() < diagonal_prob:
+                w, cst = _edge_metrics(rng, scale + scale // 2)
+                if rng.random() < 0.5:
+                    network.add_edge(vid(r, c), vid(r + 1, c + 1), w, cst)
+                else:
+                    network.add_edge(vid(r, c + 1), vid(r + 1, c), w, cst)
+    return network
+
+
+def ring_network(
+    num_towns: int = 12,
+    town_rows: int = 4,
+    town_cols: int = 4,
+    num_bridges: int = 3,
+    seed: int = 0,
+    scale: int = 10,
+) -> RoadNetwork:
+    """Towns around a bay, joined by a coastal ring and a few bridges
+    (BAY-like).
+
+    Each town is a small grid; consecutive towns are linked by a long
+    coastal road and ``num_bridges`` random town pairs get a direct bridge.
+    Routes between far towns are funnelled through the ring, so skyline
+    sets stay small — the reason the paper's BAY numbers track NY's despite
+    BAY being bigger.
+    """
+    if num_towns < 3:
+        raise InvalidGraphError("a ring needs at least three towns")
+    rng = random.Random(seed)
+    town_size = town_rows * town_cols
+    network = RoadNetwork(num_towns * town_size)
+
+    def vid(town: int, r: int, c: int) -> int:
+        return town * town_size + r * town_cols + c
+
+    # Local streets inside each town.
+    for town in range(num_towns):
+        for r in range(town_rows):
+            for c in range(town_cols):
+                if c + 1 < town_cols:
+                    w, cst = _edge_metrics(rng, scale)
+                    network.add_edge(vid(town, r, c), vid(town, r, c + 1), w, cst)
+                if r + 1 < town_rows:
+                    w, cst = _edge_metrics(rng, scale)
+                    network.add_edge(vid(town, r, c), vid(town, r + 1, c), w, cst)
+
+    def gateway(town: int) -> int:
+        return vid(
+            town, rng.randrange(town_rows), rng.randrange(town_cols)
+        )
+
+    # Coastal ring: long fast roads between consecutive towns.
+    for town in range(num_towns):
+        nxt = (town + 1) % num_towns
+        length = rng.randint(scale * 4, scale * 8)
+        weight = max(1, round(length * rng.uniform(0.4, 0.9)))
+        network.add_edge(gateway(town), gateway(nxt), weight, length)
+
+    # A few bridges across the bay.
+    for _ in range(num_bridges):
+        a = rng.randrange(num_towns)
+        b = (a + num_towns // 2 + rng.randint(-1, 1)) % num_towns
+        if a == b:
+            continue
+        length = rng.randint(scale * 3, scale * 6)
+        weight = max(1, round(length * rng.uniform(0.5, 1.2)))
+        network.add_edge(gateway(a), gateway(b), weight, length)
+    return network
+
+
+def dense_core_network(
+    core_rows: int = 14,
+    core_cols: int = 14,
+    num_corridors: int = 8,
+    corridor_length: int = 18,
+    seed: int = 0,
+    scale: int = 10,
+) -> RoadNetwork:
+    """A very dense core with sparse corridors radiating outwards
+    (COL-like).
+
+    The core is a grid with a high diagonal density (Denver); corridors are
+    paths of vertices hanging off random core vertices (mountain roads).
+    Long queries must cross the dense core, producing the very large
+    skyline sets behind the paper's COL blow-up for CSP-2Hop.
+    """
+    rng = random.Random(seed)
+    core = core_rows * core_cols
+    total = core + num_corridors * corridor_length
+    network = RoadNetwork(total)
+
+    def vid(r: int, c: int) -> int:
+        return r * core_cols + c
+
+    for r in range(core_rows):
+        for c in range(core_cols):
+            if c + 1 < core_cols:
+                w, cst = _edge_metrics(rng, scale)
+                network.add_edge(vid(r, c), vid(r, c + 1), w, cst)
+            if r + 1 < core_rows:
+                w, cst = _edge_metrics(rng, scale)
+                network.add_edge(vid(r, c), vid(r + 1, c), w, cst)
+            # High diagonal density is what differentiates the core.
+            if r + 1 < core_rows and c + 1 < core_cols and rng.random() < 0.35:
+                w, cst = _edge_metrics(rng, scale + scale // 2)
+                network.add_edge(vid(r, c), vid(r + 1, c + 1), w, cst)
+
+    nxt = core
+    for _ in range(num_corridors):
+        anchor = rng.randrange(core)
+        prev = anchor
+        for _ in range(corridor_length):
+            length = rng.randint(scale, scale * 3)
+            weight = max(1, round(length * rng.uniform(0.8, 1.5)))
+            network.add_edge(prev, nxt, weight, length)
+            prev = nxt
+            nxt += 1
+    return network
+
+
+def random_connected_network(
+    num_vertices: int,
+    extra_edges: int,
+    seed: int = 0,
+    scale: int = 10,
+) -> RoadNetwork:
+    """A random tree plus ``extra_edges`` random chords.
+
+    The workhorse for unit and property tests: small, connected by
+    construction, and parameterised enough to hit edge cases (trees,
+    near-cliques).
+    """
+    if num_vertices < 1:
+        raise InvalidGraphError("need at least one vertex")
+    rng = random.Random(seed)
+    network = RoadNetwork(num_vertices)
+    for v in range(1, num_vertices):
+        parent = rng.randrange(v)
+        w, c = _edge_metrics(rng, scale)
+        network.add_edge(parent, v, w, c)
+    added = 0
+    attempts = 0
+    while added < extra_edges and attempts < extra_edges * 20 + 20:
+        attempts += 1
+        u = rng.randrange(num_vertices)
+        v = rng.randrange(num_vertices)
+        if u == v or network.has_edge(u, v):
+            continue
+        w, c = _edge_metrics(rng, scale)
+        network.add_edge(u, v, w, c)
+        added += 1
+    return network
+
+
+def random_geometric_network(
+    num_vertices: int,
+    radius: float = 0.18,
+    seed: int = 0,
+    scale: int = 20,
+) -> RoadNetwork:
+    """Random points in the unit square, connected within ``radius``.
+
+    Geometric graphs are the standard road-network surrogate: edge length
+    (cost) is the Euclidean distance scaled to an integer, travel time adds
+    a speed jitter.  A spanning chain over the points sorted by x is added
+    first so the network is always connected.
+    """
+    if num_vertices < 2:
+        raise InvalidGraphError("need at least two vertices")
+    rng = random.Random(seed)
+    points = [(rng.random(), rng.random()) for _ in range(num_vertices)]
+    order = sorted(range(num_vertices), key=lambda i: points[i])
+    network = RoadNetwork(num_vertices)
+
+    def dist(i: int, j: int) -> float:
+        (x1, y1), (x2, y2) = points[i], points[j]
+        return ((x1 - x2) ** 2 + (y1 - y2) ** 2) ** 0.5
+
+    def add(i: int, j: int) -> None:
+        length = max(1, round(dist(i, j) * scale * 5))
+        weight = max(1, round(length * rng.uniform(0.7, 1.6)))
+        network.add_edge(i, j, weight, length)
+
+    for a, b in zip(order, order[1:]):
+        add(a, b)
+    for i in range(num_vertices):
+        for j in range(i + 1, num_vertices):
+            if dist(i, j) <= radius and not network.has_edge(i, j):
+                add(i, j)
+    return network

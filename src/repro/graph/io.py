@@ -1,0 +1,184 @@
+"""Road-network file formats.
+
+Two formats are supported:
+
+* **DIMACS** ``.gr`` — the 9th DIMACS Implementation Challenge format the
+  paper's datasets ship in.  Each file carries one metric, so a network is
+  a *pair* of files (travel time ``w`` + distance ``c``) over the same arc
+  list; see :func:`read_dimacs_pair` / :func:`write_dimacs_pair`.
+* **CSP text** — a single-file convenience format used by this repo's CLI:
+  a ``csp <n> <m>`` header followed by ``e u v w c`` lines (0-indexed).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, TextIO
+
+from repro.exceptions import InvalidGraphError
+from repro.graph.network import RoadNetwork
+
+
+# ----------------------------------------------------------------------
+# DIMACS .gr pairs
+# ----------------------------------------------------------------------
+def _parse_dimacs(stream: TextIO) -> tuple[int, list[tuple[int, int, float]]]:
+    """Parse one DIMACS .gr stream into ``(n, [(u, v, value)])`` (0-indexed)."""
+    n = -1
+    arcs: list[tuple[int, int, float]] = []
+    for lineno, raw in enumerate(stream, start=1):
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        parts = line.split()
+        if parts[0] == "p":
+            if len(parts) != 4 or parts[1] != "sp":
+                raise InvalidGraphError(
+                    f"line {lineno}: malformed problem line {line!r}"
+                )
+            n = int(parts[2])
+        elif parts[0] == "a":
+            if len(parts) != 4:
+                raise InvalidGraphError(
+                    f"line {lineno}: malformed arc line {line!r}"
+                )
+            u, v = int(parts[1]) - 1, int(parts[2]) - 1
+            arcs.append((u, v, float(parts[3])))
+        else:
+            raise InvalidGraphError(
+                f"line {lineno}: unknown record type {parts[0]!r}"
+            )
+    if n < 0:
+        raise InvalidGraphError("missing 'p sp' problem line")
+    return n, arcs
+
+
+def read_dimacs_pair(weight_path: str, cost_path: str) -> RoadNetwork:
+    """Read an undirected network from a DIMACS (weight, cost) file pair.
+
+    DIMACS road networks list each undirected edge as two opposite arcs;
+    duplicate ``(u, v)`` / ``(v, u)`` arcs with identical metrics collapse
+    into one undirected edge.  The two files must describe the same arcs.
+    """
+    with open(weight_path) as f:
+        n_w, arcs_w = _parse_dimacs(f)
+    with open(cost_path) as f:
+        n_c, arcs_c = _parse_dimacs(f)
+    if n_w != n_c or len(arcs_w) != len(arcs_c):
+        raise InvalidGraphError(
+            "weight and cost files disagree on network shape: "
+            f"{n_w} vs {n_c} vertices, {len(arcs_w)} vs {len(arcs_c)} arcs"
+        )
+    network = RoadNetwork(n_w)
+    seen: set[tuple[int, int, float, float]] = set()
+    for (u, v, w), (u2, v2, c) in zip(arcs_w, arcs_c):
+        if (u, v) != (u2, v2):
+            raise InvalidGraphError(
+                f"arc mismatch between files: ({u},{v}) vs ({u2},{v2})"
+            )
+        key = (min(u, v), max(u, v), w, c)
+        if key in seen:
+            continue
+        seen.add(key)
+        network.add_edge(u, v, w, c)
+    return network
+
+
+def write_dimacs_pair(
+    network: RoadNetwork, weight_path: str, cost_path: str
+) -> None:
+    """Write a network as a DIMACS (weight, cost) file pair.
+
+    Each undirected edge is emitted as two opposite arcs, as the DIMACS
+    road networks do.
+    """
+
+    def emit(path: str, metric_index: int, name: str) -> None:
+        with open(path, "w") as f:
+            f.write(f"c {name} metric written by repro\n")
+            f.write(f"p sp {network.num_vertices} {2 * network.num_edges}\n")
+            for u, v, w, c in network.edges():
+                value = (w, c)[metric_index]
+                text = _format_number(value)
+                f.write(f"a {u + 1} {v + 1} {text}\n")
+                f.write(f"a {v + 1} {u + 1} {text}\n")
+
+    emit(weight_path, 0, "weight")
+    emit(cost_path, 1, "cost")
+
+
+# ----------------------------------------------------------------------
+# Single-file CSP text format
+# ----------------------------------------------------------------------
+def read_csp_text(path: str) -> RoadNetwork:
+    """Read a network from the single-file ``csp`` text format."""
+    with open(path) as f:
+        return _parse_csp_text(f)
+
+
+def _parse_csp_text(stream: TextIO) -> RoadNetwork:
+    network: RoadNetwork | None = None
+    declared_edges = 0
+    for lineno, raw in enumerate(stream, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if parts[0] == "csp":
+            if len(parts) != 3:
+                raise InvalidGraphError(
+                    f"line {lineno}: malformed header {line!r}"
+                )
+            network = RoadNetwork(int(parts[1]))
+            declared_edges = int(parts[2])
+        elif parts[0] == "e":
+            if network is None:
+                raise InvalidGraphError(
+                    f"line {lineno}: edge before 'csp' header"
+                )
+            if len(parts) != 5:
+                raise InvalidGraphError(
+                    f"line {lineno}: malformed edge line {line!r}"
+                )
+            u, v = int(parts[1]), int(parts[2])
+            network.add_edge(u, v, _parse_number(parts[3]), _parse_number(parts[4]))
+        else:
+            raise InvalidGraphError(
+                f"line {lineno}: unknown record type {parts[0]!r}"
+            )
+    if network is None:
+        raise InvalidGraphError("missing 'csp' header line")
+    if network.num_edges != declared_edges:
+        raise InvalidGraphError(
+            f"header declares {declared_edges} edges, file has "
+            f"{network.num_edges}"
+        )
+    return network
+
+
+def write_csp_text(network: RoadNetwork, path: str) -> None:
+    """Write a network in the single-file ``csp`` text format."""
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as f:
+        f.write("# repro CSP network: e u v weight cost (0-indexed)\n")
+        f.write(f"csp {network.num_vertices} {network.num_edges}\n")
+        for u, v, w, c in network.edges():
+            f.write(f"e {u} {v} {_format_number(w)} {_format_number(c)}\n")
+
+
+def _format_number(x: float) -> str:
+    """Render ints without a trailing '.0' so files round-trip exactly."""
+    if isinstance(x, int):
+        return str(x)
+    if isinstance(x, float) and x.is_integer():
+        return str(int(x))
+    return repr(x)
+
+
+def _parse_number(text: str) -> float:
+    value = float(text)
+    if value.is_integer():
+        return int(value)
+    return value

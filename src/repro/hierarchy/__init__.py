@@ -1,0 +1,22 @@
+"""Tree decomposition of road networks: construction (Algorithm 1 with
+skyline shortcuts), the tree structure, LCA, and structural validation."""
+
+from repro.hierarchy.decomposition import build_tree_decomposition
+from repro.hierarchy.lca import LCAIndex
+from repro.hierarchy.tree import TreeDecomposition
+from repro.hierarchy.validation import (
+    is_separator,
+    validate_definition7,
+    validate_property1,
+    validate_property2,
+)
+
+__all__ = [
+    "LCAIndex",
+    "TreeDecomposition",
+    "build_tree_decomposition",
+    "is_separator",
+    "validate_definition7",
+    "validate_property1",
+    "validate_property2",
+]

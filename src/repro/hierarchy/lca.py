@@ -1,0 +1,78 @@
+"""Constant-time LCA on the tree decomposition.
+
+Classic Euler tour + sparse table over depths (Bender & Farach-Colton,
+cited by the paper as [2]): ``O(n log n)`` preprocessing, ``O(1)`` per
+query.  Every QHL/CSP-2Hop query starts with one LCA lookup.
+"""
+
+from __future__ import annotations
+
+from repro.hierarchy.tree import TreeDecomposition
+
+
+class LCAIndex:
+    """Lowest-common-ancestor index over a tree decomposition."""
+
+    def __init__(self, tree: TreeDecomposition):
+        self._tree = tree
+        n = tree.num_vertices
+
+        # Euler tour (iterative: road hierarchies are deep).
+        tour: list[int] = []
+        tour_depth: list[int] = []
+        first = [-1] * n
+        stack: list[tuple[int, int]] = [(tree.root, 0)]
+        while stack:
+            v, child_idx = stack.pop()
+            if child_idx == 0:
+                first[v] = len(tour)
+            tour.append(v)
+            tour_depth.append(tree.depth[v])
+            children = tree.children[v]
+            if child_idx < len(children):
+                stack.append((v, child_idx + 1))
+                stack.append((children[child_idx], 0))
+        self._first = first
+        self._tour = tour
+
+        # Sparse table of argmin-depth positions over the tour.
+        m = len(tour)
+        log = [0] * (m + 1)
+        for i in range(2, m + 1):
+            log[i] = log[i // 2] + 1
+        self._log = log
+        table = [list(range(m))]
+        k = 1
+        while (1 << k) <= m:
+            prev = table[k - 1]
+            width = 1 << (k - 1)
+            row = [
+                prev[i]
+                if tour_depth[prev[i]] <= tour_depth[prev[i + width]]
+                else prev[i + width]
+                for i in range(m - (1 << k) + 1)
+            ]
+            table.append(row)
+            k += 1
+        self._table = table
+        self._tour_depth = tour_depth
+
+    def query(self, u: int, v: int) -> int:
+        """The vertex ``l`` with ``X(l)`` the LCA of ``X(u)`` and ``X(v)``."""
+        lo, hi = self._first[u], self._first[v]
+        if lo > hi:
+            lo, hi = hi, lo
+        k = self._log[hi - lo + 1]
+        left = self._table[k][lo]
+        right = self._table[k][hi - (1 << k) + 1]
+        best = left if self._tour_depth[left] <= self._tour_depth[right] else right
+        return self._tour[best]
+
+    def relation(self, u: int, v: int) -> tuple[int, bool, bool]:
+        """``(lca, u_is_ancestor_or_self, v_is_ancestor_or_self)``.
+
+        The two flags encode the ancestor-descendant fast path of
+        Algorithms 2 and 3 (lines 2-5).
+        """
+        lca = self.query(u, v)
+        return lca, lca == u, lca == v

@@ -1,0 +1,167 @@
+"""The tree decomposition structure (paper Definition 7).
+
+A :class:`TreeDecomposition` is the output of Algorithm 1: one tree node
+``X(v)`` per vertex ``v``, holding ``v`` plus its neighbours at elimination
+time, with the parent of ``X(v)`` being ``X(u)`` for the earliest-eliminated
+``u ∈ X(v)\\{v}``.  The object also retains the *shortcut* skyline sets
+``S(v, w)`` created during elimination, which the label builder consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.exceptions import IndexBuildError
+from repro.skyline.set_ops import SkylineSet
+
+
+class TreeDecomposition:
+    """Tree decomposition of a road network with skyline shortcuts.
+
+    Attributes
+    ----------
+    num_vertices:
+        ``|V|`` of the underlying network.
+    order:
+        Elimination order; ``order[i]`` is the i-th eliminated vertex.
+    position:
+        Inverse of ``order``: ``position[v]`` is when ``v`` was eliminated.
+        Higher position = higher in the hierarchy.
+    bag:
+        ``bag[v] = X(v)\\{v}`` — the neighbours of ``v`` at elimination
+        time, sorted by elimination position (nearest ancestor first).
+    shortcuts:
+        ``shortcuts[v][w]`` for ``w ∈ bag[v]`` — the skyline set over v-w
+        paths whose interior vertices were eliminated before ``v``.
+    parent:
+        ``parent[v]`` is the vertex ``u`` with ``X(u)`` the tree parent of
+        ``X(v)``; ``-1`` for the root.
+    root:
+        The root vertex (the last vertex eliminated).
+    """
+
+    def __init__(
+        self,
+        num_vertices: int,
+        order: Sequence[int],
+        bag: Mapping[int, tuple[int, ...]],
+        shortcuts: Mapping[int, Mapping[int, SkylineSet]],
+        build_seconds: float = 0.0,
+    ):
+        if len(order) != num_vertices:
+            raise IndexBuildError(
+                f"elimination order covers {len(order)} of "
+                f"{num_vertices} vertices"
+            )
+        self.num_vertices = num_vertices
+        self.order = list(order)
+        self.position = [0] * num_vertices
+        for pos, v in enumerate(self.order):
+            self.position[v] = pos
+        self.bag = {v: tuple(bag[v]) for v in range(num_vertices)}
+        self.shortcuts = shortcuts
+        self.build_seconds = build_seconds
+
+        self.parent = [-1] * num_vertices
+        roots = []
+        for v in range(num_vertices):
+            nbrs = self.bag[v]
+            if nbrs:
+                # Parent = earliest-eliminated member of X(v)\{v}
+                # (Algorithm 1, lines 7-9).
+                self.parent[v] = min(nbrs, key=lambda u: self.position[u])
+            else:
+                roots.append(v)
+        if len(roots) != 1:
+            raise IndexBuildError(
+                f"expected exactly one root, found {len(roots)} "
+                "(is the network connected?)"
+            )
+        self.root = roots[0]
+
+        self.children: list[list[int]] = [[] for _ in range(num_vertices)]
+        for v in range(num_vertices):
+            if self.parent[v] >= 0:
+                self.children[self.parent[v]].append(v)
+
+        # Depths via an explicit stack (road hierarchies can be deep).
+        self.depth = [0] * num_vertices
+        stack = [self.root]
+        topdown = []
+        while stack:
+            v = stack.pop()
+            topdown.append(v)
+            for child in self.children[v]:
+                self.depth[child] = self.depth[v] + 1
+                stack.append(child)
+        if len(topdown) != num_vertices:
+            raise IndexBuildError("tree decomposition is not connected")
+        self.topdown_order = topdown
+
+    # ------------------------------------------------------------------
+    # Queries on the tree
+    # ------------------------------------------------------------------
+    def bag_with_self(self, v: int) -> tuple[int, ...]:
+        """``X(v)`` including ``v`` itself."""
+        return (v,) + self.bag[v]
+
+    def ancestors(self, v: int) -> list[int]:
+        """Ancestor vertices of ``X(v)``, nearest (parent) first."""
+        result = []
+        u = self.parent[v]
+        while u >= 0:
+            result.append(u)
+            u = self.parent[u]
+        return result
+
+    def is_ancestor(self, a: int, b: int) -> bool:
+        """Whether ``X(a)`` is a (strict) ancestor of ``X(b)``.
+
+        Walks the parent chain; for bulk use prefer depth comparison with
+        the LCA index.
+        """
+        u = self.parent[b]
+        while u >= 0:
+            if u == a:
+                return True
+            u = self.parent[u]
+        return False
+
+    def child_towards(self, ancestor: int, descendant: int) -> int:
+        """The child of ``X(ancestor)`` on the branch containing
+        ``X(descendant)`` (the paper's ``X(c_s)`` / ``X(c_t)``).
+
+        ``descendant`` must be a strict descendant of ``ancestor``.
+        """
+        v = descendant
+        while self.parent[v] != ancestor:
+            v = self.parent[v]
+            if v < 0:
+                raise IndexBuildError(
+                    f"{descendant} is not a descendant of {ancestor}"
+                )
+        return v
+
+    # ------------------------------------------------------------------
+    # Statistics (paper Table 2)
+    # ------------------------------------------------------------------
+    @property
+    def treewidth(self) -> int:
+        """``ω = max_v |X(v)|`` (bag including the vertex itself)."""
+        return max(len(self.bag[v]) + 1 for v in range(self.num_vertices))
+
+    @property
+    def treeheight(self) -> int:
+        """``η`` — the maximum node depth, counting the root as 1."""
+        return max(self.depth) + 1
+
+    @property
+    def average_height(self) -> float:
+        """Average node depth (paper Table 2's "Avg. η")."""
+        return sum(d + 1 for d in self.depth) / self.num_vertices
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"TreeDecomposition(|V|={self.num_vertices}, "
+            f"width={self.treewidth}, height={self.treeheight})"
+        )

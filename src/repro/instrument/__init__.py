@@ -1,0 +1,13 @@
+"""Instrumentation: workload harness and timing helpers."""
+
+from repro.instrument.harness import QueryEngine, WorkloadReport, run_workload
+from repro.instrument.timing import Timer, format_bytes, format_seconds
+
+__all__ = [
+    "QueryEngine",
+    "Timer",
+    "WorkloadReport",
+    "format_bytes",
+    "format_seconds",
+    "run_workload",
+]

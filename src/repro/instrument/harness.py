@@ -1,0 +1,104 @@
+"""Workload measurement harness.
+
+Runs a query engine over a query set and aggregates exactly the numbers
+the paper plots: average query time (Figures 6 and 9), average hoplinks
+(Figure 7 left), and average path concatenations (Figures 7 right, 8).
+Every benchmark in ``benchmarks/`` reports through this module so the
+printed rows are uniform.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, Protocol
+
+from repro.types import CSPQuery, QueryResult
+
+
+class QueryEngine(Protocol):
+    """Anything with ``query(s, t, C) -> QueryResult`` and a ``name``."""
+
+    name: str
+
+    def query(
+        self, source: int, target: int, budget: float
+    ) -> QueryResult: ...
+
+
+@dataclass
+class WorkloadReport:
+    """Aggregated measurements of one engine over one query set."""
+
+    engine: str
+    workload: str
+    num_queries: int
+    total_seconds: float
+    avg_hoplinks: float
+    avg_concatenations: float
+    avg_label_lookups: float
+    feasible: int
+
+    @property
+    def avg_ms(self) -> float:
+        """Mean per-query wall-clock in milliseconds."""
+        return self.total_seconds / self.num_queries * 1e3 if (
+            self.num_queries
+        ) else 0.0
+
+    @property
+    def avg_us(self) -> float:
+        """Mean per-query wall-clock in microseconds."""
+        return self.avg_ms * 1e3
+
+    def row(self) -> str:
+        """One formatted table row (used by the bench printers)."""
+        return (
+            f"{self.workload:>8}  {self.engine:>10}  "
+            f"{self.avg_ms:>10.3f} ms  "
+            f"{self.avg_hoplinks:>9.1f}  {self.avg_concatenations:>12.1f}  "
+            f"{self.feasible:>5d}/{self.num_queries}"
+        )
+
+    @staticmethod
+    def header() -> str:
+        """The column header matching :meth:`row`."""
+        return (
+            f"{'workload':>8}  {'engine':>10}  {'avg time':>13}  "
+            f"{'hoplinks':>9}  {'concats':>12}  {'feas':>5}"
+        )
+
+
+def run_workload(
+    engine: QueryEngine,
+    queries: Iterable[CSPQuery],
+    workload_name: str = "",
+) -> WorkloadReport:
+    """Run every query through the engine and aggregate the statistics."""
+    total = 0.0
+    hoplinks = 0
+    concatenations = 0
+    lookups = 0
+    feasible = 0
+    count = 0
+    for query in queries:
+        started = time.perf_counter()
+        result = engine.query(query.source, query.target, query.budget)
+        total += time.perf_counter() - started
+        count += 1
+        hoplinks += result.stats.hoplinks
+        concatenations += result.stats.concatenations
+        lookups += result.stats.label_lookups
+        if result.feasible:
+            feasible += 1
+    divisor = max(1, count)
+    return WorkloadReport(
+        engine=engine.name,
+        workload=workload_name,
+        num_queries=count,
+        total_seconds=total,
+        avg_hoplinks=hoplinks / divisor,
+        avg_concatenations=concatenations / divisor,
+        avg_label_lookups=lookups / divisor,
+        feasible=feasible,
+    )

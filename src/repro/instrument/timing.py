@@ -1,0 +1,44 @@
+"""Small timing utilities shared by benches and the CLI."""
+
+from __future__ import annotations
+
+import time
+
+
+class Timer:
+    """Context manager measuring wall-clock seconds.
+
+    >>> with Timer() as timer:
+    ...     _ = sum(range(1000))
+    >>> timer.seconds >= 0
+    True
+    """
+
+    def __init__(self):
+        self.seconds = 0.0
+        self._started = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.seconds = time.perf_counter() - self._started
+
+
+def format_bytes(size: float) -> str:
+    """Human-readable byte count (``1536`` → ``'1.5 KB'``)."""
+    for unit in ("B", "KB", "MB", "GB"):
+        if size < 1024 or unit == "GB":
+            return f"{size:.1f} {unit}" if unit != "B" else f"{int(size)} B"
+        size /= 1024
+    raise AssertionError("unreachable")
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-readable duration (``0.0042`` → ``'4.2 ms'``)."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1:
+        return f"{seconds * 1e3:.1f} ms"
+    return f"{seconds:.2f} s"

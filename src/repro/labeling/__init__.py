@@ -1,0 +1,7 @@
+"""2-hop skyline labels: the CSP-2Hop index shared by the baseline and by
+QHL."""
+
+from repro.labeling.builder import build_labels
+from repro.labeling.labels import LabelStore
+
+__all__ = ["LabelStore", "build_labels"]

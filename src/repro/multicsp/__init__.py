@@ -1,0 +1,24 @@
+"""Multi-constraint CSP extension: 2-hop Pareto labels over one weight
+and k constrained cost metrics."""
+
+from repro.multicsp.engine import (
+    MultiCSPEngine,
+    MultiCSPIndex,
+    multi_dijkstra_reference,
+)
+from repro.multicsp.index import (
+    MultiLabelStore,
+    build_multi_labels,
+    build_multi_tree,
+)
+from repro.multicsp.network import MultiMetricNetwork
+
+__all__ = [
+    "MultiCSPEngine",
+    "MultiCSPIndex",
+    "MultiLabelStore",
+    "MultiMetricNetwork",
+    "build_multi_labels",
+    "build_multi_tree",
+    "multi_dijkstra_reference",
+]

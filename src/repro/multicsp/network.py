@@ -1,0 +1,131 @@
+"""Multi-metric road networks: one weight, ``k >= 1`` constrained costs.
+
+Supports the paper's multi-constraint CSP setting (§1: "multiple
+constraints"; §6.2: CSP-2Hop "can also handle the case where multiple
+constraints are imposed on the shortest path").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.exceptions import InvalidGraphError
+from repro.graph.network import RoadNetwork
+
+MultiEdge = tuple[int, int, float, tuple[float, ...]]
+"""``(u, v, weight, costs)`` with ``costs`` a tuple of k metrics."""
+
+
+class MultiMetricNetwork:
+    """An undirected graph whose edges carry (weight, cost-vector)."""
+
+    __slots__ = ("_n", "_k", "_adj", "_edges")
+
+    def __init__(self, num_vertices: int, num_costs: int):
+        if num_vertices <= 0:
+            raise InvalidGraphError("need at least one vertex")
+        if num_costs < 1:
+            raise InvalidGraphError("need at least one cost metric")
+        self._n = num_vertices
+        self._k = num_costs
+        self._adj: list[list[tuple[int, float, tuple[float, ...]]]] = [
+            [] for _ in range(num_vertices)
+        ]
+        self._edges: list[MultiEdge] = []
+
+    # ------------------------------------------------------------------
+    def add_edge(
+        self, u: int, v: int, weight: float, costs: Sequence[float]
+    ) -> None:
+        for x in (u, v):
+            if not 0 <= x < self._n:
+                raise InvalidGraphError(f"vertex {x} out of range")
+        if u == v:
+            raise InvalidGraphError(f"self loop at {u}")
+        costs = tuple(costs)
+        if len(costs) != self._k:
+            raise InvalidGraphError(
+                f"expected {self._k} costs, got {len(costs)}"
+            )
+        if weight <= 0 or any(c <= 0 for c in costs):
+            raise InvalidGraphError("metrics must be strictly positive")
+        self._adj[u].append((v, weight, costs))
+        self._adj[v].append((u, weight, costs))
+        self._edges.append((u, v, weight, costs))
+
+    @classmethod
+    def from_network(
+        cls,
+        network: RoadNetwork,
+        extra_costs: Sequence[Sequence[float]] = (),
+    ) -> "MultiMetricNetwork":
+        """Lift a 2-metric network; ``extra_costs[j][i]`` is the j-th
+        additional cost of the i-th edge (insertion order)."""
+        for extra in extra_costs:
+            if len(extra) != network.num_edges:
+                raise InvalidGraphError(
+                    "extra cost array length must match the edge count"
+                )
+        multi = cls(network.num_vertices, 1 + len(extra_costs))
+        for idx, (u, v, w, c) in enumerate(network.edges()):
+            costs = (c,) + tuple(extra[idx] for extra in extra_costs)
+            multi.add_edge(u, v, w, costs)
+        return multi
+
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return self._n
+
+    @property
+    def num_costs(self) -> int:
+        return self._k
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def edges(self) -> Iterable[MultiEdge]:
+        return iter(self._edges)
+
+    def neighbors(self, v: int):
+        return self._adj[v]
+
+    def underlying_network(self) -> RoadNetwork:
+        """The (weight, first-cost) projection, for structure reuse."""
+        network = RoadNetwork(self._n)
+        for u, v, w, costs in self._edges:
+            network.add_edge(u, v, w, costs[0])
+        return network
+
+    def is_connected(self) -> bool:
+        seen = bytearray(self._n)
+        stack = [0]
+        seen[0] = 1
+        count = 1
+        while stack:
+            v = stack.pop()
+            for nbr, _w, _c in self._adj[v]:
+                if not seen[nbr]:
+                    seen[nbr] = 1
+                    count += 1
+                    stack.append(nbr)
+        return count == self._n
+
+    def path_metrics(
+        self, path: Sequence[int]
+    ) -> tuple[float, tuple[float, ...]]:
+        """``(w, costs)`` of a concrete vertex path."""
+        total_w = 0.0
+        total_c = [0.0] * self._k
+        for u, v in zip(path, path[1:]):
+            options = [
+                (w, costs) for nbr, w, costs in self._adj[u] if nbr == v
+            ]
+            if not options:
+                raise InvalidGraphError(f"({u}, {v}) is not an edge")
+            w, costs = min(options)
+            total_w += w
+            for i, c in enumerate(costs):
+                total_c[i] += c
+        return total_w, tuple(total_c)

@@ -1,0 +1,118 @@
+"""Skyline entries and concrete-path provenance.
+
+A *skyline entry* represents one non-dominated path as a plain tuple
+``(weight, cost, provenance)``.  Plain tuples keep the inner loops of the
+index build and of Algorithm 5 as cheap as pure Python allows.
+
+The paper stores only weight-cost pairs in the labels "for efficiency" and
+defers path retrieval to the CSP-2Hop paper.  We implement retrieval with
+*provenance*: every entry optionally remembers how it was formed —
+
+* ``("edge", u, v)`` — a single edge between ``u`` and ``v``;
+* ``("zero", v)`` — the empty path at ``v``;
+* ``("join", mid, left, right)`` — the concatenation at vertex ``mid`` of
+  two child entries.
+
+Provenance references child entries *by object*, so expansion is a simple
+recursion that survives skyline-set re-sorting.  Because the network is
+undirected, a set built for the pair ``(a, b)`` may be looked up as
+``(b, a)``; expansion therefore orients each recursive segment by the
+junction vertex rather than trusting build order.  Building without
+provenance (``prov=None``) halves memory for pure benchmark runs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.exceptions import ReproError
+
+Entry = tuple[float, float, object]
+"""``(weight, cost, provenance)`` — provenance may be ``None``."""
+
+EDGE = "edge"
+ZERO = "zero"
+JOIN = "join"
+
+
+def edge_entry(
+    weight: float, cost: float, u: int, v: int, with_prov: bool = True
+) -> Entry:
+    """An entry for a direct edge between ``u`` and ``v``."""
+    return (weight, cost, (EDGE, u, v) if with_prov else None)
+
+
+def join_entry(left: Entry, right: Entry, mid: int) -> Entry:
+    """The concatenation of two entries meeting at vertex ``mid``.
+
+    Weight and cost are additive (paper, after Definition 2).  Provenance
+    is recorded only when both children carry provenance.
+    """
+    if left[2] is None or right[2] is None:
+        prov = None
+    else:
+        prov = (JOIN, mid, left, right)
+    return (left[0] + right[0], left[1] + right[1], prov)
+
+
+def zero_entry(vertex: int | None = None, with_prov: bool = True) -> Entry:
+    """The empty path at ``vertex``: identity element of concatenation."""
+    return (0, 0, (ZERO, vertex) if with_prov else None)
+
+
+def _expand_any(entry: Entry) -> list[int]:
+    """Unfold an entry into a vertex path in *some* orientation."""
+    prov = entry[2]
+    if prov is None:
+        raise ReproError(
+            "path retrieval requested but the index was built with "
+            "store_paths=False"
+        )
+    tag = prov[0]
+    if tag == EDGE:
+        return [prov[1], prov[2]]
+    if tag == ZERO:
+        if prov[1] is None:
+            raise ReproError("anonymous zero-length entry cannot expand")
+        return [prov[1]]
+    _tag, mid, left, right = prov
+    head = _expand_any(left)
+    tail = _expand_any(right)
+    # Orient both segments around the junction vertex.
+    if head[-1] != mid:
+        head.reverse()
+    if head[-1] != mid:
+        raise ReproError(f"join segment does not touch junction {mid}")
+    if tail[0] != mid:
+        tail.reverse()
+    if tail[0] != mid:
+        raise ReproError(f"join segment does not touch junction {mid}")
+    return head + tail[1:]
+
+
+def expand(entry: Entry, source: int, target: int) -> list[int]:
+    """Unfold an entry into the concrete vertex path ``source .. target``.
+
+    Works in either direction because the network is undirected.
+
+    Raises
+    ------
+    ReproError
+        If the entry was built without provenance, or its endpoints do
+        not match ``source`` / ``target``.
+    """
+    path = _expand_any(entry)
+    if path[0] == source and path[-1] == target:
+        return path
+    path.reverse()
+    if path[0] == source and path[-1] == target:
+        return path
+    raise ReproError(
+        f"expanded path connects ({path[-1]}, {path[0]}), "
+        f"not ({source}, {target})"
+    )
+
+
+def path_of_pairs(entries: Sequence[Entry]) -> list[tuple[float, float]]:
+    """Strip provenance: the ``(w, c)`` pairs of a sequence of entries."""
+    return [(e[0], e[1]) for e in entries]

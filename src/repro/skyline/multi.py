@@ -1,0 +1,81 @@
+"""Multi-constraint skyline algebra (paper §1, §6.2: CSP-2Hop "can also
+handle the case where multiple constraints are imposed").
+
+Entries generalise to ``(weight, costs)`` where ``costs`` is a tuple of
+``k`` constrained metrics.  With ``k >= 2`` the Pareto front is no longer
+a simple cost-sorted chain, so the canonical-list tricks of
+:mod:`repro.skyline.set_ops` do not apply; this module provides the
+general (quadratic-filter) algebra plus the query-side feasibility check.
+The multi-constraint exact baseline built on top of it lives in
+:mod:`repro.baselines.dijkstra_csp`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+MultiEntry = tuple[float, tuple[float, ...]]
+"""``(weight, costs)`` with ``costs`` a tuple of constrained metrics."""
+
+
+def m_dominates(a: MultiEntry, b: MultiEntry) -> bool:
+    """Vector dominance: no-worse everywhere, strictly better somewhere."""
+    if a[0] > b[0]:
+        return False
+    if any(ac > bc for ac, bc in zip(a[1], b[1])):
+        return False
+    return a[0] < b[0] or any(ac < bc for ac, bc in zip(a[1], b[1]))
+
+
+def m_skyline(entries: Iterable[MultiEntry]) -> list[MultiEntry]:
+    """The Pareto front of a collection of multi-cost entries.
+
+    Sorts by ``(weight, costs)`` and keeps entries not dominated by an
+    already-kept entry.  Because kept entries have non-decreasing weight,
+    a kept entry can only be dominated by an earlier kept one, so one pass
+    suffices.
+    """
+    result: list[MultiEntry] = []
+    seen: set[MultiEntry] = set()
+    for entry in sorted(set(entries)):
+        if entry in seen:
+            continue
+        if any(m_dominates(kept, entry) for kept in result):
+            continue
+        result.append(entry)
+        seen.add(entry)
+    return result
+
+
+def m_join(
+    a: Sequence[MultiEntry],
+    b: Sequence[MultiEntry],
+    budgets: Sequence[float] | None = None,
+) -> list[MultiEntry]:
+    """Pareto front of all pairwise concatenations.
+
+    ``budgets`` optionally drops concatenations violating any budget.
+    """
+    products = []
+    for lw, lcosts in a:
+        for rw, rcosts in b:
+            costs = tuple(lc + rc for lc, rc in zip(lcosts, rcosts))
+            if budgets is not None and any(
+                c > budget for c, budget in zip(costs, budgets)
+            ):
+                continue
+            products.append((lw + rw, costs))
+    return m_skyline(products)
+
+
+def m_best_under(
+    entries: Sequence[MultiEntry], budgets: Sequence[float]
+) -> MultiEntry | None:
+    """Minimum-weight entry meeting every budget, or ``None``."""
+    best: MultiEntry | None = None
+    for entry in entries:
+        if any(c > budget for c, budget in zip(entry[1], budgets)):
+            continue
+        if best is None or entry[0] < best[0]:
+            best = entry
+    return best

@@ -1,0 +1,22 @@
+"""Index persistence: versioned save/load, plus a compact array-packed
+format for shipping large indexes."""
+
+from repro.storage.compact import CompactLabels, pack_labels, unpack_labels
+from repro.storage.serialize import (
+    FORMAT_VERSION,
+    load_compact_index,
+    load_index,
+    save_compact_index,
+    save_index,
+)
+
+__all__ = [
+    "CompactLabels",
+    "FORMAT_VERSION",
+    "load_compact_index",
+    "load_index",
+    "pack_labels",
+    "save_compact_index",
+    "save_index",
+    "unpack_labels",
+]

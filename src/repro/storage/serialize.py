@@ -1,0 +1,173 @@
+"""Index persistence.
+
+Saves/loads a complete :class:`~repro.core.engine.QHLIndex` with a
+versioned pickle envelope.  Skyline-entry provenance is a deep recursive
+tuple structure (depth grows with path length), so (de)serialisation
+temporarily raises the interpreter recursion limit.
+
+By default the elimination shortcuts are dropped on save: queries only
+need the tree structure, labels, LCA and pruning conditions; shortcuts
+are an index-construction intermediate (and label provenance keeps alive
+exactly the shortcut entries it references, so path retrieval still
+works).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import sys
+
+from repro.core.engine import QHLIndex
+from repro.exceptions import SerializationError
+
+MAGIC = "repro-qhl-index"
+FORMAT_VERSION = 1
+
+_RECURSION_LIMIT = 1_000_000
+
+
+class _raised_recursion_limit:
+    def __enter__(self):
+        self._old = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(self._old, _RECURSION_LIMIT))
+
+    def __exit__(self, *exc_info):
+        sys.setrecursionlimit(self._old)
+
+
+def save_index(
+    index: QHLIndex, path: str, keep_shortcuts: bool = False
+) -> int:
+    """Serialise an index to ``path``; returns the file size in bytes."""
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    shortcuts = index.tree.shortcuts
+    try:
+        if not keep_shortcuts:
+            index.tree.shortcuts = {}
+        payload = {
+            "magic": MAGIC,
+            "version": FORMAT_VERSION,
+            "index": index,
+        }
+        with _raised_recursion_limit(), open(path, "wb") as f:
+            pickle.dump(payload, f, protocol=pickle.HIGHEST_PROTOCOL)
+    finally:
+        index.tree.shortcuts = shortcuts
+    return os.path.getsize(path)
+
+
+COMPACT_MAGIC = "repro-qhl-compact"
+
+
+def save_compact_index(index: QHLIndex, path: str) -> int:
+    """Serialise an index as gzip-compressed plain data with
+    array-packed labels.
+
+    Smaller on disk than :func:`save_index` and structurally simple:
+    the payload is arrays and dicts of numbers, not a pickled object
+    graph, so the format is stable across refactors of the in-memory
+    classes.  Provenance (path retrieval) and elimination shortcuts are
+    not kept — the trade documented in :mod:`repro.storage.compact`.
+    """
+    import gzip
+
+    from repro.storage.compact import pack_labels
+
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    tree = index.tree
+    payload = {
+        "magic": COMPACT_MAGIC,
+        "version": FORMAT_VERSION,
+        "num_vertices": tree.num_vertices,
+        "edges": list(index.network.edges()),
+        "order": list(tree.order),
+        "bags": {v: list(tree.bag[v]) for v in range(tree.num_vertices)},
+        "labels": pack_labels(index.labels),
+        "label_build_seconds": index.labels.build_seconds,
+        "conditions": dict(index.pruning._conditions),
+        "pruning_build_seconds": index.pruning.build_seconds,
+    }
+    with gzip.open(path, "wb", compresslevel=6) as f:
+        pickle.dump(payload, f, protocol=pickle.HIGHEST_PROTOCOL)
+    return os.path.getsize(path)
+
+
+def load_compact_index(path: str) -> QHLIndex:
+    """Load an index written by :func:`save_compact_index`."""
+    import gzip
+
+    from repro.core.pruning import PruningConditionIndex
+    from repro.graph.network import RoadNetwork
+    from repro.hierarchy.lca import LCAIndex
+    from repro.hierarchy.tree import TreeDecomposition
+    from repro.storage.compact import unpack_labels
+
+    if not os.path.exists(path):
+        raise SerializationError(f"index file {path!r} does not exist")
+    try:
+        with gzip.open(path, "rb") as f:
+            payload = pickle.load(f)
+    except (pickle.UnpicklingError, EOFError, AttributeError,
+            gzip.BadGzipFile, OSError) as exc:
+        raise SerializationError(
+            f"{path!r} is not a readable compact index: {exc}"
+        ) from exc
+    if not isinstance(payload, dict) or payload.get("magic") != COMPACT_MAGIC:
+        raise SerializationError(f"{path!r} is not a compact repro index")
+    if payload.get("version") != FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported compact index version {payload.get('version')}"
+        )
+
+    network = RoadNetwork.from_edges(
+        payload["num_vertices"], payload["edges"]
+    )
+    tree = TreeDecomposition(
+        payload["num_vertices"],
+        payload["order"],
+        {v: tuple(bag) for v, bag in payload["bags"].items()},
+        {},
+    )
+    labels = unpack_labels(payload["labels"])
+    labels.build_seconds = payload["label_build_seconds"]
+    pruning = PruningConditionIndex()
+    for (child, v_end), bounds in payload["conditions"].items():
+        pruning.add(child, v_end, bounds)
+    pruning.build_seconds = payload["pruning_build_seconds"]
+    return QHLIndex(network, tree, labels, LCAIndex(tree), pruning)
+
+
+def load_index(path: str) -> QHLIndex:
+    """Load an index previously written by :func:`save_index`.
+
+    Raises
+    ------
+    SerializationError
+        On missing files, foreign pickles, or version mismatches.
+    """
+    if not os.path.exists(path):
+        raise SerializationError(f"index file {path!r} does not exist")
+    try:
+        with _raised_recursion_limit(), open(path, "rb") as f:
+            payload = pickle.load(f)
+    except (pickle.UnpicklingError, EOFError, AttributeError) as exc:
+        raise SerializationError(
+            f"{path!r} is not a readable repro index: {exc}"
+        ) from exc
+    if not isinstance(payload, dict) or payload.get("magic") != MAGIC:
+        raise SerializationError(f"{path!r} is not a repro index file")
+    version = payload.get("version")
+    if version != FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported index format version {version} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    index = payload["index"]
+    if not isinstance(index, QHLIndex):
+        raise SerializationError(f"{path!r} does not contain a QHLIndex")
+    return index

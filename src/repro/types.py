@@ -1,0 +1,74 @@
+"""Shared query/result/statistics types used by QHL and every baseline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import NamedTuple
+
+from repro.exceptions import QueryError
+
+
+class CSPQuery(NamedTuple):
+    """A constrained shortest path query (paper Definition 3).
+
+    Find the s-t path minimising total weight subject to total cost
+    ``<= budget``.
+    """
+
+    source: int
+    target: int
+    budget: float
+
+    def validated(self, num_vertices: int) -> "CSPQuery":
+        """Return self after sanity checks, raising :class:`QueryError`."""
+        if not 0 <= self.source < num_vertices:
+            raise QueryError(f"source {self.source} out of range")
+        if not 0 <= self.target < num_vertices:
+            raise QueryError(f"target {self.target} out of range")
+        if self.budget < 0:
+            raise QueryError(f"budget must be non-negative, got {self.budget}")
+        return self
+
+
+@dataclass
+class QueryStats:
+    """Per-query operation counters (paper Figures 7 and 8).
+
+    ``hoplinks`` and ``concatenations`` are the two series the paper
+    plots; ``label_lookups`` counts skyline-set fetches; ``candidates``
+    is |H| — how many candidate separators the pruning step produced
+    (2..4 for QHL, 1 for CSP-2Hop).
+    """
+
+    hoplinks: int = 0
+    concatenations: int = 0
+    label_lookups: int = 0
+    candidates: int = 0
+    seconds: float = 0.0
+
+
+@dataclass
+class QueryResult:
+    """Outcome of a CSP query.
+
+    ``feasible`` is False when no s-t path meets the budget; ``weight`` /
+    ``cost`` are then ``None``.  ``path`` is filled only when the engine
+    was built with path storage and asked to retrieve paths.
+    """
+
+    query: CSPQuery
+    weight: float | None = None
+    cost: float | None = None
+    path: list[int] | None = None
+    stats: QueryStats = field(default_factory=QueryStats)
+
+    @property
+    def feasible(self) -> bool:
+        """Whether a path within budget exists."""
+        return self.weight is not None
+
+    def pair(self) -> tuple[float, float] | None:
+        """The ``(weight, cost)`` pair, or ``None`` when infeasible."""
+        if self.weight is None:
+            return None
+        return (self.weight, self.cost)

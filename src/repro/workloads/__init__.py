@@ -1,0 +1,33 @@
+"""Workload generation: the paper's Q/R query sets, Q_index sampling,
+and the weak-correlation (traffic-signal) metric variant."""
+
+from repro.workloads.correlation import (
+    signal_vertices,
+    traffic_signal_network,
+)
+from repro.workloads.queries import (
+    RATIOS,
+    QuerySet,
+    distance_band,
+    generate_distance_sets,
+    generate_ratio_sets,
+)
+from repro.workloads.io import read_query_sets, write_query_sets
+from repro.workloads.sampling import (
+    index_queries_from_sets,
+    random_index_queries,
+)
+
+__all__ = [
+    "RATIOS",
+    "QuerySet",
+    "distance_band",
+    "generate_distance_sets",
+    "generate_ratio_sets",
+    "index_queries_from_sets",
+    "random_index_queries",
+    "read_query_sets",
+    "signal_vertices",
+    "traffic_signal_network",
+    "write_query_sets",
+]

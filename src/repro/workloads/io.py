@@ -1,0 +1,102 @@
+"""Query-set file format.
+
+Benchmark workloads should be reproducible artefacts: generate once,
+run everywhere.  Format (one file, many sets)::
+
+    # comment
+    qset Q1 1000
+    q <source> <target> <budget> <distance>
+    ...
+
+``distance`` is the query pair's shortest cost distance ``d`` recorded
+at generation time (needed to derive R sets and to verify bands).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TextIO
+
+from repro.exceptions import InvalidGraphError
+from repro.types import CSPQuery
+from repro.workloads.queries import QuerySet
+
+
+def write_query_sets(sets: dict[str, QuerySet] | list[QuerySet],
+                     path: str) -> None:
+    """Write query sets to ``path`` (creates parent directories)."""
+    if isinstance(sets, dict):
+        ordered = [sets[name] for name in sets]
+    else:
+        ordered = list(sets)
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as f:
+        f.write("# repro query sets: q source target budget distance\n")
+        for query_set in ordered:
+            f.write(f"qset {query_set.name} {len(query_set)}\n")
+            for query, d in zip(query_set.queries, query_set.distances):
+                f.write(
+                    f"q {query.source} {query.target} "
+                    f"{_num(query.budget)} {_num(d)}\n"
+                )
+
+
+def read_query_sets(path: str) -> dict[str, QuerySet]:
+    """Read query sets written by :func:`write_query_sets`."""
+    with open(path) as f:
+        return _parse(f)
+
+
+def _parse(stream: TextIO) -> dict[str, QuerySet]:
+    sets: dict[str, QuerySet] = {}
+    current: QuerySet | None = None
+    declared = 0
+    for lineno, raw in enumerate(stream, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if parts[0] == "qset":
+            if len(parts) != 3:
+                raise InvalidGraphError(
+                    f"line {lineno}: malformed qset header {line!r}"
+                )
+            _check_declared(current, declared, lineno)
+            current = QuerySet(parts[1], [], [])
+            declared = int(parts[2])
+            sets[parts[1]] = current
+        elif parts[0] == "q":
+            if current is None:
+                raise InvalidGraphError(
+                    f"line {lineno}: query before any 'qset' header"
+                )
+            if len(parts) != 5:
+                raise InvalidGraphError(
+                    f"line {lineno}: malformed query line {line!r}"
+                )
+            current.queries.append(
+                CSPQuery(int(parts[1]), int(parts[2]), float(parts[3]))
+            )
+            current.distances.append(float(parts[4]))
+        else:
+            raise InvalidGraphError(
+                f"line {lineno}: unknown record type {parts[0]!r}"
+            )
+    _check_declared(current, declared, lineno="end")
+    return sets
+
+
+def _check_declared(current: QuerySet | None, declared: int, lineno) -> None:
+    if current is not None and len(current) != declared:
+        raise InvalidGraphError(
+            f"query set {current.name!r} declares {declared} queries, "
+            f"file has {len(current)} (at line {lineno})"
+        )
+
+
+def _num(x: float) -> str:
+    if isinstance(x, float) and x.is_integer():
+        return str(int(x))
+    return str(x)

@@ -1,0 +1,135 @@
+"""Query-set generation following the paper's experimental setup (§5.1).
+
+Two families of query sets over a network with diameter ``d_max``:
+
+* **Distance bands** ``Q1..Q5`` — set ``Q_i`` holds random queries whose
+  shortest (cost-metric) distance ``d`` lies in
+  ``[d_max / 2^(6-i), d_max / 2^(5-i)]``; each query's budget is
+  ``C = 0.5 * C_max + 0.5 * C_min`` with ``C_max = d_max / 2^(5-i)`` and
+  ``C_min = d`` (below ``d`` there is no feasible answer).
+* **Budget ratios** ``R1..R5`` — the same (s, t) pairs as ``Q3``, with
+  ``C = r * C_max + (1 - r) * C_min``, ``r = 0.1, 0.3, 0.5, 0.7, 0.9``
+  and ``C_max = d_max / 4``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.exceptions import QueryError
+from repro.graph.algorithms import dijkstra, estimate_diameter
+from repro.graph.network import RoadNetwork
+from repro.types import CSPQuery
+
+RATIOS = (0.1, 0.3, 0.5, 0.7, 0.9)
+"""The paper's r values: ``(2i - 1) * 0.1`` for ``i = 1..5``."""
+
+
+@dataclass
+class QuerySet:
+    """A named set of queries plus each query's shortest distance ``d``."""
+
+    name: str
+    queries: list[CSPQuery]
+    distances: list[float]
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self):
+        return iter(self.queries)
+
+
+def distance_band(i: int, d_max: float) -> tuple[float, float]:
+    """The shortest-distance interval of query set ``Q_i`` (1-based)."""
+    if not 1 <= i <= 5:
+        raise QueryError(f"query set index must be 1..5, got {i}")
+    return d_max / 2 ** (6 - i), d_max / 2 ** (5 - i)
+
+
+def generate_distance_sets(
+    network: RoadNetwork,
+    size: int = 1000,
+    d_max: float | None = None,
+    seed: int = 0,
+    max_source_samples: int | None = None,
+) -> dict[str, QuerySet]:
+    """Generate ``Q1..Q5`` by rejection sampling random sources.
+
+    For every sampled source one Dijkstra sweep buckets all targets by
+    band, so filling five sets costs a handful of sweeps even on sets of
+    paper size.
+
+    Raises
+    ------
+    QueryError
+        If some band cannot be filled (e.g. the network is too small to
+        contain pairs at ``~d_max/2`` apart) after the sampling budget.
+    """
+    if d_max is None:
+        d_max = estimate_diameter(network)
+    rng = random.Random(seed)
+    n = network.num_vertices
+    bands = [distance_band(i, d_max) for i in range(1, 6)]
+    sets: list[tuple[list[CSPQuery], list[float]]] = [
+        ([], []) for _ in range(5)
+    ]
+    budget = max_source_samples if max_source_samples is not None else (
+        40 + 60 * size // max(1, n)
+    ) * 5
+
+    attempts = 0
+    while attempts < budget and any(len(q) < size for q, _ in sets):
+        attempts += 1
+        s = rng.randrange(n)
+        dist = dijkstra(network, s, metric="cost")
+        # Bucket the targets once, then draw without replacement per band.
+        buckets: list[list[int]] = [[] for _ in range(5)]
+        for t, d in enumerate(dist):
+            if t == s or d == float("inf"):
+                continue
+            for b, (lo, hi) in enumerate(bands):
+                if lo <= d <= hi:
+                    buckets[b].append(t)
+                    break
+        for b, bucket in enumerate(buckets):
+            queries, distances = sets[b]
+            if len(queries) >= size or not bucket:
+                continue
+            take = min(size - len(queries), max(1, len(bucket) // 4))
+            for t in rng.sample(bucket, min(take, len(bucket))):
+                d = dist[t]
+                c_max = bands[b][1]
+                budget_c = 0.5 * c_max + 0.5 * d
+                queries.append(CSPQuery(s, t, budget_c))
+                distances.append(d)
+
+    result = {}
+    for i, (queries, distances) in enumerate(sets, start=1):
+        if len(queries) < size:
+            raise QueryError(
+                f"could not fill Q{i}: found {len(queries)} of {size} "
+                f"queries in band {bands[i - 1]} — the network may be too "
+                "small for this band; lower `size` or use a larger network"
+            )
+        result[f"Q{i}"] = QuerySet(f"Q{i}", queries[:size], distances[:size])
+    return result
+
+
+def generate_ratio_sets(
+    q3: QuerySet, d_max: float, ratios: tuple[float, ...] = RATIOS
+) -> dict[float, QuerySet]:
+    """Generate the ``R`` sets from ``Q3``'s pairs (paper §5.1).
+
+    Returns a dict keyed by the ratio ``r``.
+    """
+    c_max = d_max / 4
+    result = {}
+    for r in ratios:
+        queries = [
+            CSPQuery(q.source, q.target, r * c_max + (1 - r) * d)
+            for q, d in zip(q3.queries, q3.distances)
+        ]
+        result[r] = QuerySet(f"R(r={r})", queries, list(q3.distances))
+    return result

@@ -1,0 +1,41 @@
+"""Sampling ``Q_index``, the workload that drives pruning-condition
+construction (paper §4.2).
+
+The paper generates ``Q_index`` "by uniformly sampling from past
+workloads"; this module offers both that (sampling from existing query
+sets) and plain uniform vertex-pair sampling for cold starts.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence
+
+from repro.core.engine import random_index_queries
+from repro.types import CSPQuery
+from repro.workloads.queries import QuerySet
+
+__all__ = [
+    "random_index_queries",
+    "index_queries_from_sets",
+]
+
+
+def index_queries_from_sets(
+    sets: Iterable[QuerySet] | Sequence[QuerySet],
+    count: int,
+    seed: int = 0,
+) -> list[CSPQuery]:
+    """Uniformly sample ``count`` queries from past workloads.
+
+    Samples with replacement from the union of the given query sets —
+    duplicates are harmless (condition construction deduplicates by
+    (separator, end-vertex) anyway).
+    """
+    pool: list[CSPQuery] = []
+    for query_set in sets:
+        pool.extend(query_set.queries)
+    if not pool:
+        return []
+    rng = random.Random(seed)
+    return [pool[rng.randrange(len(pool))] for _ in range(count)]

@@ -1,0 +1,89 @@
+"""Unit tests for the k-shortest-path based CSP baseline."""
+
+import random
+
+import pytest
+
+from repro.baselines import constrained_dijkstra, ksp_csp, yen_paths
+from repro.datasets import paper_figure1_network, v
+from repro.exceptions import QueryError
+from repro.graph import RoadNetwork, random_connected_network
+
+
+class TestYenPaths:
+    def test_weights_non_decreasing(self):
+        g = paper_figure1_network()
+        weights = [w for w, _c, _p in yen_paths(g, v(8), v(4), 20)]
+        assert weights == sorted(weights)
+
+    def test_paths_are_simple(self):
+        g = paper_figure1_network()
+        for _w, _c, path in yen_paths(g, v(8), v(4), 20):
+            assert len(path) == len(set(path))
+
+    def test_paths_are_distinct(self):
+        g = paper_figure1_network()
+        paths = [tuple(p) for _w, _c, p in yen_paths(g, v(8), v(4), 20)]
+        assert len(paths) == len(set(paths))
+
+    def test_path_metrics_consistent(self):
+        g = paper_figure1_network()
+        for w, c, path in yen_paths(g, v(8), v(4), 10):
+            assert g.path_metrics(path) == (w, c)
+
+    def test_first_path_is_weight_optimal(self):
+        g = paper_figure1_network()
+        first = next(yen_paths(g, v(8), v(4), 5))
+        assert first[0] == 16  # min-weight path in P_v8v4 is (16, 18)
+
+    def test_disconnected_yields_nothing(self):
+        g = RoadNetwork(3)
+        g.add_edge(0, 1, weight=1, cost=1)
+        assert list(yen_paths(g, 0, 2, 5)) == []
+
+    def test_enumerates_all_paths_of_tiny_graph(self):
+        # Triangle: exactly two simple 0-2 paths.
+        g = RoadNetwork(3)
+        g.add_edge(0, 1, weight=1, cost=1)
+        g.add_edge(1, 2, weight=1, cost=1)
+        g.add_edge(0, 2, weight=5, cost=5)
+        assert len(list(yen_paths(g, 0, 2, 100))) == 2
+
+
+class TestKspCsp:
+    def test_paper_example2(self):
+        g = paper_figure1_network()
+        result = ksp_csp(g, v(8), v(4), budget=13)
+        assert result.pair() == (17, 13)
+
+    def test_large_budget_returns_weight_optimum(self):
+        g = paper_figure1_network()
+        assert ksp_csp(g, v(8), v(4), budget=100).pair() == (16, 18)
+
+    def test_infeasible(self):
+        g = paper_figure1_network()
+        assert not ksp_csp(g, v(8), v(4), budget=11).feasible
+
+    def test_source_equals_target(self):
+        g = paper_figure1_network()
+        assert ksp_csp(g, v(3), v(3), budget=0).pair() == (0, 0)
+
+    def test_exhaustion_guard_raises(self):
+        g = paper_figure1_network()
+        with pytest.raises(QueryError):
+            ksp_csp(g, v(8), v(4), budget=12, max_paths=1)
+
+    @pytest.mark.parametrize("seed", range(2))
+    def test_agrees_with_ground_truth_on_weight(self, seed):
+        g = random_connected_network(14, 8, seed=seed)
+        rng = random.Random(seed)
+        for _ in range(12):
+            s, t = rng.randrange(14), rng.randrange(14)
+            budget = rng.randint(10, 200)
+            want = constrained_dijkstra(g, s, t, budget, want_path=False)
+            got = ksp_csp(g, s, t, budget, max_paths=4000)
+            if want.feasible:
+                # Weight is unique; ties on cost may resolve differently.
+                assert got.weight == want.weight
+            else:
+                assert not got.feasible

@@ -1,0 +1,91 @@
+"""Unit tests for the Pulse-style bound-pruned CSP search."""
+
+import random
+
+import pytest
+
+from repro.baselines import constrained_dijkstra, pulse_csp
+from repro.datasets import paper_figure1_network, v
+from repro.exceptions import QueryError
+from repro.graph import RoadNetwork, grid_network, random_connected_network
+
+
+class TestPulseBasics:
+    def test_paper_example2(self):
+        g = paper_figure1_network()
+        result = pulse_csp(g, v(8), v(4), budget=13)
+        assert result.pair() == (17, 13)
+        assert result.path == [v(8), v(2), v(9), v(10), v(5), v(4)]
+
+    def test_budget_sweep(self):
+        g = paper_figure1_network()
+        assert not pulse_csp(g, v(8), v(4), 11).feasible
+        assert pulse_csp(g, v(8), v(4), 12).pair() == (18, 12)
+        assert pulse_csp(g, v(8), v(4), 18).pair() == (16, 18)
+
+    def test_source_equals_target(self):
+        g = paper_figure1_network()
+        assert pulse_csp(g, v(5), v(5), 0).pair() == (0, 0)
+
+    def test_unreachable_budget_shortcircuits(self):
+        g = paper_figure1_network()
+        result = pulse_csp(g, v(8), v(4), budget=1)
+        assert not result.feasible
+        # The c_min pre-check fires before any extension.
+        assert result.stats.concatenations == 0
+
+    def test_disconnected(self):
+        g = RoadNetwork(3)
+        g.add_edge(0, 1, weight=1, cost=1)
+        assert not pulse_csp(g, 0, 2, 100).feasible
+
+    def test_invalid_query_rejected(self):
+        g = paper_figure1_network()
+        with pytest.raises(QueryError):
+            pulse_csp(g, 0, 99, 5)
+
+    def test_want_path_false(self):
+        g = paper_figure1_network()
+        result = pulse_csp(g, v(8), v(4), 13, want_path=False)
+        assert result.feasible
+        assert result.path is None
+
+
+class TestPulseAgreement:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_constrained_dijkstra(self, seed):
+        g = random_connected_network(25, 20, seed=seed)
+        rng = random.Random(seed)
+        for _ in range(40):
+            s, t = rng.randrange(25), rng.randrange(25)
+            budget = rng.randint(1, 250)
+            want = constrained_dijkstra(g, s, t, budget, want_path=False)
+            got = pulse_csp(g, s, t, budget, want_path=False)
+            assert got.pair() == want.pair(), (s, t, budget)
+
+    def test_matches_on_grid(self):
+        g = grid_network(6, 6, seed=3)
+        rng = random.Random(3)
+        for _ in range(25):
+            s, t = rng.randrange(36), rng.randrange(36)
+            budget = rng.randint(10, 300)
+            want = constrained_dijkstra(g, s, t, budget, want_path=False)
+            assert pulse_csp(g, s, t, budget).pair() == want.pair()
+
+    def test_returned_paths_are_real(self):
+        g = random_connected_network(20, 15, seed=5)
+        rng = random.Random(5)
+        for _ in range(20):
+            s, t = rng.randrange(20), rng.randrange(20)
+            result = pulse_csp(g, s, t, rng.randint(1, 250))
+            if result.feasible and s != t:
+                assert g.path_metrics(result.path) == result.pair()
+
+    def test_tight_budget_prunes_harder_than_loose(self):
+        g = grid_network(6, 6, seed=7)
+        from repro.graph import shortest_distance
+
+        d = shortest_distance(g, 0, 35)
+        tight = pulse_csp(g, 0, 35, d * 1.01, want_path=False)
+        loose = pulse_csp(g, 0, 35, d * 10, want_path=False)
+        assert tight.stats.concatenations <= loose.stats.concatenations

@@ -1,0 +1,97 @@
+"""Unit tests for skyline Dijkstra (the ground-truth engine)."""
+
+import random
+
+import pytest
+
+from repro.datasets import paper_figure1_network, v
+from repro.graph import RoadNetwork, random_connected_network
+from repro.baselines import (
+    skyline_between,
+    skyline_pairs_bruteforce,
+    skyline_search,
+)
+from repro.skyline import expand, is_canonical, path_of_pairs
+
+
+class TestSkylineBetween:
+    def test_paper_example4(self):
+        g = paper_figure1_network()
+        assert path_of_pairs(skyline_between(g, v(8), v(9))) == [
+            (8, 7), (7, 8)
+        ]
+
+    def test_paper_example5(self):
+        g = paper_figure1_network()
+        assert path_of_pairs(skyline_between(g, v(8), v(4))) == [
+            (18, 12), (17, 13), (16, 18)
+        ]
+
+    def test_source_equals_target(self):
+        g = paper_figure1_network()
+        assert path_of_pairs(skyline_between(g, v(3), v(3))) == [(0, 0)]
+
+    def test_result_canonical(self):
+        g = random_connected_network(20, 18, seed=1)
+        for t in (3, 9, 17):
+            assert is_canonical(skyline_between(g, 0, t))
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_bruteforce_enumeration(self, seed):
+        g = random_connected_network(9, 6, seed=seed)
+        rng = random.Random(seed)
+        for _ in range(10):
+            s, t = rng.randrange(9), rng.randrange(9)
+            if s == t:
+                continue
+            fast = path_of_pairs(skyline_between(g, s, t))
+            brute = skyline_pairs_bruteforce(g, s, t)
+            assert fast == brute, (s, t)
+
+    def test_max_cost_truncates(self):
+        g = paper_figure1_network()
+        full = path_of_pairs(skyline_between(g, v(8), v(4)))
+        cut = path_of_pairs(skyline_between(g, v(8), v(4), max_cost=13))
+        assert cut == [p for p in full if p[1] <= 13]
+
+    def test_provenance_expands_to_real_paths(self):
+        g = random_connected_network(15, 12, seed=3)
+        entries = skyline_between(g, 0, 14, with_prov=True)
+        for entry in entries:
+            path = expand(entry, 0, 14)
+            assert g.path_metrics(path) == (entry[0], entry[1])
+
+
+class TestSkylineSearch:
+    def test_source_frontier_is_zero(self):
+        g = paper_figure1_network()
+        frontiers = skyline_search(g, v(8))
+        assert path_of_pairs(frontiers[v(8)]) == [(0, 0)]
+
+    def test_allowed_filter_restricts_search(self):
+        # 0 - 1 - 2 plus a detour 0 - 3 - 2; banning vertex 3 kills it.
+        g = RoadNetwork(4)
+        g.add_edge(0, 1, weight=5, cost=5)
+        g.add_edge(1, 2, weight=5, cost=5)
+        g.add_edge(0, 3, weight=1, cost=1)
+        g.add_edge(3, 2, weight=1, cost=1)
+        free = skyline_search(g, 0)
+        assert path_of_pairs(free[2]) == [(2, 2)]
+        walled = skyline_search(g, 0, allowed=lambda x: x != 3)
+        assert path_of_pairs(walled[2]) == [(10, 10)]
+
+    def test_unreachable_vertex_empty(self):
+        g = RoadNetwork(3)
+        g.add_edge(0, 1, weight=1, cost=1)
+        assert skyline_search(g, 0)[2] == []
+
+    def test_frontier_sizes_reasonable(self):
+        # A ladder of independent trade-offs grows skyline sets.
+        g = RoadNetwork(6)
+        for i in range(0, 4, 2):
+            g.add_edge(i, i + 2, weight=1, cost=6)
+            g.add_edge(i, i + 1, weight=3, cost=1)
+            g.add_edge(i + 1, i + 2, weight=3, cost=1)
+        g.add_edge(4, 5, weight=1, cost=1)
+        frontiers = skyline_search(g, 0)
+        assert len(frontiers[4]) == 3  # (2,12), (8,4), (5,8)

@@ -1,0 +1,69 @@
+"""Shared fixtures.
+
+Index builds are the expensive part of this suite, so networks and built
+indexes are session-scoped; tests must treat them as read-only.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import QHLIndex
+from repro.datasets import paper_figure1_network
+from repro.graph import (
+    grid_network,
+    random_connected_network,
+    ring_network,
+)
+from repro.hierarchy import LCAIndex, build_tree_decomposition
+from repro.labeling import build_labels
+
+
+@pytest.fixture(scope="session")
+def paper_network():
+    """The paper's Figure 1 network (13 vertices, 0-based ids)."""
+    return paper_figure1_network()
+
+
+@pytest.fixture(scope="session")
+def paper_index(paper_network):
+    """A fully built QHL index over the Figure 1 network."""
+    return QHLIndex.build(paper_network, num_index_queries=400, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_grid():
+    """A 8x8 grid — dense enough for interesting skyline sets."""
+    return grid_network(8, 8, seed=3)
+
+
+@pytest.fixture(scope="session")
+def small_grid_index(small_grid):
+    return QHLIndex.build(small_grid, num_index_queries=400, seed=3)
+
+
+@pytest.fixture(scope="session")
+def small_ring():
+    """A small ring-of-towns network."""
+    return ring_network(num_towns=6, town_rows=3, town_cols=3, seed=5)
+
+
+@pytest.fixture(scope="session")
+def random30():
+    """A 30-vertex random network used by many unit tests."""
+    return random_connected_network(30, 25, seed=11)
+
+
+@pytest.fixture(scope="session")
+def random30_tree(random30):
+    return build_tree_decomposition(random30)
+
+
+@pytest.fixture(scope="session")
+def random30_labels(random30_tree):
+    return build_labels(random30_tree)
+
+
+@pytest.fixture(scope="session")
+def random30_lca(random30_tree):
+    return LCAIndex(random30_tree)

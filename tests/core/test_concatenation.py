@@ -1,0 +1,108 @@
+"""Unit + property tests for Algorithm 5 (two-pointer concatenation)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import concat_best_under, concat_cartesian
+from repro.skyline import skyline_of
+
+
+def sky(pairs):
+    return skyline_of([(w, c, None) for w, c in pairs])
+
+
+class TestPaperExample15:
+    def test_answer_and_count(self):
+        p_sh = sky([(9, 8), (8, 9)])
+        p_ht = sky([(9, 4), (8, 9)])
+        best, inspected = concat_best_under(p_sh, p_ht, budget=13)
+        assert best[:2] == (17, 13)
+        assert inspected == 3  # the paper walks exactly 3 cells
+
+    def test_cartesian_inspects_all_four(self):
+        p_sh = sky([(9, 8), (8, 9)])
+        p_ht = sky([(9, 4), (8, 9)])
+        best, inspected = concat_cartesian(p_sh, p_ht, budget=13)
+        assert best[:2] == (17, 13)
+        assert inspected == 4
+
+
+class TestEdgeCases:
+    def test_empty_side(self):
+        assert concat_best_under([], sky([(1, 1)]), 10) == (None, 0)
+        assert concat_best_under(sky([(1, 1)]), [], 10) == (None, 0)
+
+    def test_all_over_budget(self):
+        best, inspected = concat_best_under(
+            sky([(1, 10)]), sky([(1, 10)]), budget=5
+        )
+        assert best is None
+        assert inspected == 1
+
+    def test_single_pair_within_budget(self):
+        best, _ = concat_best_under(sky([(2, 3)]), sky([(4, 5)]), budget=8)
+        assert best[:2] == (6, 8)
+
+    def test_prune_suppresses_non_improving(self):
+        best, _ = concat_best_under(
+            sky([(2, 3)]), sky([(4, 5)]), budget=100, prune=(5, 5)
+        )
+        assert best is None  # (6, 8) is worse than the current best (5, 5)
+
+    def test_prune_allows_cheaper_tie(self):
+        best, _ = concat_best_under(
+            sky([(2, 3)]), sky([(4, 4)]), budget=100, prune=(6, 8)
+        )
+        assert best[:2] == (6, 7)
+
+    def test_linear_inspection_bound(self):
+        a = sky([(50 - i, i) for i in range(1, 40)])
+        b = sky([(50 - i, i) for i in range(1, 40)])
+        _best, inspected = concat_best_under(a, b, budget=45)
+        assert inspected <= len(a) + len(b)
+
+
+pairs = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=40),
+        st.integers(min_value=1, max_value=40),
+    ),
+    min_size=1,
+    max_size=20,
+)
+
+
+@given(pairs, pairs, st.integers(min_value=1, max_value=90))
+def test_two_pointer_equals_cartesian(a, b, budget):
+    """Lemmas 6-7: the sweep never misses the optimum."""
+    sa, sb = sky(a), sky(b)
+    fast, fast_count = concat_best_under(sa, sb, budget)
+    slow, slow_count = concat_cartesian(sa, sb, budget)
+    if slow is None:
+        assert fast is None
+    else:
+        assert fast is not None
+        assert fast[:2] == slow[:2]
+    assert fast_count <= slow_count
+
+
+@given(pairs, pairs, st.integers(min_value=1, max_value=90))
+def test_two_pointer_linear(a, b, budget):
+    sa, sb = sky(a), sky(b)
+    _best, inspected = concat_best_under(sa, sb, budget)
+    assert inspected <= len(sa) + len(sb)
+
+
+@given(pairs, pairs, st.integers(min_value=1, max_value=90),
+       st.tuples(st.integers(min_value=2, max_value=80),
+                 st.integers(min_value=2, max_value=80)))
+def test_prune_equivalent_to_post_filter(a, b, budget, prune):
+    """Pruned sweep returns the optimum iff it beats the prune pair."""
+    sa, sb = sky(a), sky(b)
+    unpruned, _ = concat_best_under(sa, sb, budget)
+    pruned, _ = concat_best_under(sa, sb, budget, prune=prune)
+    if unpruned is not None and (unpruned[0], unpruned[1]) < prune:
+        assert pruned is not None
+        assert pruned[:2] == unpruned[:2]
+    else:
+        assert pruned is None

@@ -1,0 +1,101 @@
+"""Unit tests for the QHLIndex facade."""
+
+import pytest
+
+from repro.core import QHLIndex, random_index_queries
+from repro.datasets import paper_figure1_network
+from repro.exceptions import DisconnectedGraphError
+from repro.graph import RoadNetwork, random_connected_network
+
+
+class TestBuild:
+    def test_disconnected_rejected(self):
+        g = RoadNetwork(4)
+        g.add_edge(0, 1, weight=1, cost=1)
+        g.add_edge(2, 3, weight=1, cost=1)
+        with pytest.raises(DisconnectedGraphError):
+            QHLIndex.build(g)
+
+    def test_build_deterministic(self):
+        g = paper_figure1_network()
+        a = QHLIndex.build(g, num_index_queries=100, seed=4)
+        b = QHLIndex.build(g, num_index_queries=100, seed=4)
+        assert a.labels.num_entries() == b.labels.num_entries()
+        assert (
+            a.pruning.num_conditions == b.pruning.num_conditions
+        )
+
+    def test_explicit_index_queries_used(self):
+        from repro.types import CSPQuery
+
+        g = paper_figure1_network()
+        index = QHLIndex.build(g, index_queries=[], seed=0)
+        assert index.pruning.num_conditions == 0
+        index2 = QHLIndex.build(
+            g, index_queries=[CSPQuery(7, 3, 13)], seed=0
+        )
+        assert index2.pruning.num_conditions > 0
+
+    def test_store_paths_false(self):
+        g = random_connected_network(15, 10, seed=0)
+        index = QHLIndex.build(
+            g, num_index_queries=50, store_paths=False, seed=0
+        )
+        result = index.query(0, 14, 500)
+        assert result.feasible
+        from repro.exceptions import ReproError
+
+        with pytest.raises(ReproError):
+            index.query(0, 14, 500, want_path=True)
+
+    def test_min_fill_strategy(self):
+        g = random_connected_network(20, 12, seed=2)
+        index = QHLIndex.build(
+            g, num_index_queries=50, strategy="min_fill", seed=2
+        )
+        assert index.query(0, 19, 500).feasible
+
+
+class TestStats:
+    @pytest.fixture(scope="class")
+    def index(self):
+        return QHLIndex.build(
+            paper_figure1_network(), num_index_queries=200, seed=1
+        )
+
+    def test_stats_fields_consistent(self, index):
+        stats = index.stats()
+        assert stats.treewidth == 4
+        assert stats.treeheight == 7
+        assert stats.label_entries == index.labels.num_entries()
+        assert stats.label_bytes == index.labels.size_bytes()
+        assert stats.pruning_conditions == index.pruning.num_conditions
+        assert stats.pruning_bytes == index.pruning.size_bytes()
+
+    def test_build_times_positive(self, index):
+        stats = index.stats()
+        assert stats.tree_seconds > 0
+        assert stats.label_seconds > 0
+        assert stats.pruning_seconds > 0
+
+    def test_pruning_space_small_relative_to_labels(self, index):
+        # The paper's headline: the additional index is tiny.
+        stats = index.stats()
+        assert stats.pruning_bytes < stats.label_bytes
+
+
+class TestRandomIndexQueries:
+    def test_count_and_range(self):
+        g = random_connected_network(10, 5, seed=1)
+        queries = random_index_queries(g, 25, seed=3)
+        assert len(queries) == 25
+        for q in queries:
+            assert 0 <= q.source < 10
+            assert 0 <= q.target < 10
+            assert q.source != q.target
+
+    def test_deterministic(self):
+        g = random_connected_network(10, 5, seed=1)
+        assert random_index_queries(g, 10, seed=3) == random_index_queries(
+            g, 10, seed=3
+        )

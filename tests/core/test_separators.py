@@ -1,0 +1,98 @@
+"""Unit tests for separator initialisation and cost estimation (§3.2)."""
+
+import pytest
+
+from repro.core import LabelFetcher, estimated_cost, initial_separators
+from repro.datasets import paper_figure1_network, v
+from repro.hierarchy import LCAIndex, build_tree_decomposition
+from repro.labeling import build_labels
+
+
+@pytest.fixture(scope="module")
+def built():
+    g = paper_figure1_network()
+    tree = build_tree_decomposition(g)
+    labels = build_labels(tree)
+    return g, tree, labels, LCAIndex(tree)
+
+
+class TestPaperExample11:
+    def test_h_s_and_h_t(self, built):
+        _g, tree, _labels, lca = built
+        lca_v = lca.query(v(8), v(4))
+        c_s, h_s, c_t, h_t = initial_separators(tree, lca_v, v(8), v(4))
+        assert c_s == v(9)
+        assert set(h_s) == {v(10), v(13)}
+        assert c_t == v(5)
+        assert set(h_t) == {v(10), v(12)}
+
+    def test_both_smaller_than_lca_bag(self, built):
+        _g, tree, _labels, lca = built
+        lca_v = lca.query(v(8), v(4))
+        _c_s, h_s, _c_t, h_t = initial_separators(tree, lca_v, v(8), v(4))
+        assert len(h_s) < len(tree.bag_with_self(lca_v))
+        assert len(h_t) < len(tree.bag_with_self(lca_v))
+
+    def test_separator_members_are_common_ancestors(self, built):
+        """Feasibility: every hoplink's node must be an ancestor-or-self
+        of both X(s) and X(t) so both labels hold its sets."""
+        _g, tree, labels, lca = built
+        lca_v = lca.query(v(8), v(4))
+        _c_s, h_s, _c_t, h_t = initial_separators(tree, lca_v, v(8), v(4))
+        for h in tuple(h_s) + tuple(h_t):
+            assert labels.has(v(8), h)
+            assert labels.has(h, v(4))
+
+
+class TestLabelFetcher:
+    def test_memoises_lookups(self, built):
+        _g, _tree, labels, _lca = built
+        fetcher = LabelFetcher(labels, v(8), v(4))
+        first = fetcher.from_s(v(10))
+        second = fetcher.from_s(v(10))
+        assert first is second
+        assert fetcher.lookups == 1
+
+    def test_counts_both_sides(self, built):
+        _g, _tree, labels, _lca = built
+        fetcher = LabelFetcher(labels, v(8), v(4))
+        fetcher.from_s(v(10))
+        fetcher.from_t(v(10))
+        assert fetcher.lookups == 2
+
+    def test_fetches_correct_sets(self, built):
+        from repro.skyline import path_of_pairs
+
+        _g, _tree, labels, _lca = built
+        fetcher = LabelFetcher(labels, v(8), v(4))
+        assert path_of_pairs(fetcher.from_s(v(10))) == [(9, 8), (8, 9)]
+        assert path_of_pairs(fetcher.from_t(v(10))) == [(9, 4), (8, 9)]
+
+
+class TestEstimatedCost:
+    def test_t_h_formula(self, built):
+        """T(H) = sum(|P_sh| + |P_ht|) over the separator."""
+        _g, tree, labels, lca = built
+        lca_v = lca.query(v(8), v(4))
+        _c_s, h_s, _c_t, h_t = initial_separators(tree, lca_v, v(8), v(4))
+        fetcher = LabelFetcher(labels, v(8), v(4))
+        want = sum(
+            len(labels.get(v(8), h)) + len(labels.get(h, v(4)))
+            for h in h_s
+        )
+        assert estimated_cost(fetcher, h_s) == want
+
+    def test_empty_separator_costs_zero(self, built):
+        _g, _tree, labels, _lca = built
+        fetcher = LabelFetcher(labels, v(8), v(4))
+        assert estimated_cost(fetcher, ()) == 0
+
+    def test_smaller_separator_usually_cheaper(self, built):
+        _g, tree, labels, lca = built
+        lca_v = lca.query(v(8), v(4))
+        _c_s, h_s, _c_t, h_t = initial_separators(tree, lca_v, v(8), v(4))
+        fetcher = LabelFetcher(labels, v(8), v(4))
+        full_bag = tree.bag_with_self(lca_v)
+        assert estimated_cost(fetcher, h_s) <= estimated_cost(
+            fetcher, full_bag
+        )

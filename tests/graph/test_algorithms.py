@@ -1,0 +1,149 @@
+"""Unit tests for single-criterion graph algorithms."""
+
+import pytest
+
+from repro.exceptions import DisconnectedGraphError, InvalidGraphError
+from repro.graph import (
+    RoadNetwork,
+    bfs_hops,
+    connected_components,
+    dijkstra,
+    estimate_diameter,
+    exact_diameter,
+    shortest_distance,
+    shortest_path,
+)
+from repro.graph.algorithms import (
+    eccentricity,
+    farthest_vertex,
+    sample_connected_pair,
+)
+
+import random
+
+
+def line_graph(n=5):
+    """0 - 1 - ... - n-1 with weight 2 and cost 3 per edge."""
+    g = RoadNetwork(n)
+    for i in range(n - 1):
+        g.add_edge(i, i + 1, weight=2, cost=3)
+    return g
+
+
+class TestDijkstra:
+    def test_cost_metric(self):
+        dist = dijkstra(line_graph(), 0, metric="cost")
+        assert dist == [0, 3, 6, 9, 12]
+
+    def test_weight_metric(self):
+        dist = dijkstra(line_graph(), 0, metric="weight")
+        assert dist == [0, 2, 4, 6, 8]
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(InvalidGraphError):
+            dijkstra(line_graph(), 0, metric="length")
+
+    def test_unreachable_is_inf(self):
+        g = RoadNetwork(3)
+        g.add_edge(0, 1, weight=1, cost=1)
+        assert dijkstra(g, 0)[2] == float("inf")
+
+    def test_early_stop_covers_targets(self):
+        g = line_graph(6)
+        dist = dijkstra(g, 0, targets=[2])
+        assert dist[2] == 6
+
+    def test_takes_cheaper_route(self):
+        g = RoadNetwork(3)
+        g.add_edge(0, 1, weight=1, cost=10)
+        g.add_edge(1, 2, weight=1, cost=10)
+        g.add_edge(0, 2, weight=9, cost=5)
+        assert dijkstra(g, 0, metric="cost")[2] == 5
+        assert dijkstra(g, 0, metric="weight")[2] == 2
+
+    def test_shortest_distance_helper(self):
+        assert shortest_distance(line_graph(), 0, 4) == 12
+
+
+class TestShortestPath:
+    def test_path_on_line(self):
+        assert shortest_path(line_graph(), 0, 3) == [0, 1, 2, 3]
+
+    def test_path_respects_metric(self):
+        g = RoadNetwork(3)
+        g.add_edge(0, 1, weight=1, cost=10)
+        g.add_edge(1, 2, weight=1, cost=10)
+        g.add_edge(0, 2, weight=9, cost=5)
+        assert shortest_path(g, 0, 2, metric="weight") == [0, 1, 2]
+        assert shortest_path(g, 0, 2, metric="cost") == [0, 2]
+
+    def test_unreachable_raises(self):
+        g = RoadNetwork(3)
+        g.add_edge(0, 1, weight=1, cost=1)
+        with pytest.raises(DisconnectedGraphError):
+            shortest_path(g, 0, 2)
+
+    def test_source_equals_target(self):
+        assert shortest_path(line_graph(), 2, 2) == [2]
+
+
+class TestTraversal:
+    def test_bfs_hops(self):
+        assert bfs_hops(line_graph(), 0) == [0, 1, 2, 3, 4]
+
+    def test_bfs_unreachable(self):
+        g = RoadNetwork(3)
+        g.add_edge(0, 1, weight=1, cost=1)
+        assert bfs_hops(g, 0) == [0, 1, -1]
+
+    def test_connected_components(self):
+        g = RoadNetwork(5)
+        g.add_edge(0, 1, weight=1, cost=1)
+        g.add_edge(2, 3, weight=1, cost=1)
+        comps = sorted(sorted(c) for c in connected_components(g))
+        assert comps == [[0, 1], [2, 3], [4]]
+
+
+class TestDiameter:
+    def test_exact_on_line(self):
+        assert exact_diameter(line_graph(5)) == 12
+
+    def test_estimate_exact_on_line(self):
+        # Double sweep is exact on trees.
+        assert estimate_diameter(line_graph(5)) == 12
+
+    def test_estimate_never_exceeds_exact(self):
+        g = RoadNetwork(6)
+        edges = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (1, 4)]
+        for u, v in edges:
+            g.add_edge(u, v, weight=2, cost=2)
+        assert estimate_diameter(g) <= exact_diameter(g)
+
+    def test_disconnected_rejected(self):
+        g = RoadNetwork(3)
+        g.add_edge(0, 1, weight=1, cost=1)
+        with pytest.raises(DisconnectedGraphError):
+            estimate_diameter(g)
+        with pytest.raises(DisconnectedGraphError):
+            exact_diameter(g)
+
+    def test_eccentricity(self):
+        assert eccentricity(line_graph(5), 2) == 6
+
+    def test_farthest_vertex(self):
+        far, dist = farthest_vertex(line_graph(5), 0)
+        assert (far, dist) == (4, 12)
+
+
+class TestSampling:
+    def test_pair_is_distinct(self):
+        rng = random.Random(0)
+        g = line_graph(4)
+        for _ in range(50):
+            s, t = sample_connected_pair(g, rng)
+            assert s != t
+            assert 0 <= s < 4 and 0 <= t < 4
+
+    def test_single_vertex_rejected(self):
+        with pytest.raises(InvalidGraphError):
+            sample_connected_pair(RoadNetwork(1), random.Random(0))

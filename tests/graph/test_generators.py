@@ -1,0 +1,126 @@
+"""Unit tests for the synthetic network generators."""
+
+import pytest
+
+from repro.exceptions import InvalidGraphError
+from repro.graph import (
+    dense_core_network,
+    grid_network,
+    random_connected_network,
+    random_geometric_network,
+    ring_network,
+)
+
+
+class TestGrid:
+    def test_vertex_count(self):
+        assert grid_network(4, 5, seed=0).num_vertices == 20
+
+    def test_connected(self):
+        assert grid_network(6, 6, seed=1).is_connected()
+
+    def test_deterministic(self):
+        a = grid_network(5, 5, seed=42)
+        b = grid_network(5, 5, seed=42)
+        assert list(a.edges()) == list(b.edges())
+
+    def test_seed_changes_metrics(self):
+        a = grid_network(5, 5, seed=1)
+        b = grid_network(5, 5, seed=2)
+        assert list(a.edges()) != list(b.edges())
+
+    def test_has_grid_edges(self):
+        g = grid_network(3, 3, seed=0, diagonal_prob=0)
+        assert g.has_edge(0, 1)
+        assert g.has_edge(0, 3)
+        assert not g.has_edge(0, 4)  # no diagonals when prob=0
+
+    def test_diagonals_appear_with_prob_one(self):
+        g = grid_network(3, 3, seed=0, diagonal_prob=1.0)
+        # every cell has one of the two diagonals
+        assert g.has_edge(0, 4) or g.has_edge(1, 3)
+
+    def test_positive_metrics(self):
+        g = grid_network(5, 5, seed=3)
+        assert all(w > 0 and c > 0 for _u, _v, w, c in g.edges())
+
+    def test_too_small_rejected(self):
+        with pytest.raises(InvalidGraphError):
+            grid_network(1, 5)
+
+
+class TestRing:
+    def test_connected(self):
+        assert ring_network(num_towns=5, seed=2).is_connected()
+
+    def test_vertex_count(self):
+        g = ring_network(num_towns=4, town_rows=2, town_cols=3, seed=0)
+        assert g.num_vertices == 24
+
+    def test_deterministic(self):
+        a = ring_network(num_towns=5, seed=9)
+        b = ring_network(num_towns=5, seed=9)
+        assert list(a.edges()) == list(b.edges())
+
+    def test_minimum_towns_enforced(self):
+        with pytest.raises(InvalidGraphError):
+            ring_network(num_towns=2)
+
+
+class TestDenseCore:
+    def test_connected(self):
+        assert dense_core_network(seed=4).is_connected()
+
+    def test_vertex_count(self):
+        g = dense_core_network(
+            core_rows=5, core_cols=5, num_corridors=2,
+            corridor_length=3, seed=0,
+        )
+        assert g.num_vertices == 25 + 6
+
+    def test_core_denser_than_plain_grid(self):
+        core = dense_core_network(
+            core_rows=8, core_cols=8, num_corridors=0,
+            corridor_length=0, seed=1,
+        )
+        plain = grid_network(8, 8, seed=1, diagonal_prob=0.0)
+        assert core.num_edges > plain.num_edges
+
+
+class TestRandomConnected:
+    def test_connected_for_various_sizes(self):
+        for n in (1, 2, 5, 30):
+            assert random_connected_network(n, 3, seed=n).is_connected()
+
+    def test_tree_when_no_extra_edges(self):
+        g = random_connected_network(10, 0, seed=5)
+        assert g.num_edges == 9
+
+    def test_extra_edges_added(self):
+        g = random_connected_network(10, 5, seed=5)
+        assert g.num_edges == 14
+
+    def test_zero_vertices_rejected(self):
+        with pytest.raises(InvalidGraphError):
+            random_connected_network(0, 0)
+
+    def test_deterministic(self):
+        a = random_connected_network(15, 8, seed=3)
+        b = random_connected_network(15, 8, seed=3)
+        assert list(a.edges()) == list(b.edges())
+
+
+class TestRandomGeometric:
+    def test_connected_by_construction(self):
+        for seed in range(3):
+            g = random_geometric_network(25, radius=0.1, seed=seed)
+            assert g.is_connected()
+
+    def test_larger_radius_adds_edges(self):
+        sparse = random_geometric_network(30, radius=0.05, seed=2)
+        dense = random_geometric_network(30, radius=0.5, seed=2)
+        assert dense.num_edges > sparse.num_edges
+
+    def test_minimum_size_enforced(self):
+        with pytest.raises(InvalidGraphError):
+            random_geometric_network(1)

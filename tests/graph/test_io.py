@@ -1,0 +1,122 @@
+"""Unit tests for network file formats."""
+
+import pytest
+
+from repro.exceptions import InvalidGraphError
+from repro.graph import (
+    RoadNetwork,
+    grid_network,
+    read_csp_text,
+    read_dimacs_pair,
+    write_csp_text,
+    write_dimacs_pair,
+)
+
+
+@pytest.fixture
+def network():
+    g = RoadNetwork(4)
+    g.add_edge(0, 1, weight=3, cost=7)
+    g.add_edge(1, 2, weight=2, cost=2)
+    g.add_edge(2, 3, weight=5, cost=1)
+    g.add_edge(0, 3, weight=4, cost=9)
+    return g
+
+
+class TestDimacs:
+    def test_roundtrip(self, network, tmp_path):
+        wpath = str(tmp_path / "net.time.gr")
+        cpath = str(tmp_path / "net.dist.gr")
+        write_dimacs_pair(network, wpath, cpath)
+        loaded = read_dimacs_pair(wpath, cpath)
+        assert sorted(loaded.edges()) == sorted(network.edges())
+
+    def test_roundtrip_larger(self, tmp_path):
+        g = grid_network(5, 5, seed=1)
+        wpath = str(tmp_path / "g.w.gr")
+        cpath = str(tmp_path / "g.c.gr")
+        write_dimacs_pair(g, wpath, cpath)
+        loaded = read_dimacs_pair(wpath, cpath)
+        assert sorted(loaded.edges()) == sorted(g.edges())
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        content_w = "c comment\n\np sp 2 2\na 1 2 5\na 2 1 5\n"
+        content_c = "p sp 2 2\na 1 2 9\na 2 1 9\n"
+        (tmp_path / "w.gr").write_text(content_w)
+        (tmp_path / "c.gr").write_text(content_c)
+        g = read_dimacs_pair(str(tmp_path / "w.gr"), str(tmp_path / "c.gr"))
+        assert g.num_vertices == 2
+        assert g.num_edges == 1
+        assert g.edge_metrics(0, 1) == [(5, 9)]
+
+    def test_missing_problem_line_rejected(self, tmp_path):
+        (tmp_path / "w.gr").write_text("a 1 2 5\n")
+        (tmp_path / "c.gr").write_text("a 1 2 9\n")
+        with pytest.raises(InvalidGraphError):
+            read_dimacs_pair(str(tmp_path / "w.gr"), str(tmp_path / "c.gr"))
+
+    def test_mismatched_files_rejected(self, network, tmp_path):
+        wpath = str(tmp_path / "w.gr")
+        cpath = str(tmp_path / "c.gr")
+        write_dimacs_pair(network, wpath, cpath)
+        other = RoadNetwork(2)
+        other.add_edge(0, 1, weight=1, cost=1)
+        write_dimacs_pair(other, str(tmp_path / "o.w.gr"), str(tmp_path / "o.c.gr"))
+        with pytest.raises(InvalidGraphError):
+            read_dimacs_pair(wpath, str(tmp_path / "o.c.gr"))
+
+    def test_unknown_record_rejected(self, tmp_path):
+        (tmp_path / "w.gr").write_text("p sp 2 2\nx 1 2 5\n")
+        (tmp_path / "c.gr").write_text("p sp 2 2\na 1 2 9\n")
+        with pytest.raises(InvalidGraphError):
+            read_dimacs_pair(str(tmp_path / "w.gr"), str(tmp_path / "c.gr"))
+
+
+class TestCspText:
+    def test_roundtrip(self, network, tmp_path):
+        path = str(tmp_path / "net.csp")
+        write_csp_text(network, path)
+        loaded = read_csp_text(path)
+        assert sorted(loaded.edges()) == sorted(network.edges())
+
+    def test_roundtrip_preserves_int_types(self, network, tmp_path):
+        path = str(tmp_path / "net.csp")
+        write_csp_text(network, path)
+        loaded = read_csp_text(path)
+        for _u, _v, w, c in loaded.edges():
+            assert isinstance(w, int)
+            assert isinstance(c, int)
+
+    def test_float_metrics_roundtrip(self, tmp_path):
+        g = RoadNetwork(2)
+        g.add_edge(0, 1, weight=2.5, cost=1.25)
+        path = str(tmp_path / "f.csp")
+        write_csp_text(g, path)
+        assert read_csp_text(path).edge_metrics(0, 1) == [(2.5, 1.25)]
+
+    def test_header_mismatch_rejected(self, tmp_path):
+        (tmp_path / "bad.csp").write_text("csp 2 5\ne 0 1 1 1\n")
+        with pytest.raises(InvalidGraphError):
+            read_csp_text(str(tmp_path / "bad.csp"))
+
+    def test_edge_before_header_rejected(self, tmp_path):
+        (tmp_path / "bad.csp").write_text("e 0 1 1 1\ncsp 2 1\n")
+        with pytest.raises(InvalidGraphError):
+            read_csp_text(str(tmp_path / "bad.csp"))
+
+    def test_missing_header_rejected(self, tmp_path):
+        (tmp_path / "bad.csp").write_text("# nothing here\n")
+        with pytest.raises(InvalidGraphError):
+            read_csp_text(str(tmp_path / "bad.csp"))
+
+    def test_comments_ignored(self, tmp_path):
+        (tmp_path / "ok.csp").write_text(
+            "# header comment\ncsp 2 1\n# edge comment\ne 0 1 4 6\n"
+        )
+        g = read_csp_text(str(tmp_path / "ok.csp"))
+        assert g.edge_metrics(0, 1) == [(4, 6)]
+
+    def test_creates_parent_directory(self, network, tmp_path):
+        path = str(tmp_path / "sub" / "dir" / "net.csp")
+        write_csp_text(network, path)
+        assert read_csp_text(path).num_edges == network.num_edges

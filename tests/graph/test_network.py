@@ -1,0 +1,159 @@
+"""Unit tests for the RoadNetwork graph type."""
+
+import pytest
+
+from repro.exceptions import InvalidGraphError
+from repro.graph import RoadNetwork
+
+
+def build_triangle():
+    g = RoadNetwork(3)
+    g.add_edge(0, 1, weight=2, cost=5)
+    g.add_edge(1, 2, weight=4, cost=1)
+    g.add_edge(0, 2, weight=7, cost=7)
+    return g
+
+
+class TestConstruction:
+    def test_vertex_count(self):
+        assert RoadNetwork(5).num_vertices == 5
+
+    def test_zero_vertices_rejected(self):
+        with pytest.raises(InvalidGraphError):
+            RoadNetwork(0)
+
+    def test_negative_vertices_rejected(self):
+        with pytest.raises(InvalidGraphError):
+            RoadNetwork(-2)
+
+    def test_add_edge_records_both_directions(self):
+        g = RoadNetwork(2)
+        g.add_edge(0, 1, weight=3, cost=4)
+        assert list(g.neighbors(0)) == [(1, 3, 4)]
+        assert list(g.neighbors(1)) == [(0, 3, 4)]
+
+    def test_self_loop_rejected(self):
+        g = RoadNetwork(2)
+        with pytest.raises(InvalidGraphError):
+            g.add_edge(1, 1, weight=1, cost=1)
+
+    def test_zero_weight_rejected(self):
+        g = RoadNetwork(2)
+        with pytest.raises(InvalidGraphError):
+            g.add_edge(0, 1, weight=0, cost=1)
+
+    def test_zero_cost_rejected(self):
+        g = RoadNetwork(2)
+        with pytest.raises(InvalidGraphError):
+            g.add_edge(0, 1, weight=1, cost=0)
+
+    def test_negative_metric_rejected(self):
+        g = RoadNetwork(2)
+        with pytest.raises(InvalidGraphError):
+            g.add_edge(0, 1, weight=-1, cost=1)
+
+    def test_out_of_range_endpoint_rejected(self):
+        g = RoadNetwork(2)
+        with pytest.raises(InvalidGraphError):
+            g.add_edge(0, 2, weight=1, cost=1)
+        with pytest.raises(InvalidGraphError):
+            g.add_edge(-1, 0, weight=1, cost=1)
+
+    def test_parallel_edges_allowed(self):
+        g = RoadNetwork(2)
+        g.add_edge(0, 1, weight=3, cost=4)
+        g.add_edge(0, 1, weight=5, cost=2)
+        assert g.num_edges == 2
+        assert sorted(g.edge_metrics(0, 1)) == [(3, 4), (5, 2)]
+
+    def test_from_edges_roundtrip(self):
+        g = build_triangle()
+        h = RoadNetwork.from_edges(3, g.edges())
+        assert sorted(h.edges()) == sorted(g.edges())
+
+
+class TestInspection:
+    def test_num_edges(self):
+        assert build_triangle().num_edges == 3
+
+    def test_degree(self):
+        g = build_triangle()
+        assert all(g.degree(v) == 2 for v in g.vertices())
+
+    def test_has_edge(self):
+        g = build_triangle()
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 0)
+
+    def test_has_edge_absent(self):
+        g = RoadNetwork(3)
+        g.add_edge(0, 1, weight=1, cost=1)
+        assert not g.has_edge(0, 2)
+
+    def test_edge_metrics_of_missing_edge_empty(self):
+        g = RoadNetwork(3)
+        g.add_edge(0, 1, weight=1, cost=1)
+        assert g.edge_metrics(1, 2) == []
+
+    def test_connected_true(self):
+        assert build_triangle().is_connected()
+
+    def test_connected_false(self):
+        g = RoadNetwork(4)
+        g.add_edge(0, 1, weight=1, cost=1)
+        g.add_edge(2, 3, weight=1, cost=1)
+        assert not g.is_connected()
+
+    def test_single_vertex_is_connected(self):
+        assert RoadNetwork(1).is_connected()
+
+
+class TestDerivation:
+    def test_copy_is_independent(self):
+        g = build_triangle()
+        h = g.copy()
+        h.add_edge(0, 1, weight=9, cost=9)
+        assert g.num_edges == 3
+        assert h.num_edges == 4
+
+    def test_with_metrics_replaces_weights(self):
+        g = build_triangle()
+        h = g.with_metrics(weights=[10, 20, 30])
+        assert [w for _u, _v, w, _c in h.edges()] == [10, 20, 30]
+        # costs untouched
+        assert [c for _u, _v, _w, c in h.edges()] == [5, 1, 7]
+
+    def test_with_metrics_replaces_costs(self):
+        g = build_triangle()
+        h = g.with_metrics(costs=[1, 2, 3])
+        assert [c for _u, _v, _w, c in h.edges()] == [1, 2, 3]
+
+    def test_with_metrics_wrong_length_rejected(self):
+        g = build_triangle()
+        with pytest.raises(InvalidGraphError):
+            g.with_metrics(weights=[1])
+        with pytest.raises(InvalidGraphError):
+            g.with_metrics(costs=[1, 2])
+
+    def test_path_metrics_sums_over_edges(self):
+        g = build_triangle()
+        assert g.path_metrics([0, 1, 2]) == (6, 6)
+
+    def test_path_metrics_single_vertex(self):
+        assert build_triangle().path_metrics([1]) == (0, 0)
+
+    def test_path_metrics_rejects_non_edges(self):
+        g = RoadNetwork(3)
+        g.add_edge(0, 1, weight=1, cost=1)
+        with pytest.raises(InvalidGraphError):
+            g.path_metrics([0, 2])
+
+    def test_path_metrics_rejects_empty(self):
+        with pytest.raises(InvalidGraphError):
+            build_triangle().path_metrics([])
+
+    def test_path_metrics_picks_best_parallel_edge(self):
+        g = RoadNetwork(2)
+        g.add_edge(0, 1, weight=5, cost=5)
+        g.add_edge(0, 1, weight=2, cost=9)
+        assert g.path_metrics([0, 1]) == (2, 9)

@@ -1,0 +1,78 @@
+"""Unit tests for the Euler-tour LCA index."""
+
+import random
+
+import pytest
+
+from repro.datasets import paper_figure1_network, v
+from repro.graph import random_connected_network
+from repro.hierarchy import LCAIndex, build_tree_decomposition
+
+
+@pytest.fixture(scope="module")
+def paper_lca():
+    tree = build_tree_decomposition(paper_figure1_network())
+    return tree, LCAIndex(tree)
+
+
+def naive_lca(tree, a, b):
+    anc_a = [a] + tree.ancestors(a)
+    anc_b = set([b] + tree.ancestors(b))
+    for x in anc_a:
+        if x in anc_b:
+            return x
+    raise AssertionError("trees always share the root")
+
+
+class TestPaperExample:
+    def test_example8_lca_of_v8_v4_is_v10(self, paper_lca):
+        _tree, lca = paper_lca
+        assert lca.query(v(8), v(4)) == v(10)
+
+    def test_ancestor_descendant_pair(self, paper_lca):
+        _tree, lca = paper_lca
+        assert lca.query(v(8), v(13)) == v(13)
+        assert lca.query(v(13), v(8)) == v(13)
+
+    def test_same_vertex(self, paper_lca):
+        _tree, lca = paper_lca
+        assert lca.query(v(7), v(7)) == v(7)
+
+    def test_relation_flags(self, paper_lca):
+        _tree, lca = paper_lca
+        lca_v, s_anc, t_anc = lca.relation(v(13), v(8))
+        assert (lca_v, s_anc, t_anc) == (v(13), True, False)
+        lca_v, s_anc, t_anc = lca.relation(v(8), v(4))
+        assert (lca_v, s_anc, t_anc) == (v(10), False, False)
+
+
+class TestAgainstNaive:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_trees(self, seed):
+        g = random_connected_network(40, 20, seed=seed)
+        tree = build_tree_decomposition(g)
+        lca = LCAIndex(tree)
+        rng = random.Random(seed)
+        for _ in range(100):
+            a, b = rng.randrange(40), rng.randrange(40)
+            assert lca.query(a, b) == naive_lca(tree, a, b)
+
+    def test_symmetric(self, paper_lca):
+        _tree, lca = paper_lca
+        for a in range(13):
+            for b in range(13):
+                assert lca.query(a, b) == lca.query(b, a)
+
+    def test_deep_chain_tree(self):
+        # A path graph decomposes into a deep chain; exercises the
+        # iterative Euler tour.
+        from repro.graph import RoadNetwork
+
+        n = 400
+        g = RoadNetwork(n)
+        for i in range(n - 1):
+            g.add_edge(i, i + 1, weight=1, cost=1)
+        tree = build_tree_decomposition(g)
+        lca = LCAIndex(tree)
+        for a, b in [(0, n - 1), (5, 300), (100, 100)]:
+            assert lca.query(a, b) == naive_lca(tree, a, b)

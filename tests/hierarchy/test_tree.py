@@ -1,0 +1,103 @@
+"""Unit tests for the TreeDecomposition structure."""
+
+import pytest
+
+from repro.datasets import paper_figure1_network, v
+from repro.exceptions import IndexBuildError
+from repro.hierarchy import TreeDecomposition, build_tree_decomposition
+
+
+@pytest.fixture(scope="module")
+def paper_tree():
+    return build_tree_decomposition(paper_figure1_network())
+
+
+class TestStructure:
+    def test_position_inverts_order(self, paper_tree):
+        for pos, vtx in enumerate(paper_tree.order):
+            assert paper_tree.position[vtx] == pos
+
+    def test_children_consistent_with_parent(self, paper_tree):
+        for vtx in range(paper_tree.num_vertices):
+            for child in paper_tree.children[vtx]:
+                assert paper_tree.parent[child] == vtx
+
+    def test_depth_of_root_is_zero(self, paper_tree):
+        assert paper_tree.depth[paper_tree.root] == 0
+
+    def test_depth_increments_from_parent(self, paper_tree):
+        for vtx in range(paper_tree.num_vertices):
+            if vtx != paper_tree.root:
+                parent = paper_tree.parent[vtx]
+                assert paper_tree.depth[vtx] == paper_tree.depth[parent] + 1
+
+    def test_topdown_order_visits_parent_first(self, paper_tree):
+        seen = set()
+        for vtx in paper_tree.topdown_order:
+            if vtx != paper_tree.root:
+                assert paper_tree.parent[vtx] in seen
+            seen.add(vtx)
+
+    def test_bag_with_self(self, paper_tree):
+        assert paper_tree.bag_with_self(v(10)) == (
+            v(10),
+        ) + paper_tree.bag[v(10)]
+
+    def test_bag_sorted_by_position(self, paper_tree):
+        for vtx in range(paper_tree.num_vertices):
+            positions = [paper_tree.position[u] for u in paper_tree.bag[vtx]]
+            assert positions == sorted(positions)
+
+
+class TestAncestry:
+    def test_ancestors_of_v8(self, paper_tree):
+        # Chain from Figure 3: X(v8) -> X(v9) -> X(v10) -> ... -> X(v13).
+        assert paper_tree.ancestors(v(8)) == [
+            v(9), v(10), v(11), v(12), v(13)
+        ]
+
+    def test_ancestors_of_root_empty(self, paper_tree):
+        assert paper_tree.ancestors(paper_tree.root) == []
+
+    def test_is_ancestor(self, paper_tree):
+        assert paper_tree.is_ancestor(v(10), v(8))
+        assert not paper_tree.is_ancestor(v(8), v(10))
+        assert not paper_tree.is_ancestor(v(8), v(8))
+
+    def test_child_towards(self, paper_tree):
+        # Example 11: the child of X(v10) on v8's branch is X(v9);
+        # on v4's branch it is X(v5).
+        assert paper_tree.child_towards(v(10), v(8)) == v(9)
+        assert paper_tree.child_towards(v(10), v(4)) == v(5)
+
+    def test_child_towards_direct_child(self, paper_tree):
+        assert paper_tree.child_towards(v(10), v(9)) == v(9)
+
+    def test_child_towards_non_descendant_raises(self, paper_tree):
+        with pytest.raises(IndexBuildError):
+            paper_tree.child_towards(v(8), v(13))
+
+
+class TestStatistics:
+    def test_treewidth(self, paper_tree):
+        assert paper_tree.treewidth == 4
+
+    def test_treeheight_counts_root_as_one(self, paper_tree):
+        # Deepest chain: v13,v12,v11,v10,v9,v8,v1|v2|v3 -> height 7.
+        assert paper_tree.treeheight == 7
+
+    def test_average_height_bounds(self, paper_tree):
+        assert 1 <= paper_tree.average_height <= paper_tree.treeheight
+
+
+class TestValidationOnConstruction:
+    def test_incomplete_order_rejected(self):
+        with pytest.raises(IndexBuildError):
+            TreeDecomposition(3, [0, 1], {0: (), 1: (), 2: ()}, {})
+
+    def test_multiple_roots_rejected(self):
+        # Two bag-less vertices => forest, not a tree.
+        with pytest.raises(IndexBuildError):
+            TreeDecomposition(
+                2, [0, 1], {0: (), 1: ()}, {0: {}, 1: {}}
+            )

@@ -1,0 +1,122 @@
+"""Definition 7 / separator property tests over generated networks.
+
+These are the paper's load-bearing structural facts: Definition 7's three
+conditions, Properties 1-2, and Lemma 1's separator guarantees.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import paper_figure1_network, v
+from repro.graph import grid_network, random_connected_network
+from repro.hierarchy import (
+    LCAIndex,
+    build_tree_decomposition,
+    is_separator,
+    validate_definition7,
+    validate_property1,
+    validate_property2,
+)
+
+
+class TestDefinition7:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_networks(self, seed):
+        g = random_connected_network(25, 18, seed=seed)
+        td = build_tree_decomposition(g)
+        assert validate_definition7(g, td) == []
+
+    def test_grid(self):
+        g = grid_network(5, 5, seed=0)
+        td = build_tree_decomposition(g)
+        assert validate_definition7(g, td) == []
+
+    def test_paper_example(self):
+        g = paper_figure1_network()
+        td = build_tree_decomposition(g)
+        assert validate_definition7(g, td) == []
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(min_value=2, max_value=20),
+        extra=st.integers(min_value=0, max_value=15),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_property_fuzz(self, n, extra, seed):
+        g = random_connected_network(n, extra, seed=seed)
+        td = build_tree_decomposition(g)
+        assert validate_definition7(g, td) == []
+        assert validate_property1(td) == []
+        assert validate_property2(td) == []
+
+
+class TestProperties:
+    @pytest.mark.parametrize("strategy", ["min_degree", "min_fill"])
+    def test_both_strategies(self, strategy):
+        g = random_connected_network(30, 20, seed=3)
+        td = build_tree_decomposition(g, strategy=strategy)
+        assert validate_property1(td) == []
+        assert validate_property2(td) == []
+
+
+class TestSeparators:
+    def test_paper_example7(self):
+        # {v10, v13} separates v8 from v4.
+        g = paper_figure1_network()
+        assert is_separator(g, v(8), v(4), {v(10), v(13)})
+
+    def test_paper_example8_lca_bag_separates(self):
+        g = paper_figure1_network()
+        assert is_separator(g, v(8), v(4), {v(10), v(11), v(12), v(13)})
+
+    def test_not_a_separator(self):
+        g = paper_figure1_network()
+        assert not is_separator(g, v(8), v(4), {v(1)})
+
+    def test_endpoint_in_separator_is_trivially_true(self):
+        g = paper_figure1_network()
+        assert is_separator(g, v(8), v(4), {v(8)})
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_lemma1_lca_bag_is_separator(self, seed):
+        """Lemma 1: for non-ancestor pairs, X(l) separates s from t."""
+        g = random_connected_network(30, 20, seed=seed)
+        td = build_tree_decomposition(g)
+        lca = LCAIndex(td)
+        rng = random.Random(seed)
+        checked = 0
+        while checked < 20:
+            s, t = rng.randrange(30), rng.randrange(30)
+            if s == t:
+                continue
+            l, s_anc, t_anc = lca.relation(s, t)
+            if s_anc or t_anc:
+                continue
+            assert is_separator(g, s, t, set(td.bag_with_self(l)))
+            checked += 1
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_lemma1_path_bags_are_separators(self, seed):
+        """Lemma 1's second half: X(v)\\{v} separates for every node on
+        the tree path except the LCA — this is what makes H(s)/H(t)
+        valid."""
+        g = random_connected_network(30, 20, seed=seed)
+        td = build_tree_decomposition(g)
+        lca = LCAIndex(td)
+        rng = random.Random(100 + seed)
+        checked = 0
+        while checked < 10:
+            s, t = rng.randrange(30), rng.randrange(30)
+            if s == t:
+                continue
+            l, s_anc, t_anc = lca.relation(s, t)
+            if s_anc or t_anc:
+                continue
+            c_s = td.child_towards(l, s)
+            c_t = td.child_towards(l, t)
+            assert is_separator(g, s, t, set(td.bag[c_s]))
+            assert is_separator(g, s, t, set(td.bag[c_t]))
+            checked += 1

@@ -1,0 +1,123 @@
+"""Hypothesis fuzzing for the extension subsystems.
+
+Each extension gets the same treatment the core received: random
+networks, random queries, exact agreement with an independent
+ground-truth search.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import constrained_dijkstra
+from repro.directed import (
+    DirectedQHLIndex,
+    directed_constrained_dijkstra,
+    directed_from_undirected,
+)
+from repro.dynamic import DynamicQHLIndex
+from repro.forest import ForestQHLIndex
+from repro.graph import RoadNetwork, random_connected_network
+from repro.multicsp import (
+    MultiCSPIndex,
+    MultiMetricNetwork,
+    multi_dijkstra_reference,
+)
+
+SETTINGS = dict(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@settings(**SETTINGS)
+@given(
+    n=st.integers(min_value=2, max_value=15),
+    extra=st.integers(min_value=0, max_value=12),
+    seed=st.integers(min_value=0, max_value=5000),
+    data=st.data(),
+)
+def test_fuzz_directed(n, extra, seed, data):
+    base = random_connected_network(n, extra, seed=seed)
+    g = directed_from_undirected(base, seed=seed)
+    index = DirectedQHLIndex.build(g, num_index_queries=40, seed=seed)
+    for _ in range(6):
+        s = data.draw(st.integers(min_value=0, max_value=n - 1))
+        t = data.draw(st.integers(min_value=0, max_value=n - 1))
+        budget = data.draw(st.integers(min_value=0, max_value=250))
+        truth = directed_constrained_dijkstra(g, s, t, budget)
+        assert index.query(s, t, budget).pair() == truth.pair()
+
+
+@settings(**SETTINGS)
+@given(
+    n=st.integers(min_value=2, max_value=14),
+    extra=st.integers(min_value=0, max_value=10),
+    seed=st.integers(min_value=0, max_value=5000),
+    data=st.data(),
+)
+def test_fuzz_multicsp(n, extra, seed, data):
+    base = random_connected_network(n, extra, seed=seed)
+    tolls = [
+        data.draw(st.integers(min_value=1, max_value=12))
+        for _ in range(base.num_edges)
+    ]
+    multi = MultiMetricNetwork.from_network(base, extra_costs=[tolls])
+    index = MultiCSPIndex.build(multi)
+    for _ in range(5):
+        s = data.draw(st.integers(min_value=0, max_value=n - 1))
+        t = data.draw(st.integers(min_value=0, max_value=n - 1))
+        budgets = (
+            data.draw(st.integers(min_value=0, max_value=200)),
+            data.draw(st.integers(min_value=0, max_value=100)),
+        )
+        assert index.query(s, t, budgets) == multi_dijkstra_reference(
+            multi, s, t, budgets
+        )
+
+
+@settings(**SETTINGS)
+@given(
+    n=st.integers(min_value=2, max_value=16),
+    extra=st.integers(min_value=0, max_value=12),
+    parts=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=5000),
+    data=st.data(),
+)
+def test_fuzz_forest(n, extra, parts, seed, data):
+    g = random_connected_network(n, extra, seed=seed)
+    forest = ForestQHLIndex(g, num_parts=parts, seed=seed)
+    for _ in range(5):
+        s = data.draw(st.integers(min_value=0, max_value=n - 1))
+        t = data.draw(st.integers(min_value=0, max_value=n - 1))
+        budget = data.draw(st.integers(min_value=0, max_value=250))
+        truth = constrained_dijkstra(g, s, t, budget, want_path=False)
+        assert forest.query(s, t, budget).pair() == truth.pair()
+
+
+@settings(**SETTINGS)
+@given(
+    n=st.integers(min_value=3, max_value=14),
+    extra=st.integers(min_value=1, max_value=10),
+    seed=st.integers(min_value=0, max_value=5000),
+    data=st.data(),
+)
+def test_fuzz_dynamic_update_sequences(n, extra, seed, data):
+    g = random_connected_network(n, extra, seed=seed)
+    dyn = DynamicQHLIndex.build(g, num_index_queries=30, seed=0)
+    for _ in range(3):
+        edge = data.draw(
+            st.integers(min_value=0, max_value=g.num_edges - 1)
+        )
+        dyn.update_edge(
+            edge,
+            weight=data.draw(st.integers(min_value=1, max_value=25)),
+            cost=data.draw(st.integers(min_value=1, max_value=25)),
+        )
+    current = RoadNetwork.from_edges(n, dyn.network_edges())
+    for _ in range(5):
+        s = data.draw(st.integers(min_value=0, max_value=n - 1))
+        t = data.draw(st.integers(min_value=0, max_value=n - 1))
+        budget = data.draw(st.integers(min_value=0, max_value=250))
+        truth = constrained_dijkstra(current, s, t, budget, want_path=False)
+        assert dyn.query(s, t, budget).pair() == truth.pair()

@@ -1,0 +1,122 @@
+"""Integration: the paper's qualitative claims hold on our stand-ins.
+
+These are the trends the benchmarks print (Figures 6-8); the tests pin
+the *direction* of each effect on a small grid so a regression that
+silently destroys the paper's result fails CI.
+"""
+
+import random
+
+import pytest
+
+from repro.core import QHLIndex
+from repro.graph import estimate_diameter, grid_network, shortest_distance
+from repro.instrument import run_workload
+from repro.types import CSPQuery
+from repro.workloads import generate_distance_sets
+
+
+@pytest.fixture(scope="module")
+def setup():
+    g = grid_network(10, 10, seed=55)
+    d_max = estimate_diameter(g)
+    sets = generate_distance_sets(g, size=60, d_max=d_max, seed=55)
+    index_queries = [q for s in sets.values() for q in s.queries][::3]
+    index = QHLIndex.build(g, index_queries=index_queries, seed=55)
+    return g, index, sets
+
+
+def total_stats(engine, queries):
+    hop = con = 0
+    for q in queries:
+        r = engine.query(q.source, q.target, q.budget)
+        hop += r.stats.hoplinks
+        con += r.stats.concatenations
+    return hop, con
+
+
+class TestFigure7Claims:
+    def test_qhl_uses_fewer_hoplinks_than_csp2hop(self, setup):
+        _g, index, sets = setup
+        qhl = index.qhl_engine()
+        c2h = index.csp2hop_engine()
+        for name in ("Q3", "Q4", "Q5"):
+            qhl_hop, _ = total_stats(qhl, sets[name].queries)
+            c2h_hop, _ = total_stats(c2h, sets[name].queries)
+            assert qhl_hop < c2h_hop, name
+
+    def test_qhl_performs_fewer_concatenations(self, setup):
+        _g, index, sets = setup
+        qhl = index.qhl_engine()
+        c2h = index.csp2hop_engine()
+        for name in ("Q3", "Q4", "Q5"):
+            _, qhl_con = total_stats(qhl, sets[name].queries)
+            _, c2h_con = total_stats(c2h, sets[name].queries)
+            assert qhl_con < c2h_con, name
+
+    def test_concatenations_grow_with_distance_band(self, setup):
+        _g, index, sets = setup
+        c2h = index.csp2hop_engine()
+        _, con_q1 = total_stats(c2h, sets["Q1"].queries)
+        _, con_q5 = total_stats(c2h, sets["Q5"].queries)
+        assert con_q5 > con_q1
+
+
+class TestFigure8Claims:
+    def test_removing_pruning_conditions_costs_concatenations(self, setup):
+        _g, index, sets = setup
+        full = index.qhl_engine()
+        no_prune = index.qhl_engine(use_pruning_conditions=False)
+        _, con_full = total_stats(full, sets["Q2"].queries)
+        _, con_no_prune = total_stats(no_prune, sets["Q2"].queries)
+        assert con_full <= con_no_prune
+
+    def test_removing_two_pointer_costs_more(self, setup):
+        _g, index, sets = setup
+        full = index.qhl_engine()
+        cartesian = index.qhl_engine(use_two_pointer=False)
+        _, con_full = total_stats(full, sets["Q4"].queries)
+        _, con_cart = total_stats(cartesian, sets["Q4"].queries)
+        assert con_full < con_cart
+
+
+class TestHarness:
+    def test_run_workload_aggregates(self, setup):
+        _g, index, sets = setup
+        report = run_workload(
+            index.qhl_engine(), sets["Q1"].queries, workload_name="Q1"
+        )
+        assert report.num_queries == len(sets["Q1"])
+        assert report.feasible == report.num_queries  # C >= d always
+        assert report.avg_ms > 0
+        assert report.workload == "Q1"
+        assert "Q1" in report.row()
+        assert report.header()
+
+    def test_run_workload_counts_infeasible(self, setup):
+        _g, index, _sets = setup
+        queries = [CSPQuery(0, 99, 1)]  # unreachable within budget 1
+        report = run_workload(index.qhl_engine(), queries)
+        assert report.feasible == 0
+
+    def test_avg_us_scales_ms(self, setup):
+        _g, index, sets = setup
+        report = run_workload(index.qhl_engine(), sets["Q1"].queries[:5])
+        assert report.avg_us == pytest.approx(report.avg_ms * 1000)
+
+
+class TestWorkloadFeasibility:
+    def test_paper_budgets_always_feasible(self, setup):
+        """C = 0.5 C_max + 0.5 d >= d, so every Q query has an answer."""
+        g, index, sets = setup
+        rng = random.Random(0)
+        for name, qset in sets.items():
+            for q in rng.sample(qset.queries, 10):
+                assert index.query(q.source, q.target, q.budget).feasible
+
+    def test_budget_below_distance_is_infeasible(self, setup):
+        g, index, sets = setup
+        q = sets["Q5"].queries[0]
+        d = shortest_distance(g, q.source, q.target)
+        result = index.query(q.source, q.target, d * 0.99)
+        assert not result.feasible

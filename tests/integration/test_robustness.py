@@ -1,0 +1,132 @@
+"""Robustness: unusual-but-legal inputs through the whole pipeline.
+
+Parallel edges, float metrics, huge budgets, deep path graphs, repeated
+builds — cases the individual unit tests touch only per-module.
+"""
+
+import random
+
+import pytest
+
+from repro.baselines import constrained_dijkstra
+from repro.core import QHLIndex
+from repro.graph import RoadNetwork
+
+
+def network_with_parallel_edges(seed=0):
+    """A random network where every edge has a metric-flipped twin."""
+    rng = random.Random(seed)
+    g = RoadNetwork(15)
+    for v in range(1, 15):
+        u = rng.randrange(v)
+        w, c = rng.randint(1, 9), rng.randint(1, 9)
+        g.add_edge(u, v, w, c)
+        g.add_edge(u, v, c + 1, w + 1)  # incomparable twin
+    return g
+
+
+class TestParallelEdges:
+    def test_full_pipeline_agreement(self):
+        g = network_with_parallel_edges(seed=1)
+        index = QHLIndex.build(g, num_index_queries=200, seed=1)
+        rng = random.Random(2)
+        for _ in range(40):
+            s, t = rng.randrange(15), rng.randrange(15)
+            budget = rng.randint(1, 120)
+            want = constrained_dijkstra(g, s, t, budget, want_path=False)
+            assert index.query(s, t, budget).pair() == want.pair()
+
+    def test_paths_remain_expandable(self):
+        g = network_with_parallel_edges(seed=3)
+        index = QHLIndex.build(g, num_index_queries=100, seed=3)
+        result = index.query(0, 14, 500, want_path=True)
+        if result.feasible:
+            assert result.path[0] == 0 and result.path[-1] == 14
+            # path_metrics picks the best parallel edge per hop, which
+            # can only be as good as the reported pair.
+            w, c = g.path_metrics(result.path)
+            assert w <= result.weight and c <= result.cost or (
+                (w, c) == result.pair()
+            )
+
+
+class TestFloatMetrics:
+    def test_float_weights_and_costs(self):
+        rng = random.Random(7)
+        g = RoadNetwork(12)
+        for v in range(1, 12):
+            u = rng.randrange(v)
+            g.add_edge(u, v, rng.uniform(0.1, 5.0), rng.uniform(0.1, 5.0))
+        for _ in range(6):
+            a, b = rng.randrange(12), rng.randrange(12)
+            if a != b and not g.has_edge(a, b):
+                g.add_edge(a, b, rng.uniform(0.1, 5.0), rng.uniform(0.1, 5.0))
+        index = QHLIndex.build(g, num_index_queries=150, seed=7)
+        for _ in range(30):
+            s, t = rng.randrange(12), rng.randrange(12)
+            budget = rng.uniform(0.5, 40.0)
+            want = constrained_dijkstra(g, s, t, budget, want_path=False)
+            got = index.query(s, t, budget)
+            if want.feasible:
+                assert got.weight == pytest.approx(want.weight)
+                assert got.cost == pytest.approx(want.cost)
+            else:
+                assert not got.feasible
+
+
+class TestExtremes:
+    def test_two_vertex_network(self):
+        g = RoadNetwork(2)
+        g.add_edge(0, 1, weight=3, cost=4)
+        index = QHLIndex.build(g, num_index_queries=10, seed=0)
+        assert index.query(0, 1, 4).pair() == (3, 4)
+        assert not index.query(0, 1, 3).feasible
+
+    def test_deep_path_graph(self):
+        n = 200
+        g = RoadNetwork(n)
+        for i in range(n - 1):
+            g.add_edge(i, i + 1, weight=2, cost=3)
+        index = QHLIndex.build(g, num_index_queries=50, seed=0)
+        result = index.query(0, n - 1, 3 * (n - 1), want_path=True)
+        assert result.pair() == (2 * (n - 1), 3 * (n - 1))
+        assert result.path == list(range(n))
+
+    def test_huge_budget(self, small_grid, small_grid_index):
+        result = small_grid_index.query(0, 63, budget=float("inf"))
+        want = constrained_dijkstra(
+            small_grid, 0, 63, float("inf"), want_path=False
+        )
+        assert result.pair() == want.pair()
+
+    def test_zero_budget_same_vertex_only(self, small_grid_index):
+        assert small_grid_index.query(5, 5, 0).pair() == (0, 0)
+        assert not small_grid_index.query(5, 6, 0).feasible
+
+    def test_repeated_queries_deterministic(self, small_grid_index):
+        results = {
+            small_grid_index.query(3, 60, 250).pair() for _ in range(10)
+        }
+        assert len(results) == 1
+
+    def test_query_does_not_mutate_index(self, small_grid_index):
+        before = small_grid_index.labels.num_entries()
+        for budget in (10, 100, 1000):
+            small_grid_index.query(0, 63, budget)
+        assert small_grid_index.labels.num_entries() == before
+
+
+class TestCompleteGraph:
+    def test_clique_pipeline(self):
+        rng = random.Random(11)
+        n = 10
+        g = RoadNetwork(n)
+        for i in range(n):
+            for j in range(i + 1, n):
+                g.add_edge(i, j, rng.randint(1, 20), rng.randint(1, 20))
+        index = QHLIndex.build(g, num_index_queries=100, seed=11)
+        for _ in range(30):
+            s, t = rng.randrange(n), rng.randrange(n)
+            budget = rng.randint(1, 60)
+            want = constrained_dijkstra(g, s, t, budget, want_path=False)
+            assert index.query(s, t, budget).pair() == want.pair()

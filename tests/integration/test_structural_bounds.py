@@ -1,0 +1,99 @@
+"""Structural bounds the paper's analysis relies on (§5.2.1).
+
+"|Hoplinks| are bounded by the treewidth … determined by the tree
+decomposition algorithm which only uses V and E but not w and c."
+"""
+
+import random
+
+import pytest
+
+from repro.core import QHLIndex
+from repro.graph import grid_network, random_connected_network
+from repro.hierarchy import build_tree_decomposition
+
+
+class TestHoplinkBounds:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_hoplinks_bounded_by_treewidth(self, seed):
+        g = random_connected_network(35, 30, seed=seed)
+        index = QHLIndex.build(g, num_index_queries=150, seed=seed)
+        omega = index.tree.treewidth
+        rng = random.Random(seed)
+        for _ in range(50):
+            s, t = rng.randrange(35), rng.randrange(35)
+            result = index.query(s, t, rng.randint(1, 300))
+            assert result.stats.hoplinks <= omega
+
+    def test_csp2hop_hoplinks_also_bounded(self):
+        g = grid_network(7, 7, seed=4)
+        index = QHLIndex.build(g, num_index_queries=150, seed=4)
+        engine = index.csp2hop_engine()
+        omega = index.tree.treewidth
+        rng = random.Random(4)
+        for _ in range(40):
+            s, t = rng.randrange(49), rng.randrange(49)
+            result = engine.query(s, t, rng.randint(10, 400))
+            assert result.stats.hoplinks <= omega
+
+    def test_qhl_separators_never_exceed_lca_bag(self):
+        """H(s), H(t) ⊆ X(l): the §3.2 guarantee behind 'fewer
+        hoplinks'."""
+        from repro.core import initial_separators
+        from repro.hierarchy import LCAIndex
+
+        g = random_connected_network(30, 25, seed=6)
+        tree = build_tree_decomposition(g)
+        lca = LCAIndex(tree)
+        rng = random.Random(6)
+        checked = 0
+        while checked < 25:
+            s, t = rng.randrange(30), rng.randrange(30)
+            if s == t:
+                continue
+            l, s_anc, t_anc = lca.relation(s, t)
+            if s_anc or t_anc:
+                continue
+            _c_s, h_s, _c_t, h_t = initial_separators(tree, l, s, t)
+            bag = set(tree.bag_with_self(l))
+            assert set(h_s).issubset(bag)
+            assert set(h_t).issubset(bag)
+            checked += 1
+
+
+class TestMetricIndependence:
+    def test_tree_structure_ignores_metrics(self):
+        """Same topology, different metrics ⇒ identical decomposition
+        structure (the reason hoplink counts are metric-independent)."""
+        import random as rnd
+
+        g1 = grid_network(6, 6, seed=1)
+        rng = rnd.Random(99)
+        g2 = g1.with_metrics(
+            weights=[rng.randint(1, 50) for _ in range(g1.num_edges)],
+            costs=[rng.randint(1, 50) for _ in range(g1.num_edges)],
+        )
+        t1 = build_tree_decomposition(g1)
+        t2 = build_tree_decomposition(g2)
+        assert t1.order == t2.order
+        assert t1.bag == t2.bag
+        assert t1.parent == t2.parent
+
+
+class TestStrategyInvariance:
+    def test_min_fill_answers_match_min_degree(self):
+        """The elimination heuristic changes costs, never answers."""
+        g = random_connected_network(28, 22, seed=9)
+        a = QHLIndex.build(
+            g, num_index_queries=100, strategy="min_degree", seed=9
+        )
+        b = QHLIndex.build(
+            g, num_index_queries=100, strategy="min_fill", seed=9
+        )
+        rng = random.Random(9)
+        for _ in range(40):
+            s, t = rng.randrange(28), rng.randrange(28)
+            budget = rng.randint(1, 300)
+            assert a.query(s, t, budget).pair() == b.query(
+                s, t, budget
+            ).pair()

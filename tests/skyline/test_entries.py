@@ -1,0 +1,89 @@
+"""Unit tests for skyline entries and path expansion."""
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.skyline import (
+    edge_entry,
+    expand,
+    join_entry,
+    path_of_pairs,
+    zero_entry,
+)
+
+
+class TestConstruction:
+    def test_edge_entry_pair(self):
+        assert edge_entry(3, 4, 0, 1)[:2] == (3, 4)
+
+    def test_edge_entry_without_provenance(self):
+        assert edge_entry(3, 4, 0, 1, with_prov=False)[2] is None
+
+    def test_join_adds_metrics(self):
+        a = edge_entry(3, 4, 0, 1)
+        b = edge_entry(5, 6, 1, 2)
+        assert join_entry(a, b, mid=1)[:2] == (8, 10)
+
+    def test_join_drops_provenance_when_child_lacks_it(self):
+        a = edge_entry(3, 4, 0, 1, with_prov=False)
+        b = edge_entry(5, 6, 1, 2)
+        assert join_entry(a, b, mid=1)[2] is None
+
+    def test_zero_entry_is_identity(self):
+        z = zero_entry(0)
+        e = edge_entry(3, 4, 0, 1)
+        assert join_entry(z, e, mid=0)[:2] == (3, 4)
+
+
+class TestExpansion:
+    def test_edge_forward(self):
+        assert expand(edge_entry(1, 1, 4, 7), 4, 7) == [4, 7]
+
+    def test_edge_reversed(self):
+        assert expand(edge_entry(1, 1, 4, 7), 7, 4) == [7, 4]
+
+    def test_zero(self):
+        assert expand(zero_entry(3), 3, 3) == [3]
+
+    def test_join_forward(self):
+        a = edge_entry(1, 1, 0, 1)
+        b = edge_entry(1, 1, 1, 2)
+        assert expand(join_entry(a, b, mid=1), 0, 2) == [0, 1, 2]
+
+    def test_join_reversed(self):
+        a = edge_entry(1, 1, 0, 1)
+        b = edge_entry(1, 1, 1, 2)
+        assert expand(join_entry(a, b, mid=1), 2, 0) == [2, 1, 0]
+
+    def test_join_with_reversed_children(self):
+        # Children built in the "wrong" direction still orient correctly.
+        a = edge_entry(1, 1, 1, 0)  # built as (1, 0)
+        b = edge_entry(1, 1, 2, 1)  # built as (2, 1)
+        assert expand(join_entry(a, b, mid=1), 0, 2) == [0, 1, 2]
+
+    def test_nested_joins(self):
+        e01 = edge_entry(1, 1, 0, 1)
+        e12 = edge_entry(1, 1, 1, 2)
+        e23 = edge_entry(1, 1, 2, 3)
+        left = join_entry(e01, e12, mid=1)
+        full = join_entry(left, e23, mid=2)
+        assert expand(full, 0, 3) == [0, 1, 2, 3]
+        assert expand(full, 3, 0) == [3, 2, 1, 0]
+
+    def test_missing_provenance_raises(self):
+        with pytest.raises(ReproError):
+            expand((1, 1, None), 0, 1)
+
+    def test_wrong_endpoints_raise(self):
+        with pytest.raises(ReproError):
+            expand(edge_entry(1, 1, 0, 1), 0, 5)
+
+    def test_anonymous_zero_cannot_expand(self):
+        with pytest.raises(ReproError):
+            expand(zero_entry(), 0, 0)
+
+
+class TestHelpers:
+    def test_path_of_pairs(self):
+        entries = [edge_entry(1, 2, 0, 1), edge_entry(3, 4, 1, 2)]
+        assert path_of_pairs(entries) == [(1, 2), (3, 4)]

@@ -1,0 +1,80 @@
+"""Unit tests for the multi-constraint skyline algebra."""
+
+from repro.skyline import m_best_under, m_dominates, m_join, m_skyline
+
+
+class TestMDominates:
+    def test_strictly_better(self):
+        assert m_dominates((1, (1, 1)), (2, (2, 2)))
+
+    def test_better_on_weight_only(self):
+        assert m_dominates((1, (2, 2)), (2, (2, 2)))
+
+    def test_better_on_one_cost_only(self):
+        assert m_dominates((2, (1, 2)), (2, (2, 2)))
+
+    def test_equal_does_not_dominate(self):
+        assert not m_dominates((2, (2, 2)), (2, (2, 2)))
+
+    def test_tradeoff_does_not_dominate(self):
+        assert not m_dominates((1, (9, 1)), (2, (1, 9)))
+
+
+class TestMSkyline:
+    def test_empty(self):
+        assert m_skyline([]) == []
+
+    def test_removes_dominated(self):
+        sky = m_skyline([(1, (1, 1)), (2, (2, 2))])
+        assert sky == [(1, (1, 1))]
+
+    def test_keeps_pareto_front(self):
+        pool = [(1, (9, 1)), (2, (1, 9)), (3, (5, 5)), (4, (6, 6))]
+        sky = m_skyline(pool)
+        assert (4, (6, 6)) not in sky
+        assert len(sky) == 3
+
+    def test_deduplicates(self):
+        assert m_skyline([(1, (2, 3)), (1, (2, 3))]) == [(1, (2, 3))]
+
+    def test_matches_bruteforce(self):
+        pool = [
+            (1, (5, 5)), (2, (4, 4)), (3, (3, 6)), (2, (6, 3)),
+            (5, (1, 1)), (4, (2, 5)),
+        ]
+        sky = set(m_skyline(pool))
+        brute = {
+            p for p in pool
+            if not any(m_dominates(q, p) for q in pool if q != p)
+        }
+        assert sky == brute
+
+
+class TestMJoin:
+    def test_adds_componentwise(self):
+        got = m_join([(1, (2, 3))], [(4, (5, 6))])
+        assert got == [(5, (7, 9))]
+
+    def test_budget_filter(self):
+        got = m_join(
+            [(1, (2, 3))], [(4, (5, 6))], budgets=(7, 8)
+        )
+        assert got == []  # costs (7, 9) violate the second budget
+
+    def test_result_is_pareto(self):
+        a = [(1, (9, 1)), (9, (1, 9))]
+        b = [(1, (1, 1))]
+        got = m_join(a, b)
+        assert got == m_skyline(got)
+
+
+class TestMBestUnder:
+    def test_picks_min_weight_feasible(self):
+        front = [(1, (9, 9)), (5, (2, 2)), (3, (5, 5))]
+        assert m_best_under(front, (6, 6)) == (3, (5, 5))
+
+    def test_none_when_infeasible(self):
+        assert m_best_under([(1, (9, 9))], (2, 2)) is None
+
+    def test_empty_front(self):
+        assert m_best_under([], (5, 5)) is None

@@ -1,0 +1,150 @@
+"""Property-based tests (hypothesis) for the skyline algebra.
+
+These invariants are what the whole index build rests on, so they get the
+heaviest fuzzing in the suite.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.skyline import (
+    best_under,
+    dominates,
+    filter_under,
+    is_canonical,
+    join,
+    m_dominates,
+    m_join,
+    m_skyline,
+    merge,
+    path_of_pairs,
+    skyline_of,
+)
+
+pair = st.tuples(
+    st.integers(min_value=1, max_value=50),
+    st.integers(min_value=1, max_value=50),
+)
+pairs = st.lists(pair, min_size=0, max_size=30)
+
+
+def entries(ps):
+    return [(w, c, None) for w, c in ps]
+
+
+@given(pairs)
+def test_skyline_is_canonical(ps):
+    assert is_canonical(skyline_of(entries(ps)))
+
+
+@given(pairs)
+def test_skyline_members_come_from_input(ps):
+    sky = set(path_of_pairs(skyline_of(entries(ps))))
+    assert sky.issubset(set(ps))
+
+
+@given(pairs)
+def test_skyline_contains_every_undominated_pair(ps):
+    sky = set(path_of_pairs(skyline_of(entries(ps))))
+    for p in ps:
+        if not any(dominates(q, p) for q in ps):
+            assert p in sky
+
+
+@given(pairs)
+def test_skyline_dominates_all_input(ps):
+    sky = path_of_pairs(skyline_of(entries(ps)))
+    for p in ps:
+        assert any(q == p or dominates(q, p) for q in sky)
+
+
+@given(pairs)
+def test_skyline_idempotent(ps):
+    once = skyline_of(entries(ps))
+    assert skyline_of(once) == once
+
+
+@given(pairs, pairs)
+def test_merge_equals_skyline_of_union(a, b):
+    sa, sb = skyline_of(entries(a)), skyline_of(entries(b))
+    assert merge(sa, sb) == skyline_of(sa + sb)
+
+
+@given(pairs, pairs)
+def test_merge_commutative(a, b):
+    sa, sb = skyline_of(entries(a)), skyline_of(entries(b))
+    assert path_of_pairs(merge(sa, sb)) == path_of_pairs(merge(sb, sa))
+
+
+@given(pairs, pairs)
+def test_join_is_skyline_of_all_sums(a, b):
+    sa, sb = skyline_of(entries(a)), skyline_of(entries(b))
+    got = path_of_pairs(join(sa, sb, mid=0))
+    sums = [(x[0] + y[0], x[1] + y[1]) for x in sa for y in sb]
+    assert got == path_of_pairs(skyline_of(entries(sums)))
+
+
+@given(pairs, pairs, st.integers(min_value=1, max_value=100))
+def test_join_budget_only_removes_over_budget(a, b, budget):
+    sa, sb = skyline_of(entries(a)), skyline_of(entries(b))
+    budgeted = path_of_pairs(join(sa, sb, mid=0, budget=budget))
+    full = path_of_pairs(join(sa, sb, mid=0))
+    feasible_full = [p for p in full if p[1] <= budget]
+    # Everything the budgeted join returns is feasible, and every
+    # feasible member of the full join survives (skyline of a subset can
+    # only gain members, never lose feasible ones).
+    assert all(p[1] <= budget for p in budgeted)
+    assert set(feasible_full).issubset(set(budgeted))
+
+
+@given(pairs, st.integers(min_value=1, max_value=60))
+def test_filter_under_strictness(ps, theta):
+    sky = skyline_of(entries(ps))
+    kept = filter_under(sky, theta)
+    assert all(e[1] < theta for e in kept)
+    assert [e for e in sky if e[1] < theta] == kept
+
+
+@given(pairs, st.integers(min_value=0, max_value=120))
+def test_best_under_is_min_weight_feasible(ps, budget):
+    sky = skyline_of(entries(ps))
+    got = best_under(sky, budget)
+    feasible = [e for e in sky if e[1] <= budget]
+    if not feasible:
+        assert got is None
+    else:
+        assert got[0] == min(e[0] for e in feasible)
+
+
+# ----------------------------------------------------------------------
+# Multi-constraint algebra
+# ----------------------------------------------------------------------
+m_entry = st.tuples(
+    st.integers(min_value=1, max_value=30),
+    st.tuples(
+        st.integers(min_value=1, max_value=30),
+        st.integers(min_value=1, max_value=30),
+    ),
+)
+m_entries = st.lists(m_entry, min_size=0, max_size=15)
+
+
+@given(m_entries)
+def test_m_skyline_is_pareto_front(es):
+    sky = m_skyline(es)
+    for p in sky:
+        assert not any(m_dominates(q, p) for q in sky)
+    for p in es:
+        assert any(q == p or m_dominates(q, p) for q in sky)
+
+
+@settings(max_examples=50)
+@given(m_entries, m_entries)
+def test_m_join_members_are_sums(a, b):
+    sa, sb = m_skyline(a), m_skyline(b)
+    sums = {
+        (x[0] + y[0], tuple(xc + yc for xc, yc in zip(x[1], y[1])))
+        for x in sa
+        for y in sb
+    }
+    assert set(m_join(sa, sb)).issubset(sums)

@@ -1,0 +1,105 @@
+"""Tests for the analysis tooling (skyline growth, approximation)."""
+
+import pytest
+
+from repro.analysis import (
+    label_depth_profile,
+    measure_approximation,
+    skyline_growth_profile,
+)
+from repro.graph import estimate_diameter, grid_network
+from repro.workloads import generate_distance_sets
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return grid_network(9, 9, seed=13)
+
+
+@pytest.fixture(scope="module")
+def dmax(grid):
+    return estimate_diameter(grid)
+
+
+class TestSkylineGrowth:
+    def test_five_bands_returned(self, grid, dmax):
+        profiles = skyline_growth_profile(
+            grid, d_max=dmax, num_sources=4, seed=1
+        )
+        assert [p.band for p in profiles] == ["Q1", "Q2", "Q3", "Q4", "Q5"]
+
+    def test_band_edges_match_paper_formula(self, grid, dmax):
+        profiles = skyline_growth_profile(
+            grid, d_max=dmax, num_sources=2, seed=1
+        )
+        assert profiles[0].low == pytest.approx(dmax / 32)
+        assert profiles[4].high == pytest.approx(dmax)
+
+    def test_growth_with_distance(self, grid, dmax):
+        """The paper's Fig. 6 mechanism: skylines grow with distance."""
+        profiles = skyline_growth_profile(
+            grid, d_max=dmax, num_sources=6, seed=2
+        )
+        sampled = [p for p in profiles if p.samples > 0]
+        assert sampled[-1].avg_size > sampled[0].avg_size
+
+    def test_max_at_least_avg(self, grid, dmax):
+        for p in skyline_growth_profile(grid, d_max=dmax, num_sources=3):
+            if p.samples:
+                assert p.max_size >= p.avg_size
+
+    def test_row_formatting(self, grid, dmax):
+        profile = skyline_growth_profile(
+            grid, d_max=dmax, num_sources=2
+        )[0]
+        assert "Q1" in profile.row()
+
+
+class TestLabelDepthProfile:
+    def test_counts_sum_to_sets(self, small_grid_index):
+        profile = label_depth_profile(
+            small_grid_index.labels, small_grid_index.tree
+        )
+        total = sum(count for count, _avg in profile.values())
+        assert total == small_grid_index.labels.num_sets()
+
+    def test_root_depth_absent(self, small_grid_index):
+        # The root has no ancestors, hence no label sets.
+        profile = label_depth_profile(
+            small_grid_index.labels, small_grid_index.tree
+        )
+        assert 0 not in profile
+
+
+class TestApproximation:
+    @pytest.fixture(scope="class")
+    def reports(self, ):
+        grid = grid_network(7, 7, seed=21)
+        d_max = estimate_diameter(grid)
+        sets = generate_distance_sets(grid, size=20, d_max=d_max, seed=21)
+        return measure_approximation(
+            grid, sets["Q4"].queries, caps=(2, 6), seed=21
+        )
+
+    def test_exact_row_has_zero_error(self, reports):
+        assert reports[0].max_skyline is None
+        assert reports[0].avg_weight_error == 0.0
+        assert reports[0].false_infeasible == 0
+
+    def test_truncation_shrinks_index(self, reports):
+        exact, cap2, cap6 = reports
+        assert cap2.label_entries <= cap6.label_entries
+        assert cap6.label_entries <= exact.label_entries
+
+    def test_errors_are_nonnegative_and_bounded(self, reports):
+        for report in reports[1:]:
+            assert report.avg_weight_error >= 0
+            assert report.max_weight_error >= report.avg_weight_error
+
+    def test_looser_cap_not_worse(self, reports):
+        _exact, cap2, cap6 = reports
+        assert cap6.avg_weight_error <= cap2.avg_weight_error
+
+    def test_row_formatting(self, reports):
+        assert "exact" in reports[0].row()
+        assert "2" in reports[1].row()

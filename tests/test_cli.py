@@ -1,0 +1,138 @@
+"""End-to-end tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def workspace(tmp_path_factory):
+    """A generated network + built index shared by the CLI tests."""
+    root = tmp_path_factory.mktemp("cli")
+    net = str(root / "ny.csp")
+    idx = str(root / "ny.idx")
+    assert main([
+        "generate", "--dataset", "NY", "--scale", "small", "--out", net
+    ]) == 0
+    assert main([
+        "build", "--network", net, "--out", idx, "--index-queries", "200"
+    ]) == 0
+    return net, idx
+
+
+class TestGenerate:
+    def test_writes_readable_network(self, workspace):
+        from repro.graph import read_csp_text
+
+        net, _idx = workspace
+        g = read_csp_text(net)
+        assert g.num_vertices == 144
+
+    def test_all_datasets(self, tmp_path):
+        for name in ("NY", "BAY", "COL"):
+            out = str(tmp_path / f"{name}.csp")
+            assert main([
+                "generate", "--dataset", name, "--scale", "small",
+                "--out", out,
+            ]) == 0
+
+    def test_unknown_dataset_rejected_by_argparse(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main([
+                "generate", "--dataset", "MARS",
+                "--out", str(tmp_path / "m.csp"),
+            ])
+
+
+class TestQuery:
+    def test_feasible_query(self, workspace, capsys):
+        _net, idx = workspace
+        code = main([
+            "query", "--index", idx, "--source", "0", "--target", "140",
+            "--budget", "500",
+        ])
+        assert code == 0
+        assert "optimal weight" in capsys.readouterr().out
+
+    def test_path_flag_prints_route(self, workspace, capsys):
+        _net, idx = workspace
+        main([
+            "query", "--index", idx, "--source", "0", "--target", "140",
+            "--budget", "500", "--path",
+        ])
+        out = capsys.readouterr().out
+        assert "->" in out
+
+    def test_infeasible_query_exit_code(self, workspace):
+        _net, idx = workspace
+        code = main([
+            "query", "--index", idx, "--source", "0", "--target", "140",
+            "--budget", "1",
+        ])
+        assert code == 1
+
+    def test_bad_vertex_reports_error(self, workspace, capsys):
+        _net, idx = workspace
+        code = main([
+            "query", "--index", idx, "--source", "0", "--target", "9999",
+            "--budget", "10",
+        ])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestStats:
+    def test_prints_index_statistics(self, workspace, capsys):
+        _net, idx = workspace
+        assert main(["stats", "--index", idx]) == 0
+        out = capsys.readouterr().out
+        assert "treewidth" in out
+        assert "label size" in out
+        assert "pruning conds" in out
+
+    def test_missing_index_reports_error(self, tmp_path):
+        code = main(["stats", "--index", str(tmp_path / "nope.idx")])
+        assert code == 2
+
+
+class TestWorkloadAndBench:
+    def test_workload_generation(self, workspace, tmp_path, capsys):
+        net, _idx = workspace
+        out = str(tmp_path / "ny.queries")
+        assert main([
+            "workload", "--network", net, "--out", out, "--size", "10",
+        ]) == 0
+        from repro.workloads import read_query_sets
+
+        sets = read_query_sets(out)
+        assert sorted(sets) == ["Q1", "Q2", "Q3", "Q4", "Q5"]
+        assert all(len(s) == 10 for s in sets.values())
+
+    def test_bench_runs_and_prints_rows(self, workspace, tmp_path, capsys):
+        net, _idx = workspace
+        queries = str(tmp_path / "ny.queries")
+        main(["workload", "--network", net, "--out", queries,
+              "--size", "5"])
+        capsys.readouterr()
+        assert main([
+            "bench", "--network", net, "--queries", queries,
+            "--index-queries", "100",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "QHL" in out
+        assert "CSP-2Hop" in out
+        assert "Q5" in out
+
+
+class TestBuildOptions:
+    def test_no_paths_build(self, workspace, tmp_path):
+        net, _idx = workspace
+        idx2 = str(tmp_path / "nopaths.idx")
+        assert main([
+            "build", "--network", net, "--out", idx2,
+            "--index-queries", "50", "--no-paths",
+        ]) == 0
+        assert main([
+            "query", "--index", idx2, "--source", "0", "--target", "10",
+            "--budget", "500",
+        ]) == 0

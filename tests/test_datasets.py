@@ -1,0 +1,76 @@
+"""Unit tests for the dataset catalog and the paper example network."""
+
+import pytest
+
+from repro.datasets import (
+    DATASET_NAMES,
+    PAPER_EDGES,
+    load_all,
+    load_dataset,
+    paper_figure1_network,
+    v,
+)
+from repro.exceptions import ReproError
+
+
+class TestCatalog:
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_small_scale_loads_connected(self, name):
+        ds = load_dataset(name, scale="small")
+        assert ds.name == name
+        assert ds.network.is_connected()
+        assert ds.description
+
+    def test_case_insensitive_name(self):
+        assert load_dataset("ny", scale="small").name == "NY"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ReproError):
+            load_dataset("MARS")
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ReproError):
+            load_dataset("NY", scale="galactic")
+
+    def test_load_all_order(self):
+        names = [ds.name for ds in load_all(scale="small")]
+        assert names == ["NY", "BAY", "COL"]
+
+    def test_deterministic(self):
+        a = load_dataset("COL", scale="small").network
+        b = load_dataset("COL", scale="small").network
+        assert list(a.edges()) == list(b.edges())
+
+    def test_benchmark_scale_larger_than_small(self):
+        for name in DATASET_NAMES:
+            small = load_dataset(name, scale="small").network
+            bench = load_dataset(name, scale="benchmark").network
+            assert bench.num_vertices > small.num_vertices
+
+
+class TestPaperExample:
+    def test_thirteen_vertices_seventeen_edges(self):
+        g = paper_figure1_network()
+        assert g.num_vertices == 13
+        assert g.num_edges == len(PAPER_EDGES) == 17
+
+    def test_example1_edge_metrics(self):
+        # w((v8, v3)) = 2 and c((v8, v3)) = 4.
+        g = paper_figure1_network()
+        assert g.edge_metrics(v(8), v(3)) == [(2, 4)]
+
+    def test_vertex_translation(self):
+        assert v(1) == 0
+        assert v(13) == 12
+        with pytest.raises(ValueError):
+            v(0)
+        with pytest.raises(ValueError):
+            v(14)
+
+    def test_example3_path_metrics(self):
+        g = paper_figure1_network()
+        path = [v(8), v(1), v(13), v(11), v(10), v(9)]
+        assert g.path_metrics(path) == (14, 18)
+
+    def test_connected(self):
+        assert paper_figure1_network().is_connected()

@@ -1,0 +1,178 @@
+"""Tests for the directed-graph extension (paper §2.3's deferral)."""
+
+import random
+
+import pytest
+
+from repro.directed import (
+    DirectedQHLIndex,
+    DirectedRoadNetwork,
+    directed_constrained_dijkstra,
+    directed_from_undirected,
+    directed_skyline_search,
+)
+from repro.exceptions import InvalidGraphError
+from repro.graph import random_connected_network
+
+
+@pytest.fixture(scope="module")
+def one_way_pair():
+    """0 -> 1 fast/expensive; 1 -> 0 only via 2 (asymmetric)."""
+    g = DirectedRoadNetwork(3)
+    g.add_arc(0, 1, weight=1, cost=9)
+    g.add_arc(1, 2, weight=2, cost=2)
+    g.add_arc(2, 0, weight=2, cost=2)
+    g.add_arc(0, 2, weight=5, cost=1)
+    g.add_arc(2, 1, weight=5, cost=1)
+    return g
+
+
+class TestDirectedNetwork:
+    def test_arcs_are_one_way(self, one_way_pair):
+        heads = [h for h, _w, _c in one_way_pair.out_neighbors(1)]
+        assert heads == [2]
+
+    def test_in_neighbors(self, one_way_pair):
+        tails = [t for t, _w, _c in one_way_pair.in_neighbors(1)]
+        assert sorted(tails) == [0, 2]
+
+    def test_self_loop_rejected(self):
+        g = DirectedRoadNetwork(2)
+        with pytest.raises(InvalidGraphError):
+            g.add_arc(1, 1, weight=1, cost=1)
+
+    def test_nonpositive_metric_rejected(self):
+        g = DirectedRoadNetwork(2)
+        with pytest.raises(InvalidGraphError):
+            g.add_arc(0, 1, weight=0, cost=1)
+
+    def test_path_metrics_respects_direction(self, one_way_pair):
+        assert one_way_pair.path_metrics([0, 1, 2]) == (3, 11)
+        with pytest.raises(InvalidGraphError):
+            one_way_pair.path_metrics([1, 0])
+
+    def test_underlying_undirected(self, one_way_pair):
+        undirected = one_way_pair.underlying_undirected()
+        assert undirected.num_edges == one_way_pair.num_arcs
+        assert undirected.is_connected()
+
+    def test_directed_from_undirected_connected(self):
+        base = random_connected_network(20, 15, seed=3)
+        directed = directed_from_undirected(base, seed=3)
+        assert directed.underlying_undirected().is_connected()
+        assert directed.num_arcs >= base.num_edges
+
+    def test_directed_from_undirected_deterministic(self):
+        base = random_connected_network(12, 8, seed=1)
+        a = directed_from_undirected(base, seed=5)
+        b = directed_from_undirected(base, seed=5)
+        assert list(a.arcs()) == list(b.arcs())
+
+
+class TestDirectedDijkstra:
+    def test_asymmetric_distances(self, one_way_pair):
+        forward = directed_constrained_dijkstra(one_way_pair, 0, 1, 100)
+        backward = directed_constrained_dijkstra(one_way_pair, 1, 0, 100)
+        assert forward.pair() == (1, 9)
+        assert backward.pair() == (4, 4)
+
+    def test_budget_switches_route(self, one_way_pair):
+        # 0 -> 1 direct costs 9; via 2 costs 2 but weighs 10.
+        tight = directed_constrained_dijkstra(one_way_pair, 0, 1, 8)
+        assert tight.pair() == (10, 2)
+
+    def test_unreachable(self):
+        g = DirectedRoadNetwork(3)
+        g.add_arc(0, 1, weight=1, cost=1)
+        g.add_arc(2, 1, weight=1, cost=1)  # nothing leaves 1
+        result = directed_constrained_dijkstra(g, 0, 2, 100)
+        assert not result.feasible
+
+    def test_skyline_search_respects_direction(self, one_way_pair):
+        fronts = directed_skyline_search(one_way_pair, 0)
+        pairs = sorted((e[0], e[1]) for e in fronts[1])
+        assert pairs == [(1, 9), (10, 2)]
+
+
+class TestDirectedIndex:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_labels_match_directed_skylines(self, seed):
+        base = random_connected_network(25, 18, seed=seed)
+        g = directed_from_undirected(base, seed=seed)
+        index = DirectedQHLIndex.build(g, num_index_queries=100, seed=seed)
+        rng = random.Random(seed)
+        checked = 0
+        while checked < 15:
+            v = rng.randrange(25)
+            ancestors = index.tree.ancestors(v)
+            if not ancestors:
+                continue
+            u = rng.choice(ancestors)
+            fwd, bwd = index.labels.label(v)[u]
+            truth_f = [
+                (e[0], e[1]) for e in directed_skyline_search(g, v)[u]
+            ]
+            truth_b = [
+                (e[0], e[1]) for e in directed_skyline_search(g, u)[v]
+            ]
+            assert [(e[0], e[1]) for e in fwd] == truth_f
+            assert [(e[0], e[1]) for e in bwd] == truth_b
+            checked += 1
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_engines_match_ground_truth(self, seed):
+        base = random_connected_network(28, 22, seed=100 + seed)
+        g = directed_from_undirected(base, seed=seed)
+        index = DirectedQHLIndex.build(g, num_index_queries=300, seed=seed)
+        engines = [
+            index.qhl_engine(),
+            index.qhl_engine(use_pruning_conditions=False),
+            index.qhl_engine(use_two_pointer=False),
+            index.csp2hop_engine(),
+        ]
+        rng = random.Random(seed)
+        for _ in range(50):
+            s, t = rng.randrange(28), rng.randrange(28)
+            budget = rng.randint(1, 300)
+            truth = directed_constrained_dijkstra(g, s, t, budget).pair()
+            for engine in engines:
+                assert engine.query(s, t, budget).pair() == truth, (
+                    engine.name, s, t, budget
+                )
+
+    def test_one_way_asymmetry_through_index(self, one_way_pair):
+        index = DirectedQHLIndex.build(
+            one_way_pair, num_index_queries=50, seed=0
+        )
+        assert index.query(0, 1, 100).pair() == (1, 9)
+        assert index.query(1, 0, 100).pair() == (4, 4)
+        assert index.query(0, 1, 8).pair() == (10, 2)
+
+    @pytest.mark.parametrize("seed", range(2))
+    def test_path_retrieval_respects_arc_directions(self, seed):
+        base = random_connected_network(22, 16, seed=seed)
+        g = directed_from_undirected(base, seed=seed)
+        index = DirectedQHLIndex.build(
+            g, num_index_queries=150, store_paths=True, seed=seed
+        )
+        engines = [index.qhl_engine(), index.csp2hop_engine()]
+        rng = random.Random(seed)
+        for _ in range(40):
+            s, t = rng.randrange(22), rng.randrange(22)
+            budget = rng.randint(1, 300)
+            for engine in engines:
+                result = engine.query(s, t, budget, want_path=True)
+                if result.feasible and s != t:
+                    assert result.path[0] == s and result.path[-1] == t
+                    # path_metrics only accepts arcs in travel direction.
+                    assert g.path_metrics(result.path) == result.pair()
+
+    def test_infeasible_direction(self):
+        g = DirectedRoadNetwork(3)
+        g.add_arc(0, 1, weight=1, cost=1)
+        g.add_arc(1, 2, weight=1, cost=1)
+        g.add_arc(2, 0, weight=1, cost=1)
+        # Strongly connected ring: 2 -> 1 must go the long way.
+        index = DirectedQHLIndex.build(g, num_index_queries=20, seed=0)
+        assert index.query(2, 1, 100).pair() == (2, 2)
+        assert not index.query(2, 1, 1).feasible

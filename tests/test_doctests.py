@@ -1,0 +1,23 @@
+"""Docstring examples must stay runnable."""
+
+import doctest
+
+import pytest
+
+import repro.graph.network
+import repro.instrument.timing
+import repro.skyline.entries
+
+MODULES = [
+    repro.graph.network,
+    repro.instrument.timing,
+    repro.skyline.entries,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES, ids=[m.__name__ for m in MODULES]
+)
+def test_module_doctests(module):
+    failures, _tried = doctest.testmod(module)
+    assert failures == 0

@@ -1,0 +1,112 @@
+"""Tests for forest hop labeling (repro.forest) and the label-derived
+skyline utility it relies on."""
+
+import random
+
+import pytest
+
+from repro.baselines import constrained_dijkstra, skyline_between
+from repro.core import QHLIndex
+from repro.forest import ForestQHLIndex
+from repro.graph import grid_network, random_connected_network
+from repro.labeling.derive import skyline_between_via_labels
+from repro.skyline import path_of_pairs
+
+
+class TestSkylineViaLabels:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_ground_truth(self, seed):
+        g = random_connected_network(25, 20, seed=seed)
+        index = QHLIndex.build(g, num_index_queries=50, seed=seed)
+        rng = random.Random(seed)
+        for _ in range(20):
+            s, t = rng.randrange(25), rng.randrange(25)
+            derived = skyline_between_via_labels(
+                index.tree, index.labels, index.lca, s, t
+            )
+            truth = skyline_between(g, s, t)
+            assert path_of_pairs(derived) == path_of_pairs(truth), (s, t)
+
+    def test_same_vertex(self, small_grid_index):
+        derived = skyline_between_via_labels(
+            small_grid_index.tree,
+            small_grid_index.labels,
+            small_grid_index.lca,
+            5, 5,
+        )
+        assert path_of_pairs(derived) == [(0, 0)]
+
+
+class TestForestIndex:
+    @pytest.mark.parametrize("num_parts", [2, 4, 6])
+    def test_exact_on_random_networks(self, num_parts):
+        g = random_connected_network(35, 30, seed=num_parts)
+        forest = ForestQHLIndex(g, num_parts=num_parts, seed=num_parts)
+        rng = random.Random(num_parts)
+        for _ in range(35):
+            s, t = rng.randrange(35), rng.randrange(35)
+            budget = rng.randint(1, 300)
+            want = constrained_dijkstra(g, s, t, budget, want_path=False)
+            assert forest.query(s, t, budget).pair() == want.pair(), (
+                s, t, budget
+            )
+
+    def test_exact_on_grid(self):
+        g = grid_network(8, 8, seed=4)
+        forest = ForestQHLIndex(g, num_parts=4, seed=4)
+        rng = random.Random(4)
+        for _ in range(30):
+            s, t = rng.randrange(64), rng.randrange(64)
+            budget = rng.randint(10, 400)
+            want = constrained_dijkstra(g, s, t, budget, want_path=False)
+            assert forest.query(s, t, budget).pair() == want.pair()
+
+    def test_single_partition_degenerates_to_labels(self):
+        g = random_connected_network(20, 15, seed=6)
+        forest = ForestQHLIndex(g, num_parts=1, seed=6)
+        rng = random.Random(6)
+        for _ in range(20):
+            s, t = rng.randrange(20), rng.randrange(20)
+            budget = rng.randint(1, 250)
+            want = constrained_dijkstra(g, s, t, budget, want_path=False)
+            assert forest.query(s, t, budget).pair() == want.pair()
+
+    def test_source_equals_target(self):
+        g = random_connected_network(15, 10, seed=7)
+        forest = ForestQHLIndex(g, num_parts=3, seed=7)
+        assert forest.query(4, 4, 0).pair() == (0, 0)
+
+    def test_infeasible_budget(self):
+        g = grid_network(5, 5, seed=8)
+        forest = ForestQHLIndex(g, num_parts=3, seed=8)
+        assert not forest.query(0, 24, 1).feasible
+
+    def test_index_smaller_than_monolithic(self):
+        """The future-work premise: partitioning shrinks the index."""
+        g = grid_network(14, 14, seed=10)
+        mono = QHLIndex.build(
+            g, num_index_queries=400, store_paths=False, seed=10
+        )
+        forest = ForestQHLIndex(g, num_parts=8, seed=10)
+        mono_size = mono.labels.size_bytes() + mono.pruning.size_bytes()
+        assert forest.size_bytes() < mono_size
+
+    def test_build_faster_than_monolithic(self):
+        g = grid_network(14, 14, seed=11)
+        import time
+
+        started = time.perf_counter()
+        QHLIndex.build(g, num_index_queries=400, store_paths=False, seed=11)
+        mono_seconds = time.perf_counter() - started
+        forest = ForestQHLIndex(g, num_parts=8, seed=11)
+        assert forest.build_seconds < mono_seconds
+
+    def test_regions_are_connected_partitions(self):
+        g = grid_network(10, 10, seed=12)
+        forest = ForestQHLIndex(g, num_parts=5, seed=12)
+        seen = set()
+        for region in forest.regions.values():
+            assert region.subgraph.is_connected()
+            assert not seen.intersection(region.vertices)
+            seen.update(region.vertices)
+        assert seen == set(range(100))

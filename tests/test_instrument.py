@@ -1,0 +1,50 @@
+"""Unit tests for instrumentation helpers."""
+
+import time
+
+from repro.instrument import Timer, format_bytes, format_seconds
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.seconds >= 0.01
+
+    def test_reusable(self):
+        timer = Timer()
+        with timer:
+            pass
+        first = timer.seconds
+        with timer:
+            time.sleep(0.005)
+        assert timer.seconds >= 0.005
+        assert timer.seconds != first or first == 0
+
+
+class TestFormatBytes:
+    def test_bytes(self):
+        assert format_bytes(512) == "512 B"
+
+    def test_kilobytes(self):
+        assert format_bytes(1536) == "1.5 KB"
+
+    def test_megabytes(self):
+        assert format_bytes(3 * 1024 * 1024) == "3.0 MB"
+
+    def test_gigabytes(self):
+        assert format_bytes(5 * 1024**3) == "5.0 GB"
+
+    def test_huge_stays_gb(self):
+        assert format_bytes(5000 * 1024**3).endswith("GB")
+
+
+class TestFormatSeconds:
+    def test_microseconds(self):
+        assert format_seconds(0.0000042) == "4.2 us"
+
+    def test_milliseconds(self):
+        assert format_seconds(0.0042) == "4.2 ms"
+
+    def test_seconds(self):
+        assert format_seconds(4.2) == "4.20 s"

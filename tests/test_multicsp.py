@@ -1,0 +1,137 @@
+"""Tests for the multi-constraint CSP extension."""
+
+import random
+
+import pytest
+
+from repro.baselines import constrained_dijkstra
+from repro.exceptions import InvalidGraphError
+from repro.graph import random_connected_network
+from repro.multicsp import (
+    MultiCSPIndex,
+    MultiMetricNetwork,
+    multi_dijkstra_reference,
+)
+
+
+def lifted(seed, extra_metrics=1, n=20, extra_edges=15):
+    base = random_connected_network(n, extra_edges, seed=seed)
+    rng = random.Random(seed)
+    extras = [
+        [rng.randint(1, 15) for _ in range(base.num_edges)]
+        for _ in range(extra_metrics)
+    ]
+    return base, MultiMetricNetwork.from_network(base, extra_costs=extras)
+
+
+class TestMultiMetricNetwork:
+    def test_from_network_shapes(self):
+        base, multi = lifted(seed=1)
+        assert multi.num_vertices == base.num_vertices
+        assert multi.num_edges == base.num_edges
+        assert multi.num_costs == 2
+
+    def test_cost_vector_length_enforced(self):
+        net = MultiMetricNetwork(3, num_costs=2)
+        with pytest.raises(InvalidGraphError):
+            net.add_edge(0, 1, weight=1, costs=(1,))
+
+    def test_positive_metrics_enforced(self):
+        net = MultiMetricNetwork(3, num_costs=2)
+        with pytest.raises(InvalidGraphError):
+            net.add_edge(0, 1, weight=1, costs=(1, 0))
+
+    def test_extra_cost_length_checked(self):
+        base = random_connected_network(5, 2, seed=0)
+        with pytest.raises(InvalidGraphError):
+            MultiMetricNetwork.from_network(base, extra_costs=[[1, 2]])
+
+    def test_path_metrics(self):
+        net = MultiMetricNetwork(3, num_costs=2)
+        net.add_edge(0, 1, weight=2, costs=(3, 4))
+        net.add_edge(1, 2, weight=5, costs=(6, 7))
+        assert net.path_metrics([0, 1, 2]) == (7, (9, 11))
+
+    def test_underlying_projection(self):
+        _base, multi = lifted(seed=2)
+        projected = multi.underlying_network()
+        assert projected.num_edges == multi.num_edges
+
+
+class TestMultiIndex:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_two_budget_queries_match_reference(self, seed):
+        _base, multi = lifted(seed=seed)
+        index = MultiCSPIndex.build(multi)
+        rng = random.Random(seed)
+        for _ in range(40):
+            s = rng.randrange(multi.num_vertices)
+            t = rng.randrange(multi.num_vertices)
+            budgets = (rng.randint(1, 250), rng.randint(1, 150))
+            want = multi_dijkstra_reference(multi, s, t, budgets)
+            assert index.query(s, t, budgets) == want
+
+    def test_three_metrics(self):
+        _base, multi = lifted(seed=9, extra_metrics=2, n=14, extra_edges=8)
+        index = MultiCSPIndex.build(multi)
+        rng = random.Random(9)
+        for _ in range(25):
+            s = rng.randrange(14)
+            t = rng.randrange(14)
+            budgets = (
+                rng.randint(1, 200),
+                rng.randint(1, 120),
+                rng.randint(1, 120),
+            )
+            want = multi_dijkstra_reference(multi, s, t, budgets)
+            assert index.query(s, t, budgets) == want
+
+    def test_single_metric_degenerates_to_csp(self):
+        base = random_connected_network(18, 12, seed=4)
+        index = MultiCSPIndex.build(MultiMetricNetwork.from_network(base))
+        rng = random.Random(4)
+        for _ in range(30):
+            s, t = rng.randrange(18), rng.randrange(18)
+            budget = rng.randint(1, 250)
+            single = constrained_dijkstra(base, s, t, budget, want_path=False)
+            got = index.query(s, t, (budget,))
+            if single.feasible:
+                assert got == (single.weight, (single.cost,))
+            else:
+                assert got is None
+
+    def test_budget_count_validated(self):
+        _base, multi = lifted(seed=5)
+        index = MultiCSPIndex.build(multi)
+        with pytest.raises(ValueError):
+            index.query(0, 1, (10,))
+
+    def test_source_equals_target(self):
+        _base, multi = lifted(seed=6)
+        index = MultiCSPIndex.build(multi)
+        assert index.query(3, 3, (0, 0)) == (0, (0, 0))
+
+    def test_full_bag_variant_agrees(self):
+        _base, multi = lifted(seed=7)
+        index = MultiCSPIndex.build(multi)
+        small = index.engine(use_small_separators=True)
+        full = index.engine(use_small_separators=False)
+        rng = random.Random(7)
+        for _ in range(25):
+            s = rng.randrange(multi.num_vertices)
+            t = rng.randrange(multi.num_vertices)
+            budgets = (rng.randint(1, 250), rng.randint(1, 150))
+            assert small.query(s, t, budgets) == full.query(s, t, budgets)
+
+    def test_tightening_one_budget_never_improves_weight(self):
+        _base, multi = lifted(seed=8)
+        index = MultiCSPIndex.build(multi)
+        rng = random.Random(8)
+        for _ in range(20):
+            s = rng.randrange(multi.num_vertices)
+            t = rng.randrange(multi.num_vertices)
+            loose = index.query(s, t, (300, 300))
+            tight = index.query(s, t, (300, 60))
+            if tight is not None:
+                assert loose is not None
+                assert tight[0] >= loose[0]

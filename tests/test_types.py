@@ -1,0 +1,54 @@
+"""Unit tests for the shared query/result types."""
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.types import CSPQuery, QueryResult, QueryStats
+
+
+class TestCSPQuery:
+    def test_fields(self):
+        q = CSPQuery(1, 2, 10.5)
+        assert (q.source, q.target, q.budget) == (1, 2, 10.5)
+
+    def test_validated_passes_good_query(self):
+        q = CSPQuery(0, 4, 3)
+        assert q.validated(5) is q
+
+    def test_validated_rejects_bad_source(self):
+        with pytest.raises(QueryError):
+            CSPQuery(-1, 0, 1).validated(5)
+
+    def test_validated_rejects_bad_target(self):
+        with pytest.raises(QueryError):
+            CSPQuery(0, 5, 1).validated(5)
+
+    def test_validated_rejects_negative_budget(self):
+        with pytest.raises(QueryError):
+            CSPQuery(0, 1, -0.5).validated(5)
+
+    def test_zero_budget_allowed(self):
+        CSPQuery(0, 0, 0).validated(5)
+
+
+class TestQueryResult:
+    def test_feasible_result(self):
+        r = QueryResult(CSPQuery(0, 1, 5), weight=3, cost=4)
+        assert r.feasible
+        assert r.pair() == (3, 4)
+
+    def test_infeasible_result(self):
+        r = QueryResult(CSPQuery(0, 1, 5))
+        assert not r.feasible
+        assert r.pair() is None
+
+    def test_default_stats_attached(self):
+        r = QueryResult(CSPQuery(0, 1, 5))
+        assert isinstance(r.stats, QueryStats)
+        assert r.stats.concatenations == 0
+
+    def test_stats_are_not_shared_between_results(self):
+        a = QueryResult(CSPQuery(0, 1, 5))
+        b = QueryResult(CSPQuery(0, 1, 5))
+        a.stats.hoplinks = 9
+        assert b.stats.hoplinks == 0

@@ -1,0 +1,93 @@
+"""Unit tests for the weak-correlation (traffic-signal) variant."""
+
+import pytest
+
+from repro.exceptions import InvalidGraphError
+from repro.graph import grid_network
+from repro.workloads import signal_vertices, traffic_signal_network
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return grid_network(8, 8, seed=2)
+
+
+class TestSignalVertices:
+    def test_top_fraction_count(self, grid):
+        signals = signal_vertices(grid, top_fraction=0.25)
+        assert len(signals) == round(64 * 0.25)
+
+    def test_top_fraction_picks_highest_degree(self, grid):
+        signals = signal_vertices(grid, top_fraction=0.1)
+        min_in = min(grid.degree(v) for v in signals)
+        max_out = max(
+            grid.degree(v) for v in grid.vertices() if v not in signals
+        )
+        assert min_in >= max_out - 1  # ties may split either way
+
+    def test_degree_threshold(self, grid):
+        signals = signal_vertices(grid, degree_threshold=5)
+        assert signals == {
+            v for v in grid.vertices() if grid.degree(v) >= 5
+        }
+
+    def test_both_selectors_rejected(self, grid):
+        with pytest.raises(InvalidGraphError):
+            signal_vertices(grid, degree_threshold=4, top_fraction=0.5)
+
+    def test_neither_selector_rejected(self, grid):
+        with pytest.raises(InvalidGraphError):
+            signal_vertices(grid)
+
+    def test_bad_fraction_rejected(self, grid):
+        with pytest.raises(InvalidGraphError):
+            signal_vertices(grid, top_fraction=0)
+        with pytest.raises(InvalidGraphError):
+            signal_vertices(grid, top_fraction=1.5)
+
+
+class TestTrafficSignalNetwork:
+    def test_costs_unchanged(self, grid):
+        weak, _signals = traffic_signal_network(grid)
+        assert [c for *_rest, c in weak.edges()] == [
+            c for *_rest, c in grid.edges()
+        ]
+
+    def test_weights_binary_scaled(self, grid):
+        weak, signals = traffic_signal_network(grid, signal_weight=777)
+        for u, v, w, _c in weak.edges():
+            if u in signals or v in signals:
+                assert w == 777
+            else:
+                assert w == 1
+
+    def test_structure_preserved(self, grid):
+        weak, _signals = traffic_signal_network(grid)
+        assert weak.num_vertices == grid.num_vertices
+        assert weak.num_edges == grid.num_edges
+        assert weak.is_connected()
+
+    def test_weights_positive_despite_paper_zero(self, grid):
+        # Documented substitution: the paper's weight-0 edges break
+        # Definition 1; ours stay strictly positive.
+        weak, _signals = traffic_signal_network(grid)
+        assert all(w > 0 for _u, _v, w, _c in weak.edges())
+
+    def test_degree_threshold_wins_over_default_fraction(self, grid):
+        weak, signals = traffic_signal_network(grid, degree_threshold=5)
+        assert signals == signal_vertices(grid, degree_threshold=5)
+
+    def test_queries_still_answerable(self, grid):
+        from repro.baselines import constrained_dijkstra
+        from repro.core import QHLIndex
+
+        weak, _signals = traffic_signal_network(grid)
+        index = QHLIndex.build(weak, num_index_queries=100, seed=1)
+        import random
+
+        rng = random.Random(4)
+        for _ in range(20):
+            s, t = rng.randrange(64), rng.randrange(64)
+            budget = rng.randint(10, 500)
+            want = constrained_dijkstra(weak, s, t, budget, want_path=False)
+            assert index.query(s, t, budget).pair() == want.pair()

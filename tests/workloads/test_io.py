@@ -1,0 +1,78 @@
+"""Unit tests for the query-set file format."""
+
+import pytest
+
+from repro.exceptions import InvalidGraphError
+from repro.types import CSPQuery
+from repro.workloads import QuerySet, read_query_sets, write_query_sets
+
+
+def sample_sets():
+    q1 = QuerySet(
+        "Q1",
+        [CSPQuery(0, 5, 12.5), CSPQuery(3, 4, 7)],
+        [10.0, 6.0],
+    )
+    q2 = QuerySet("Q2", [CSPQuery(1, 2, 30)], [25.0])
+    return {"Q1": q1, "Q2": q2}
+
+
+class TestRoundtrip:
+    def test_dict_roundtrip(self, tmp_path):
+        path = str(tmp_path / "w.queries")
+        write_query_sets(sample_sets(), path)
+        loaded = read_query_sets(path)
+        assert sorted(loaded) == ["Q1", "Q2"]
+        assert loaded["Q1"].queries == sample_sets()["Q1"].queries
+        assert loaded["Q1"].distances == sample_sets()["Q1"].distances
+
+    def test_list_roundtrip(self, tmp_path):
+        path = str(tmp_path / "w.queries")
+        write_query_sets(list(sample_sets().values()), path)
+        assert sorted(read_query_sets(path)) == ["Q1", "Q2"]
+
+    def test_integer_budgets_stay_clean(self, tmp_path):
+        path = str(tmp_path / "w.queries")
+        write_query_sets(sample_sets(), path)
+        content = open(path).read()
+        assert "q 1 2 30 25" in content  # no trailing .0
+
+    def test_generated_sets_roundtrip(self, tmp_path):
+        from repro.graph import estimate_diameter, grid_network
+        from repro.workloads import generate_distance_sets
+
+        g = grid_network(8, 8, seed=1)
+        d_max = estimate_diameter(g)
+        sets = generate_distance_sets(g, size=15, d_max=d_max, seed=1)
+        path = str(tmp_path / "grid.queries")
+        write_query_sets(sets, path)
+        loaded = read_query_sets(path)
+        for name in sets:
+            assert loaded[name].queries == sets[name].queries
+
+    def test_creates_parent_directory(self, tmp_path):
+        path = str(tmp_path / "a" / "b" / "w.queries")
+        write_query_sets(sample_sets(), path)
+        assert read_query_sets(path)
+
+
+class TestErrors:
+    def test_count_mismatch_rejected(self, tmp_path):
+        (tmp_path / "bad.queries").write_text("qset Q1 5\nq 0 1 2 3\n")
+        with pytest.raises(InvalidGraphError):
+            read_query_sets(str(tmp_path / "bad.queries"))
+
+    def test_query_before_header_rejected(self, tmp_path):
+        (tmp_path / "bad.queries").write_text("q 0 1 2 3\n")
+        with pytest.raises(InvalidGraphError):
+            read_query_sets(str(tmp_path / "bad.queries"))
+
+    def test_unknown_record_rejected(self, tmp_path):
+        (tmp_path / "bad.queries").write_text("qset Q1 0\nx 0 1 2\n")
+        with pytest.raises(InvalidGraphError):
+            read_query_sets(str(tmp_path / "bad.queries"))
+
+    def test_malformed_query_line_rejected(self, tmp_path):
+        (tmp_path / "bad.queries").write_text("qset Q1 1\nq 0 1 2\n")
+        with pytest.raises(InvalidGraphError):
+            read_query_sets(str(tmp_path / "bad.queries"))

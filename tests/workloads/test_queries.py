@@ -1,0 +1,113 @@
+"""Unit tests for the paper's query-set generation (§5.1)."""
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.graph import estimate_diameter, grid_network, shortest_distance
+from repro.workloads import (
+    RATIOS,
+    distance_band,
+    generate_distance_sets,
+    generate_ratio_sets,
+)
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return grid_network(12, 12, seed=21)
+
+
+@pytest.fixture(scope="module")
+def dmax(grid):
+    return estimate_diameter(grid)
+
+
+@pytest.fixture(scope="module")
+def sets(grid, dmax):
+    return generate_distance_sets(grid, size=40, d_max=dmax, seed=5)
+
+
+class TestDistanceBand:
+    def test_band_edges(self):
+        assert distance_band(1, 32) == (1, 2)
+        assert distance_band(5, 32) == (16, 32)
+
+    def test_bands_are_contiguous(self):
+        for i in range(1, 5):
+            assert distance_band(i, 100)[1] == distance_band(i + 1, 100)[0]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(QueryError):
+            distance_band(0, 100)
+        with pytest.raises(QueryError):
+            distance_band(6, 100)
+
+
+class TestDistanceSets:
+    def test_all_five_sets_filled(self, sets):
+        assert sorted(sets) == ["Q1", "Q2", "Q3", "Q4", "Q5"]
+        assert all(len(s) == 40 for s in sets.values())
+
+    def test_distances_lie_in_band(self, grid, sets, dmax):
+        for i in range(1, 6):
+            lo, hi = distance_band(i, dmax)
+            qset = sets[f"Q{i}"]
+            for query, d in zip(qset.queries, qset.distances):
+                assert lo <= d <= hi
+                # stored d really is the shortest cost distance
+                assert d == shortest_distance(
+                    grid, query.source, query.target
+                )
+
+    def test_budget_formula(self, sets, dmax):
+        for i in range(1, 6):
+            c_max = distance_band(i, dmax)[1]
+            qset = sets[f"Q{i}"]
+            for query, d in zip(qset.queries, qset.distances):
+                assert query.budget == pytest.approx(0.5 * c_max + 0.5 * d)
+
+    def test_budget_always_feasible(self, sets):
+        # C >= d by construction (C = 0.5 C_max + 0.5 d with C_max >= d).
+        for qset in sets.values():
+            for query, d in zip(qset.queries, qset.distances):
+                assert query.budget >= d
+
+    def test_deterministic(self, grid, dmax):
+        a = generate_distance_sets(grid, size=10, d_max=dmax, seed=9)
+        b = generate_distance_sets(grid, size=10, d_max=dmax, seed=9)
+        assert a["Q3"].queries == b["Q3"].queries
+
+    def test_unfillable_band_raises(self):
+        tiny = grid_network(3, 3, seed=0)
+        with pytest.raises(QueryError):
+            # d_max far above the real diameter makes Q5 unfillable.
+            generate_distance_sets(
+                tiny, size=10, d_max=10**6, seed=0, max_source_samples=20
+            )
+
+
+class TestRatioSets:
+    def test_ratios_match_paper(self):
+        assert RATIOS == (0.1, 0.3, 0.5, 0.7, 0.9)
+
+    def test_same_pairs_as_q3(self, sets, dmax):
+        ratio_sets = generate_ratio_sets(sets["Q3"], dmax)
+        for r, rset in ratio_sets.items():
+            for rq, q3q in zip(rset.queries, sets["Q3"].queries):
+                assert (rq.source, rq.target) == (q3q.source, q3q.target)
+
+    def test_budget_formula(self, sets, dmax):
+        ratio_sets = generate_ratio_sets(sets["Q3"], dmax)
+        c_max = dmax / 4
+        for r, rset in ratio_sets.items():
+            for rq, d in zip(rset.queries, rset.distances):
+                assert rq.budget == pytest.approx(r * c_max + (1 - r) * d)
+
+    def test_budgets_increase_with_r(self, sets, dmax):
+        ratio_sets = generate_ratio_sets(sets["Q3"], dmax)
+        per_query = list(
+            zip(*[ratio_sets[r].queries for r in sorted(ratio_sets)])
+        )
+        for versions in per_query:
+            budgets = [q.budget for q in versions]
+            assert budgets == sorted(budgets)

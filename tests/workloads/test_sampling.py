@@ -1,0 +1,39 @@
+"""Unit tests for Q_index sampling."""
+
+from repro.types import CSPQuery
+from repro.workloads import QuerySet, index_queries_from_sets
+
+
+def make_set(name, pairs):
+    queries = [CSPQuery(s, t, 10) for s, t in pairs]
+    return QuerySet(name, queries, [1.0] * len(queries))
+
+
+class TestIndexQueriesFromSets:
+    def test_samples_from_pool(self):
+        qs = make_set("Q1", [(0, 1), (2, 3), (4, 5)])
+        sampled = index_queries_from_sets([qs], count=30, seed=1)
+        assert len(sampled) == 30
+        assert set(sampled).issubset(set(qs.queries))
+
+    def test_union_of_multiple_sets(self):
+        a = make_set("Q1", [(0, 1)])
+        b = make_set("Q2", [(2, 3)])
+        sampled = index_queries_from_sets([a, b], count=100, seed=2)
+        assert set(sampled) == {CSPQuery(0, 1, 10), CSPQuery(2, 3, 10)}
+
+    def test_empty_pool(self):
+        assert index_queries_from_sets([], count=10, seed=0) == []
+
+    def test_deterministic(self):
+        qs = make_set("Q1", [(0, 1), (2, 3), (4, 5), (6, 7)])
+        a = index_queries_from_sets([qs], count=20, seed=9)
+        b = index_queries_from_sets([qs], count=20, seed=9)
+        assert a == b
+
+
+class TestQuerySetContainer:
+    def test_len_and_iter(self):
+        qs = make_set("Q1", [(0, 1), (2, 3)])
+        assert len(qs) == 2
+        assert list(qs) == qs.queries
