@@ -1,0 +1,63 @@
+"""Observability tour: trace one query, collect metrics over many.
+
+Run with::
+
+    python examples/trace_query.py
+
+Builds a small index, then (1) captures the span trace of a single
+query and prints it annotated with the paper sections each phase
+implements, and (2) runs a batch of queries under a live metrics
+registry and prints the resulting latency histograms three ways:
+terminal table, JSON-lines, and Prometheus text exposition.
+"""
+
+from repro import (
+    MetricsRegistry,
+    QHLIndex,
+    SpanTracer,
+    grid_network,
+    use_registry,
+    use_tracer,
+)
+from repro.core.explain import explain_trace
+from repro.observability import render_table, to_jsonl, to_prometheus
+
+
+def main() -> None:
+    network = grid_network(10, 10, seed=7)
+    index = QHLIndex.build(network, num_index_queries=500, seed=7)
+    source, target = 0, network.num_vertices - 1
+
+    # -- 1. Trace a single query ------------------------------------
+    # A tracer records one span per pipeline phase of Algorithm 3:
+    # LCA lookup, separator initialisation (§3.2), pruning checks
+    # (§3.3), hoplink selection, and per-hoplink concatenation (§3.4).
+    tracer = SpanTracer()
+    with use_tracer(tracer):
+        result = index.query(source, target, budget=10_000)
+    print(f"answer: weight {result.weight}, cost {result.cost}\n")
+    print(explain_trace(tracer.last()))
+
+    # -- 2. Collect metrics over a batch ----------------------------
+    # A registry aggregates: end-to-end and per-phase latency
+    # histograms (p50/p90/p95/p99), plus the paper's work counters.
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        for offset in range(1, 30):
+            index.query(offset, network.num_vertices - 1 - offset,
+                        budget=10_000)
+
+    print("\n--- metrics table ---")
+    print(render_table(registry))
+
+    print("\n--- JSON-lines (first two records) ---")
+    for line in to_jsonl(registry).splitlines()[:2]:
+        print(line)
+
+    print("\n--- Prometheus exposition (excerpt) ---")
+    for line in to_prometheus(registry).splitlines()[:12]:
+        print(line)
+
+
+if __name__ == "__main__":
+    main()

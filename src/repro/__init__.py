@@ -55,6 +55,12 @@ from repro.graph import (
     write_csp_text,
     write_dimacs_pair,
 )
+from repro.observability import (
+    MetricsRegistry,
+    SpanTracer,
+    use_registry,
+    use_tracer,
+)
 from repro.storage import load_index, save_index
 from repro.types import CSPQuery, QueryResult, QueryStats
 from repro.workloads import (
@@ -77,6 +83,7 @@ __all__ = [
     "IndexBuildError",
     "InfeasibleQueryError",
     "InvalidGraphError",
+    "MetricsRegistry",
     "MultiCSPIndex",
     "MultiMetricNetwork",
     "QHLEngine",
@@ -87,6 +94,7 @@ __all__ = [
     "ReproError",
     "RoadNetwork",
     "SerializationError",
+    "SpanTracer",
     "constrained_dijkstra",
     "dense_core_network",
     "directed_from_undirected",
@@ -105,6 +113,8 @@ __all__ = [
     "save_index",
     "skyline_between",
     "traffic_signal_network",
+    "use_registry",
+    "use_tracer",
     "write_csp_text",
     "write_dimacs_pair",
 ]

@@ -12,6 +12,7 @@ from repro.baselines.kpath import ksp_csp, yen_paths
 from repro.baselines.overlay import overlay_csp_search
 from repro.baselines.pulse import pulse_csp
 from repro.baselines.sky_dijkstra import (
+    sky_dijkstra_csp,
     skyline_between,
     skyline_pairs_bruteforce,
     skyline_search,
@@ -27,6 +28,7 @@ __all__ = [
     "overlay_csp_search",
     "partition_network",
     "pulse_csp",
+    "sky_dijkstra_csp",
     "skyline_between",
     "skyline_pairs_bruteforce",
     "skyline_search",

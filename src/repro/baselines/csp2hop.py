@@ -15,6 +15,8 @@ import time
 from repro.hierarchy.lca import LCAIndex
 from repro.hierarchy.tree import TreeDecomposition
 from repro.labeling.labels import LabelStore
+from repro.observability.metrics import get_registry, observe_query
+from repro.observability.tracing import NULL_TRACER, SpanTracer, get_tracer
 from repro.skyline.entries import Entry, expand, join_entry
 from repro.skyline.set_ops import best_under
 from repro.types import CSPQuery, QueryResult, QueryStats
@@ -43,27 +45,50 @@ class CSP2HopEngine:
             self._tree.num_vertices
         )
         stats = QueryStats()
+        tracer = get_tracer()
+        registry = get_registry()
+        if not (tracer.enabled or registry.enabled):
+            started = time.perf_counter()
+            result = self._answer(query, stats, want_path, NULL_TRACER)
+            stats.seconds = time.perf_counter() - started
+            result.stats = stats
+            return result
+        if not tracer.enabled:
+            tracer = SpanTracer()
         started = time.perf_counter()
-        result = self._answer(query, stats, want_path)
+        with tracer.span("csp2hop.query") as root:
+            result = self._answer(query, stats, want_path, tracer)
         stats.seconds = time.perf_counter() - started
+        root.set("hoplinks", stats.hoplinks)
+        root.set("concatenations", stats.concatenations)
+        root.set("label_lookups", stats.label_lookups)
+        if registry.enabled:
+            observe_query(registry, self.name, stats, root.children)
         result.stats = stats
         return result
 
     def _answer(
-        self, query: CSPQuery, stats: QueryStats, want_path: bool
+        self,
+        query: CSPQuery,
+        stats: QueryStats,
+        want_path: bool,
+        tracer: SpanTracer = NULL_TRACER,
     ) -> QueryResult:
         s, t, budget = query
         if s == t:
             return QueryResult(
                 query, weight=0, cost=0, path=[s] if want_path else None
             )
-        lca, s_is_anc, t_is_anc = self._lca.relation(s, t)
+        with tracer.span("lca"):
+            lca, s_is_anc, t_is_anc = self._lca.relation(s, t)
 
         # Lines 2-5: ancestor-descendant fast path.
         if s_is_anc or t_is_anc:
-            entries = self._labels.get(s, t)
-            stats.label_lookups += 1
-            best = best_under(entries, budget)
+            with tracer.span("label-lookup") as span:
+                entries = self._labels.get(s, t)
+                stats.label_lookups += 1
+                best = best_under(entries, budget)
+                span.set("entries", len(entries))
             return self._finish(query, best, s, t, want_path)
 
         # Lines 7-8: hoplinks = X(l), full Cartesian concatenation.
@@ -74,21 +99,27 @@ class CSP2HopEngine:
         label_s = self._labels.label(s)
         label_t = self._labels.label(t)
         best: Entry | None = None
-        for h in hoplinks:
-            p_sh = label_s[h]
-            p_ht = label_t[h]
-            stats.label_lookups += 2
-            for p1 in p_sh:
-                c1 = p1[1]
-                w1 = p1[0]
-                for p2 in p_ht:
-                    stats.concatenations += 1
-                    total_c = c1 + p2[1]
-                    if total_c > budget:
-                        continue
-                    total_w = w1 + p2[0]
-                    if best is None or (total_w, total_c) < (best[0], best[1]):
-                        best = join_entry(p1, p2, mid=h)
+        with tracer.span("concatenation") as span:
+            for h in hoplinks:
+                p_sh = label_s[h]
+                p_ht = label_t[h]
+                stats.label_lookups += 2
+                for p1 in p_sh:
+                    c1 = p1[1]
+                    w1 = p1[0]
+                    for p2 in p_ht:
+                        stats.concatenations += 1
+                        total_c = c1 + p2[1]
+                        if total_c > budget:
+                            continue
+                        total_w = w1 + p2[0]
+                        if best is None or (
+                            (total_w, total_c) < (best[0], best[1])
+                        ):
+                            best = join_entry(p1, p2, mid=h)
+            span.set("hoplinks", stats.hoplinks)
+            span.set("concatenations", stats.concatenations)
+            span.set("label_lookups", stats.label_lookups)
         return self._finish(query, best, s, t, want_path)
 
     def _finish(

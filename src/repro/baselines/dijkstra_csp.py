@@ -16,6 +16,7 @@ of the paper's introduction.
 from __future__ import annotations
 
 import heapq
+import time
 from typing import Sequence
 
 from repro.graph.network import RoadNetwork
@@ -36,7 +37,9 @@ def constrained_dijkstra(
     """
     query = CSPQuery(source, target, budget).validated(network.num_vertices)
     stats = QueryStats()
+    started = time.perf_counter()
     if source == target:
+        stats.seconds = time.perf_counter() - started
         return QueryResult(
             query, weight=0, cost=0, path=[source] if want_path else None,
             stats=stats,
@@ -69,6 +72,7 @@ def constrained_dijkstra(
             continue
         if v == target:
             path = _unwind(parent, v) if want_path else None
+            stats.seconds = time.perf_counter() - started
             return QueryResult(query, weight=w, cost=c, path=path, stats=stats)
         for nbr, ew, ec in network.neighbors(v):
             nw, nc = w + ew, c + ec
@@ -78,6 +82,7 @@ def constrained_dijkstra(
             counter += 1
             stats.concatenations += 1  # one edge relaxation
             heapq.heappush(heap, (nw, nc, counter, nbr, (v, parent)))
+    stats.seconds = time.perf_counter() - started
     return QueryResult(query, stats=stats)
 
 

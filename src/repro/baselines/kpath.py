@@ -11,6 +11,7 @@ dismisses index-free solutions for large networks.
 from __future__ import annotations
 
 import heapq
+import time
 from typing import Iterator
 
 from repro.exceptions import QueryError
@@ -127,13 +128,16 @@ def ksp_csp(
     """
     query = CSPQuery(source, target, budget).validated(network.num_vertices)
     stats = QueryStats()
+    started = time.perf_counter()
     if source == target:
+        stats.seconds = time.perf_counter() - started
         return QueryResult(query, weight=0, cost=0, path=[source], stats=stats)
     count = 0
     for w, c, path in yen_paths(network, source, target, max_paths):
         count += 1
         stats.concatenations += 1  # one enumerated candidate
         if c <= budget:
+            stats.seconds = time.perf_counter() - started
             return QueryResult(
                 query, weight=w, cost=c, path=path, stats=stats
             )
@@ -142,4 +146,5 @@ def ksp_csp(
             f"k-shortest-path enumeration exhausted its budget of "
             f"{max_paths} paths without a feasible answer"
         )
+    stats.seconds = time.perf_counter() - started
     return QueryResult(query, stats=stats)

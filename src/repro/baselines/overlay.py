@@ -9,6 +9,7 @@ cross edges).
 from __future__ import annotations
 
 import heapq
+import time
 from typing import Mapping, Sequence
 
 from repro.skyline.set_ops import SkylineSet
@@ -31,7 +32,12 @@ def overlay_csp_search(
     from the true source); reaching a vertex in ``t_links`` closes the
     path with each of its tail entries.  Labels are settled in weight
     order with per-vertex Pareto frontiers, so the search is exact.
+
+    The elapsed search time is accumulated into ``stats.seconds`` so
+    direct callers get timed results; engines wrapping this search
+    (COLA, forest) overwrite it with their own end-to-end measurement.
     """
+    started = time.perf_counter()
     frontier: dict[int, list[tuple[float, float]]] = {}
     best: tuple[float, float] | None = None
 
@@ -75,4 +81,5 @@ def overlay_csp_search(
                     continue
                 insert(nbr, nw, nc)
                 heapq.heappush(heap, (nw, nc, nbr))
+    stats.seconds += time.perf_counter() - started
     return best

@@ -21,6 +21,8 @@ indexes.
 
 from __future__ import annotations
 
+import time
+
 from repro.graph.algorithms import dijkstra
 from repro.graph.network import RoadNetwork
 from repro.types import CSPQuery, QueryResult, QueryStats
@@ -36,7 +38,9 @@ def pulse_csp(
     """Exact CSP by bound-pruned DFS (Pulse-style)."""
     query = CSPQuery(source, target, budget).validated(network.num_vertices)
     stats = QueryStats()
+    started = time.perf_counter()
     if source == target:
+        stats.seconds = time.perf_counter() - started
         return QueryResult(
             query, weight=0, cost=0,
             path=[source] if want_path else None, stats=stats,
@@ -46,6 +50,7 @@ def pulse_csp(
     c_min = dijkstra(network, target, metric="cost")
     inf = float("inf")
     if c_min[source] == inf or c_min[source] > budget:
+        stats.seconds = time.perf_counter() - started
         return QueryResult(query, stats=stats)
 
     best_weight = inf
@@ -100,6 +105,7 @@ def pulse_csp(
             on_path[nbr] = False
 
     pulse(source, 0, 0)
+    stats.seconds = time.perf_counter() - started
     if best_weight == inf:
         return QueryResult(query, stats=stats)
     return QueryResult(

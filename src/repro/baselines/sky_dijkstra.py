@@ -8,11 +8,19 @@ tests and as the in-partition search engine of the COLA-like baseline.
 from __future__ import annotations
 
 import heapq
+import time
 from typing import Callable, Sequence
 
 from repro.graph.network import RoadNetwork
-from repro.skyline.entries import Entry, edge_entry, join_entry, zero_entry
-from repro.skyline.set_ops import SkylineSet, skyline_of
+from repro.skyline.entries import (
+    Entry,
+    edge_entry,
+    expand,
+    join_entry,
+    zero_entry,
+)
+from repro.skyline.set_ops import SkylineSet, best_under, skyline_of
+from repro.types import CSPQuery, QueryResult, QueryStats
 
 
 def skyline_search(
@@ -21,6 +29,7 @@ def skyline_search(
     max_cost: float | None = None,
     allowed: Callable[[int], bool] | None = None,
     with_prov: bool = False,
+    stats: QueryStats | None = None,
 ) -> list[SkylineSet]:
     """All skyline sets ``P_sv`` from ``source`` (label-setting).
 
@@ -38,6 +47,9 @@ def skyline_search(
         ``{v : allowed(v)}`` (used for intra-partition searches).
     with_prov:
         Record provenance on labels so concrete paths can be expanded.
+    stats:
+        Optional :class:`~repro.types.QueryStats`; when given, every
+        label relaxation is counted as one concatenation.
 
     Returns
     -------
@@ -77,6 +89,8 @@ def skyline_search(
             if nbr_frontier and nbr_frontier[-1][0] <= nw:
                 continue
             counter += 1
+            if stats is not None:
+                stats.concatenations += 1  # one label relaxation
             if with_prov:
                 edge = edge_entry(ew, ec, v, nbr, with_prov=True)
                 nxt = join_entry(entry, edge, mid=v)
@@ -99,6 +113,43 @@ def skyline_between(
     return skyline_search(
         network, source, max_cost=max_cost, with_prov=with_prov
     )[target]
+
+
+def sky_dijkstra_csp(
+    network: RoadNetwork,
+    source: int,
+    target: int,
+    budget: float,
+    want_path: bool = False,
+) -> QueryResult:
+    """Exact CSP answered from the full skyline set (SkyDijkstra).
+
+    Computes ``P_st`` by budget-capped skyline search and returns the
+    minimum-weight member within budget.  Populates
+    :class:`~repro.types.QueryStats` (``seconds``, ``concatenations``)
+    uniformly with the other baselines, so it slots straight into the
+    workload harness.
+    """
+    query = CSPQuery(source, target, budget).validated(network.num_vertices)
+    stats = QueryStats()
+    started = time.perf_counter()
+    if source == target:
+        stats.seconds = time.perf_counter() - started
+        return QueryResult(
+            query, weight=0, cost=0,
+            path=[source] if want_path else None, stats=stats,
+        )
+    frontiers = skyline_search(
+        network, source, max_cost=budget, with_prov=want_path, stats=stats,
+    )
+    best = best_under(frontiers[target], budget)
+    stats.seconds = time.perf_counter() - started
+    if best is None:
+        return QueryResult(query, stats=stats)
+    path = expand(best, source, target) if want_path else None
+    return QueryResult(
+        query, weight=best[0], cost=best[1], path=path, stats=stats
+    )
 
 
 def skyline_pairs_bruteforce(

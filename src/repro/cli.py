@@ -14,12 +14,19 @@ Example session::
     repro-qhl generate --dataset NY --scale small --out ny.csp
     repro-qhl build --network ny.csp --out ny.idx --index-queries 2000
     repro-qhl query --index ny.idx --source 0 --target 140 --budget 400 --path
+    repro-qhl query --index ny.idx --source 0 --target 140 --budget 400 --trace
     repro-qhl stats --index ny.idx
+
+``build``, ``workload`` and ``bench`` accept ``--metrics-out PATH`` to
+dump the run's metrics registry as JSON-lines (counters, gauges, and
+latency histograms with p50/p95/p99); ``query --trace`` prints the
+phase-by-phase span tree of one query.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 
 from repro.core.engine import QHLIndex
@@ -27,7 +34,30 @@ from repro.datasets.catalog import DATASET_NAMES, load_dataset
 from repro.exceptions import ReproError
 from repro.graph.io import read_csp_text, write_csp_text
 from repro.instrument.timing import Timer, format_bytes, format_seconds
+from repro.observability.metrics import MetricsRegistry, use_registry
+from repro.observability.export import write_jsonl
+from repro.observability.tracing import SpanTracer, use_tracer
 from repro.storage.serialize import load_index, save_index
+
+
+@contextlib.contextmanager
+def _metrics_scope(path: str | None):
+    """Run the body under a live metrics registry, dumping it to ``path``.
+
+    A no-op (the default null registry stays active) when ``path`` is
+    falsy, so commands pay nothing unless ``--metrics-out`` was given.
+    """
+    if not path:
+        yield
+        return
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        yield
+    try:
+        count = write_jsonl(registry, path)
+    except OSError as exc:
+        raise ReproError(f"cannot write metrics to {path}: {exc}") from exc
+    print(f"wrote {count} metrics -> {path}")
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -43,7 +73,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_build(args: argparse.Namespace) -> int:
     network = read_csp_text(args.network)
-    with Timer() as timer:
+    with _metrics_scope(args.metrics_out), Timer() as timer:
         index = QHLIndex.build(
             network,
             num_index_queries=args.index_queries,
@@ -61,22 +91,35 @@ def _cmd_build(args: argparse.Namespace) -> int:
 
 def _cmd_query(args: argparse.Namespace) -> int:
     index = load_index(args.index)
-    result = index.query(
-        args.source, args.target, args.budget, want_path=args.path
-    )
-    if not result.feasible:
+    tracer = SpanTracer() if args.trace else None
+    if tracer is not None:
+        with use_tracer(tracer):
+            result = index.query(
+                args.source, args.target, args.budget, want_path=args.path
+            )
+    else:
+        result = index.query(
+            args.source, args.target, args.budget, want_path=args.path
+        )
+    if result.feasible:
+        print(
+            f"optimal weight {result.weight} at cost {result.cost} "
+            f"(budget {args.budget}) in "
+            f"{format_seconds(result.stats.seconds)}"
+        )
+        if args.path and result.path is not None:
+            print(" -> ".join(str(v) for v in result.path))
+    else:
         print(
             f"no path from {args.source} to {args.target} within "
             f"budget {args.budget}"
         )
-        return 1
-    print(
-        f"optimal weight {result.weight} at cost {result.cost} "
-        f"(budget {args.budget}) in {format_seconds(result.stats.seconds)}"
-    )
-    if args.path and result.path is not None:
-        print(" -> ".join(str(v) for v in result.path))
-    return 0
+    if tracer is not None and tracer.last() is not None:
+        from repro.core.explain import explain_trace
+
+        print()
+        print(explain_trace(tracer.last()))
+    return 0 if result.feasible else 1
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -100,13 +143,29 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 def _cmd_workload(args: argparse.Namespace) -> int:
     from repro.graph.algorithms import estimate_diameter
+    from repro.observability.metrics import get_registry
     from repro.workloads import generate_distance_sets, write_query_sets
 
     network = read_csp_text(args.network)
-    d_max = estimate_diameter(network)
-    sets = generate_distance_sets(
-        network, size=args.size, d_max=d_max, seed=args.seed
-    )
+    with _metrics_scope(args.metrics_out):
+        registry = get_registry()
+        phase_seconds = lambda phase: registry.histogram(  # noqa: E731
+            "qhl_workload_phase_seconds",
+            {"phase": phase},
+            help="query-set generation phase latency",
+        )
+        with Timer() as timer:
+            d_max = estimate_diameter(network)
+        phase_seconds("estimate-diameter").observe(timer.seconds)
+        with Timer() as timer:
+            sets = generate_distance_sets(
+                network, size=args.size, d_max=d_max, seed=args.seed
+            )
+        phase_seconds("generate-sets").observe(timer.seconds)
+        for name, query_set in sets.items():
+            registry.gauge(
+                "qhl_workload_queries", {"set": name}
+            ).set(len(query_set))
     write_query_sets(sets, args.out)
     print(
         f"wrote {sum(len(s) for s in sets.values())} queries "
@@ -121,28 +180,29 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     network = read_csp_text(args.network)
     sets = read_query_sets(args.queries)
-    with Timer() as timer:
-        index = QHLIndex.build(
-            network,
-            index_queries=index_queries_from_sets(
-                list(sets.values()), args.index_queries, seed=args.seed
-            ),
-            store_paths=False,
-            seed=args.seed,
-        )
-    print(f"index built in {format_seconds(timer.seconds)}")
+    with _metrics_scope(args.metrics_out):
+        with Timer() as timer:
+            index = QHLIndex.build(
+                network,
+                index_queries=index_queries_from_sets(
+                    list(sets.values()), args.index_queries, seed=args.seed
+                ),
+                store_paths=False,
+                seed=args.seed,
+            )
+        print(f"index built in {format_seconds(timer.seconds)}")
 
-    engines = [index.qhl_engine(), index.csp2hop_engine()]
-    if args.cola:
-        from repro.baselines import COLAEngine
+        engines = [index.qhl_engine(), index.csp2hop_engine()]
+        if args.cola:
+            from repro.baselines import COLAEngine
 
-        engines.append(COLAEngine(network, num_parts=8, seed=args.seed))
+            engines.append(COLAEngine(network, num_parts=8, seed=args.seed))
 
-    print(WorkloadReport.header())
-    for name, query_set in sets.items():
-        for engine in engines:
-            report = run_workload(engine, query_set.queries, name)
-            print(report.row())
+        print(WorkloadReport.header())
+        for name, query_set in sets.items():
+            for engine in engines:
+                report = run_workload(engine, query_set.queries, name)
+                print(report.row())
     return 0
 
 
@@ -172,6 +232,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip path provenance (smaller index, no path retrieval)",
     )
+    p_build.add_argument(
+        "--metrics-out",
+        help="dump build metrics (phase timings, index sizes) as "
+        "JSON-lines to this path",
+    )
     p_build.set_defaults(func=_cmd_build)
 
     p_query = sub.add_parser("query", help="answer one CSP query")
@@ -181,6 +246,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("--budget", type=float, required=True)
     p_query.add_argument(
         "--path", action="store_true", help="print the vertex path"
+    )
+    p_query.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the per-phase span trace of the query",
     )
     p_query.set_defaults(func=_cmd_query)
 
@@ -195,6 +265,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_workload.add_argument("--out", required=True)
     p_workload.add_argument("--size", type=int, default=100)
     p_workload.add_argument("--seed", type=int, default=0)
+    p_workload.add_argument(
+        "--metrics-out",
+        help="dump generation metrics as JSON-lines to this path",
+    )
     p_workload.set_defaults(func=_cmd_workload)
 
     p_bench = sub.add_parser(
@@ -207,6 +281,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument(
         "--cola", action="store_true",
         help="include the (slow) COLA baseline",
+    )
+    p_bench.add_argument(
+        "--metrics-out",
+        help="dump per-engine query and phase histograms as JSON-lines "
+        "to this path",
     )
     p_bench.set_defaults(func=_cmd_bench)
 

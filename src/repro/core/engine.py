@@ -31,6 +31,8 @@ from repro.hierarchy.lca import LCAIndex
 from repro.hierarchy.tree import TreeDecomposition
 from repro.labeling.builder import build_labels
 from repro.labeling.labels import LabelStore
+from repro.observability.metrics import get_registry
+from repro.observability.tracing import get_tracer
 from repro.types import CSPQuery, QueryResult
 
 
@@ -98,24 +100,37 @@ class QHLIndex:
             Seed for query sampling and Algorithm 7's random pruner
             choice.
         """
-        tree = build_tree_decomposition(
-            network,
-            strategy=strategy,
-            store_paths=store_paths,
-            max_skyline=max_skyline,
-        )
-        labels = build_labels(
-            tree, store_paths=store_paths, max_skyline=max_skyline
-        )
-        lca = LCAIndex(tree)
-        if index_queries is None:
-            index_queries = random_index_queries(
-                network, num_index_queries, seed=seed
-            )
-        pruning = build_pruning_index(
-            tree, labels, lca, index_queries, seed=seed
-        )
-        return cls(network, tree, labels, lca, pruning)
+        tracer = get_tracer()
+        with tracer.span("qhl.build") as root:
+            with tracer.span("tree-decomposition"):
+                tree = build_tree_decomposition(
+                    network,
+                    strategy=strategy,
+                    store_paths=store_paths,
+                    max_skyline=max_skyline,
+                )
+            with tracer.span("label-construction"):
+                labels = build_labels(
+                    tree, store_paths=store_paths, max_skyline=max_skyline
+                )
+            with tracer.span("lca-index"):
+                lca = LCAIndex(tree)
+            with tracer.span("pruning-index") as span:
+                if index_queries is None:
+                    index_queries = random_index_queries(
+                        network, num_index_queries, seed=seed
+                    )
+                pruning = build_pruning_index(
+                    tree, labels, lca, index_queries, seed=seed
+                )
+                span.set("conditions", pruning.num_conditions)
+            root.set("vertices", network.num_vertices)
+            root.set("edges", network.num_edges)
+        index = cls(network, tree, labels, lca, pruning)
+        registry = get_registry()
+        if registry.enabled:
+            index.record_metrics(registry)
+        return index
 
     # ------------------------------------------------------------------
     # Engines
@@ -146,6 +161,34 @@ class QHLIndex:
         return self._default_engine.query(
             source, target, budget, want_path=want_path
         )
+
+    # ------------------------------------------------------------------
+    def record_metrics(self, registry) -> None:
+        """Export :meth:`stats` as ``qhl_index_*`` gauges on ``registry``.
+
+        Build phases land in ``qhl_index_build_seconds{phase=...}`` so a
+        metrics dump of one build answers the paper's Table 2 / Figure
+        10 questions (where the build time and space went).
+        """
+        stats = self.stats()
+        for phase, seconds in (
+            ("tree-decomposition", stats.tree_seconds),
+            ("label-construction", stats.label_seconds),
+            ("pruning-index", stats.pruning_seconds),
+        ):
+            registry.gauge(
+                "qhl_index_build_seconds", {"phase": phase}
+            ).set(seconds)
+        for name, value in (
+            ("qhl_index_treewidth", stats.treewidth),
+            ("qhl_index_treeheight", stats.treeheight),
+            ("qhl_index_label_bytes", stats.label_bytes),
+            ("qhl_index_label_entries", stats.label_entries),
+            ("qhl_index_max_skyline_set", stats.max_skyline_set),
+            ("qhl_index_pruning_bytes", stats.pruning_bytes),
+            ("qhl_index_pruning_conditions", stats.pruning_conditions),
+        ):
+            registry.gauge(name).set(value)
 
     # ------------------------------------------------------------------
     def stats(self) -> IndexStats:

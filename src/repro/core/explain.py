@@ -6,12 +6,20 @@ pruning conditions applied and what they removed, each candidate's
 estimated cost, and the per-hoplink concatenation work.  The paper's
 worked examples (10-15) are exactly this trace for one query; the
 feature makes that narration available for *any* query.
+
+:func:`explain_trace` is the observability counterpart: it renders a
+captured span tree (from :mod:`repro.observability.tracing`) with each
+phase annotated by the paper section it implements, so ``repro-qhl
+query --trace`` reads like the worked examples but with measured
+timings attached.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.observability.export import render_trace
+from repro.observability.tracing import Span
 from repro.types import CSPQuery
 
 
@@ -106,3 +114,48 @@ class QueryExplanation:
             else "answer: infeasible"
         )
         return "\n".join(lines)
+
+
+#: Query-pipeline span names mapped to the paper phase they implement.
+PHASE_NOTES: dict[str, str] = {
+    "qhl.query": "Algorithm 3 end-to-end",
+    "csp2hop.query": "Algorithm 2 end-to-end",
+    "lca": "LCA lookup (Alg. 3 line 1)",
+    "label-lookup": "ancestor-descendant label fetch (Alg. 3 lines 2-5)",
+    "separator-init": "separator initialisation (paper §3.2)",
+    "pruning": "pruning-condition checks (paper §3.3, Alg. 4)",
+    "hoplink-select": "hoplink selection by T(H) (Alg. 3 line 9)",
+    "concatenation": "two-pointer concatenation (paper §3.4, Alg. 5)",
+    "hoplink": "one hoplink's P_sh x P_ht sweep",
+    "qhl.build": "index construction (paper §2.3 + §4)",
+    "tree-decomposition": "tree decomposition (paper §2.2)",
+    "label-construction": "2-hop skyline labels (paper §2.3)",
+    "lca-index": "LCA structure",
+    "pruning-index": "pruning-condition index (paper §4, Alg. 6-7)",
+}
+
+
+def explain_trace(span: Span) -> str:
+    """Render a captured span tree with paper-phase annotations.
+
+    The tree body comes from
+    :func:`repro.observability.export.render_trace`; a legend below it
+    ties each distinct span name to the paper section it implements, so
+    a ``--trace`` dump doubles as a guided tour of Algorithm 3.
+    """
+    lines = [render_trace(span)]
+    seen: list[str] = []
+
+    def collect(node: Span) -> None:
+        if node.name in PHASE_NOTES and node.name not in seen:
+            seen.append(node.name)
+        for child in node.children:
+            collect(child)
+
+    collect(span)
+    if seen:
+        lines.append("")
+        width = max(len(name) for name in seen)
+        for name in seen:
+            lines.append(f"  {name:<{width}}  {PHASE_NOTES[name]}")
+    return "\n".join(lines)

@@ -38,6 +38,8 @@ from repro.core.separators import (
 from repro.hierarchy.lca import LCAIndex
 from repro.hierarchy.tree import TreeDecomposition
 from repro.labeling.labels import LabelStore
+from repro.observability.metrics import get_registry, observe_query
+from repro.observability.tracing import SpanTracer, get_tracer
 from repro.skyline.entries import Entry, expand
 from repro.skyline.set_ops import best_under
 from repro.types import CSPQuery, QueryResult, QueryStats
@@ -75,9 +77,28 @@ class QHLEngine:
             self._tree.num_vertices
         )
         stats = QueryStats()
+        tracer = get_tracer()
+        registry = get_registry()
+        if not (tracer.enabled or registry.enabled):
+            started = time.perf_counter()
+            result = self._answer(query, stats, want_path)
+            stats.seconds = time.perf_counter() - started
+            result.stats = stats
+            return result
+        if not tracer.enabled:
+            # Metrics-only mode: a throwaway tracer collects the phase
+            # durations the per-phase histograms need.
+            tracer = SpanTracer()
         started = time.perf_counter()
-        result = self._answer(query, stats, want_path)
+        with tracer.span("qhl.query") as root:
+            result = self._answer_traced(query, stats, want_path, tracer)
         stats.seconds = time.perf_counter() - started
+        root.set("hoplinks", stats.hoplinks)
+        root.set("concatenations", stats.concatenations)
+        root.set("label_lookups", stats.label_lookups)
+        root.set("candidates", stats.candidates)
+        if registry.enabled:
+            observe_query(registry, self.name, stats, root.children)
         result.stats = stats
         return result
 
@@ -132,6 +153,84 @@ class QHLEngine:
                 best = found
                 best_hop = h
         stats.label_lookups += fetcher.lookups
+        if best is not None:
+            best = rejoin_with_mid(best, best_hop)
+        return self._finish(query, best, s, t, want_path)
+
+    # ------------------------------------------------------------------
+    def _answer_traced(
+        self,
+        query: CSPQuery,
+        stats: QueryStats,
+        want_path: bool,
+        tracer: SpanTracer,
+    ) -> QueryResult:
+        """:meth:`_answer` with each pipeline phase wrapped in a span.
+
+        Kept separate so the untraced hot path stays branch-free; the
+        phase structure mirrors ``_answer`` line for line.
+        """
+        s, t, budget = query
+        if s == t:
+            return QueryResult(
+                query, weight=0, cost=0, path=[s] if want_path else None
+            )
+        with tracer.span("lca"):
+            lca_v, s_is_anc, t_is_anc = self._lca.relation(s, t)
+
+        if s_is_anc or t_is_anc:
+            with tracer.span("label-lookup") as span:
+                entries = self._labels.get(s, t)
+                stats.label_lookups += 1
+                best = best_under(entries, budget)
+                span.set("entries", len(entries))
+            return self._finish(query, best, s, t, want_path)
+
+        with tracer.span("separator-init") as span:
+            c_s, h_s, c_t, h_t = initial_separators(self._tree, lca_v, s, t)
+            span.set("separator_sizes", len(h_s) + len(h_t))
+
+        with tracer.span("pruning") as span:
+            candidates = self._candidate_separators(
+                ((c_s, h_s), (c_t, h_t)), s, t, budget
+            )
+            stats.candidates = len(candidates)
+            span.set("candidates", len(candidates))
+
+        with tracer.span("hoplink-select") as span:
+            fetcher = LabelFetcher(self._labels, s, t)
+            hoplinks = min(
+                candidates, key=lambda h: estimated_cost(fetcher, h)
+            )
+            stats.hoplinks = len(hoplinks)
+            span.set("hoplinks", len(hoplinks))
+
+        with tracer.span("concatenation") as span:
+            concat = (
+                concat_best_under
+                if self.use_two_pointer
+                else concat_cartesian
+            )
+            best = None
+            best_hop = -1
+            for h in hoplinks:
+                with tracer.span("hoplink") as hop_span:
+                    p_sh = fetcher.from_s(h)
+                    p_ht = fetcher.from_t(h)
+                    prune = (best[0], best[1]) if best is not None else None
+                    found, inspected = concat(p_sh, p_ht, budget, prune=prune)
+                    stats.concatenations += inspected
+                    hop_span.set("hub", h)
+                    hop_span.set("size_sh", len(p_sh))
+                    hop_span.set("size_ht", len(p_ht))
+                    hop_span.set("inspected", inspected)
+                if found is not None:
+                    best = found
+                    best_hop = h
+            stats.label_lookups += fetcher.lookups
+            span.set("hoplinks", stats.hoplinks)
+            span.set("concatenations", stats.concatenations)
+            span.set("label_lookups", fetcher.lookups)
         if best is not None:
             best = rejoin_with_mid(best, best_hop)
         return self._finish(query, best, s, t, want_path)

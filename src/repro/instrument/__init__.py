@@ -1,9 +1,17 @@
 """Instrumentation: workload harness and timing helpers."""
 
-from repro.instrument.harness import QueryEngine, WorkloadReport, run_workload
+from repro.instrument.harness import (
+    COLUMNS,
+    Column,
+    QueryEngine,
+    WorkloadReport,
+    run_workload,
+)
 from repro.instrument.timing import Timer, format_bytes, format_seconds
 
 __all__ = [
+    "COLUMNS",
+    "Column",
     "QueryEngine",
     "Timer",
     "WorkloadReport",

@@ -1,18 +1,25 @@
 """Workload measurement harness.
 
-Runs a query engine over a query set and aggregates exactly the numbers
-the paper plots: average query time (Figures 6 and 9), average hoplinks
-(Figure 7 left), and average path concatenations (Figures 7 right, 8).
-Every benchmark in ``benchmarks/`` reports through this module so the
-printed rows are uniform.
+Runs a query engine over a query set and aggregates the numbers the
+paper plots — average query time (Figures 6 and 9), average hoplinks
+(Figure 7 left), average path concatenations (Figures 7 right, 8) —
+plus the tail latencies the paper's averages hide: every run feeds a
+fixed-bucket histogram, so reports carry p50/p95/p99 alongside the
+mean.  Every benchmark in ``benchmarks/`` reports through this module
+so the printed rows are uniform.
+
+The table layout is driven by one column spec (:data:`COLUMNS`):
+``WorkloadReport.header()`` and ``row()`` are derived from the same
+tuple, so they cannot drift apart when columns are added.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Iterable, Protocol
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Protocol
 
+from repro.observability.metrics import Histogram, get_registry
 from repro.types import CSPQuery, QueryResult
 
 
@@ -38,6 +45,7 @@ class WorkloadReport:
     avg_concatenations: float
     avg_label_lookups: float
     feasible: int
+    latency: Histogram | None = field(default=None, repr=False)
 
     @property
     def avg_ms(self) -> float:
@@ -51,22 +59,61 @@ class WorkloadReport:
         """Mean per-query wall-clock in microseconds."""
         return self.avg_ms * 1e3
 
+    def _percentile_ms(self, q: float) -> float:
+        if self.latency is None or self.num_queries == 0:
+            return 0.0
+        return self.latency.percentile(q) * 1e3
+
+    @property
+    def p50_ms(self) -> float:
+        """Median per-query latency in milliseconds."""
+        return self._percentile_ms(50)
+
+    @property
+    def p95_ms(self) -> float:
+        """95th-percentile per-query latency in milliseconds."""
+        return self._percentile_ms(95)
+
+    @property
+    def p99_ms(self) -> float:
+        """99th-percentile per-query latency in milliseconds."""
+        return self._percentile_ms(99)
+
     def row(self) -> str:
         """One formatted table row (used by the bench printers)."""
-        return (
-            f"{self.workload:>8}  {self.engine:>10}  "
-            f"{self.avg_ms:>10.3f} ms  "
-            f"{self.avg_hoplinks:>9.1f}  {self.avg_concatenations:>12.1f}  "
-            f"{self.feasible:>5d}/{self.num_queries}"
+        return "  ".join(
+            f"{column.cell(self):>{column.width}}" for column in COLUMNS
         )
 
     @staticmethod
     def header() -> str:
-        """The column header matching :meth:`row`."""
-        return (
-            f"{'workload':>8}  {'engine':>10}  {'avg time':>13}  "
-            f"{'hoplinks':>9}  {'concats':>12}  {'feas':>5}"
+        """The column header matching :meth:`row` — same spec, no drift."""
+        return "  ".join(
+            f"{column.title:>{column.width}}" for column in COLUMNS
         )
+
+
+@dataclass(frozen=True)
+class Column:
+    """One report column: a title, a width, and a cell renderer."""
+
+    title: str
+    width: int
+    cell: Callable[[WorkloadReport], str]
+
+
+#: The single source of truth for the report table layout.
+COLUMNS: tuple[Column, ...] = (
+    Column("workload", 8, lambda r: r.workload),
+    Column("engine", 10, lambda r: r.engine),
+    Column("avg time", 13, lambda r: f"{r.avg_ms:.3f} ms"),
+    Column("p50", 10, lambda r: f"{r.p50_ms:.3f} ms"),
+    Column("p95", 10, lambda r: f"{r.p95_ms:.3f} ms"),
+    Column("p99", 10, lambda r: f"{r.p99_ms:.3f} ms"),
+    Column("hoplinks", 9, lambda r: f"{r.avg_hoplinks:.1f}"),
+    Column("concats", 12, lambda r: f"{r.avg_concatenations:.1f}"),
+    Column("feas", 5, lambda r: f"{r.feasible}/{r.num_queries}"),
+)
 
 
 def run_workload(
@@ -74,7 +121,21 @@ def run_workload(
     queries: Iterable[CSPQuery],
     workload_name: str = "",
 ) -> WorkloadReport:
-    """Run every query through the engine and aggregate the statistics."""
+    """Run every query through the engine and aggregate the statistics.
+
+    Per-query latencies land in a fixed-bucket histogram; when a live
+    metrics registry is installed (:func:`repro.observability.metrics.
+    set_registry`) the histogram is also attached to it under
+    ``qhl_workload_query_seconds{engine=...,workload=...}``.
+    """
+    latency = Histogram(
+        "qhl_workload_query_seconds",
+        labels={"engine": engine.name, "workload": workload_name},
+        help="per-query latency measured by the workload harness",
+    )
+    registry = get_registry()
+    if registry.enabled:
+        registry.attach(latency)
     total = 0.0
     hoplinks = 0
     concatenations = 0
@@ -84,7 +145,9 @@ def run_workload(
     for query in queries:
         started = time.perf_counter()
         result = engine.query(query.source, query.target, query.budget)
-        total += time.perf_counter() - started
+        elapsed = time.perf_counter() - started
+        total += elapsed
+        latency.observe(elapsed)
         count += 1
         hoplinks += result.stats.hoplinks
         concatenations += result.stats.concatenations
@@ -101,4 +164,5 @@ def run_workload(
         avg_concatenations=concatenations / divisor,
         avg_label_lookups=lookups / divisor,
         feasible=feasible,
+        latency=latency,
     )

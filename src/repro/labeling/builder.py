@@ -21,6 +21,8 @@ import time
 
 from repro.hierarchy.tree import TreeDecomposition
 from repro.labeling.labels import LabelStore
+from repro.observability.metrics import get_registry
+from repro.observability.tracing import get_tracer
 from repro.skyline.set_ops import join, merge, truncate
 
 
@@ -50,24 +52,42 @@ def build_labels(
     """
     started = time.perf_counter()
     store = LabelStore(tree.num_vertices, store_paths=store_paths)
+    registry = get_registry()
+    observed = registry.enabled
+    vertex_seconds = registry.histogram(
+        "qhl_label_vertex_seconds",
+        help="per-vertex label construction time",
+    )
+    joins = 0
 
-    for v in tree.topdown_order:
-        if v == tree.root:
-            continue
-        hubs = tree.bag[v]  # X(v)\{v}, all ancestors of X(v)
-        shortcuts_v = tree.shortcuts[v]
-        for u in tree.ancestors(v):
-            acc = []
-            for w in hubs:
-                s_vw = shortcuts_v[w]
-                if w == u:
-                    part = s_vw
-                else:
-                    part = join(s_vw, store.get(w, u), mid=w)
-                acc = merge(acc, part) if acc else list(part)
-            if max_skyline is not None:
-                acc = truncate(acc, max_skyline)
-            store.set(v, u, acc)
+    with get_tracer().span("labels.topdown-sweep") as span:
+        for v in tree.topdown_order:
+            if v == tree.root:
+                continue
+            vertex_started = time.perf_counter() if observed else 0.0
+            hubs = tree.bag[v]  # X(v)\{v}, all ancestors of X(v)
+            shortcuts_v = tree.shortcuts[v]
+            for u in tree.ancestors(v):
+                acc = []
+                for w in hubs:
+                    s_vw = shortcuts_v[w]
+                    if w == u:
+                        part = s_vw
+                    else:
+                        part = join(s_vw, store.get(w, u), mid=w)
+                        joins += 1
+                    acc = merge(acc, part) if acc else list(part)
+                if max_skyline is not None:
+                    acc = truncate(acc, max_skyline)
+                store.set(v, u, acc)
+            if observed:
+                vertex_seconds.observe(time.perf_counter() - vertex_started)
+        span.set("vertices", tree.num_vertices)
+        span.set("joins", joins)
+        span.set("entries", store.num_entries())
 
     store.build_seconds = time.perf_counter() - started
+    if observed:
+        registry.gauge("qhl_label_build_seconds").set(store.build_seconds)
+        registry.counter("qhl_label_joins_total").inc(joins)
     return store

@@ -1,0 +1,74 @@
+"""Observability: metrics registry, span tracing, exporters.
+
+The always-available instrumentation layer the ROADMAP's production
+goal needs: engines and builders report into a swappable
+:class:`MetricsRegistry` and :class:`SpanTracer`, both of which default
+to no-ops so the query hot path pays (almost) nothing until a caller
+opts in.  See ``docs/observability.md`` for the full tour.
+"""
+
+from repro.observability.export import (
+    metric_to_dict,
+    parse_jsonl,
+    render_table,
+    render_trace,
+    snapshot,
+    span_to_dict,
+    to_jsonl,
+    to_prometheus,
+    write_jsonl,
+)
+from repro.observability.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    get_registry,
+    observe_query,
+    set_registry,
+    use_registry,
+)
+from repro.observability.tracing import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    SpanTracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+    walk,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NullTracer",
+    "Span",
+    "SpanTracer",
+    "get_registry",
+    "get_tracer",
+    "metric_to_dict",
+    "observe_query",
+    "parse_jsonl",
+    "render_table",
+    "render_trace",
+    "set_registry",
+    "set_tracer",
+    "snapshot",
+    "span_to_dict",
+    "to_jsonl",
+    "to_prometheus",
+    "use_registry",
+    "use_tracer",
+    "walk",
+    "write_jsonl",
+]

@@ -1,0 +1,377 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+The registry is the process-wide sink every instrumented component
+(query engines, index builders, the workload harness) reports into.
+Design goals, in order:
+
+1. **Near-zero overhead when disabled.**  The module-level default is
+   :data:`NULL_REGISTRY`, whose ``enabled`` flag is ``False`` and whose
+   metric factories hand back a shared no-op object.  Hot paths check
+   ``registry.enabled`` once and skip all bookkeeping.
+2. **Fixed-bucket histograms with percentile extraction.**  Latency
+   distributions are what the paper's evaluation cannot show (it reports
+   averages only); :class:`Histogram` keeps counts per bucket plus exact
+   ``count``/``sum``/``min``/``max``, and estimates p50/p90/p95/p99 by
+   linear interpolation inside the owning bucket, clamped to the
+   observed range.
+3. **Prometheus-compatible shape.**  Metrics carry a name plus a label
+   map, so :mod:`repro.observability.export` can emit the text
+   exposition format without translation.
+
+Swap a live registry in with :func:`set_registry` (or scoped, with
+:func:`use_registry`)::
+
+    >>> from repro.observability.metrics import MetricsRegistry, use_registry
+    >>> registry = MetricsRegistry()
+    >>> with use_registry(registry):
+    ...     registry.counter("demo_total").inc()
+    >>> registry.counter("demo_total").value
+    1.0
+"""
+
+from __future__ import annotations
+
+import contextlib
+from bisect import bisect_left
+from typing import Iterator, Mapping
+
+#: Geometric 1-2.5-5 latency buckets (seconds), 1 µs .. 10 s.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    1e-6, 2.5e-6, 5e-6,
+    1e-5, 2.5e-5, 5e-5,
+    1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3,
+    1e-2, 2.5e-2, 5e-2,
+    0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0,
+)
+
+Labels = Mapping[str, str]
+MetricKey = tuple[str, tuple[tuple[str, str], ...]]
+
+
+def metric_key(name: str, labels: Labels | None) -> MetricKey:
+    """The registry key: name plus sorted label pairs."""
+    return (name, tuple(sorted((labels or {}).items())))
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    kind = "counter"
+    __slots__ = ("name", "labels", "help", "value")
+
+    def __init__(self, name: str, labels: Labels | None = None, help: str = ""):
+        self.name = name
+        self.labels = dict(labels or {})
+        self.help = help
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (sizes, build costs, ratios)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "labels", "help", "value")
+
+    def __init__(self, name: str, labels: Labels | None = None, help: str = ""):
+        self.name = name
+        self.labels = dict(labels or {})
+        self.help = help
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram with bucket-interpolated percentiles.
+
+    ``bounds`` are the ascending bucket upper edges; one implicit
+    overflow bucket catches everything above the last edge.  The exact
+    ``min``/``max`` are tracked so percentile estimates never leave the
+    observed range — in particular a one-sample histogram reports that
+    sample for every percentile.
+    """
+
+    kind = "histogram"
+    __slots__ = (
+        "name", "labels", "help", "bounds", "counts",
+        "count", "sum", "min", "max",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        labels: Labels | None = None,
+        help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+    ):
+        bounds = tuple(sorted(set(buckets)))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.name = name
+        self.labels = dict(labels or {})
+        self.help = help
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The q-th percentile (``0 <= q <= 100``); 0.0 when empty.
+
+        Linear interpolation inside the bucket holding the target rank;
+        the overflow bucket interpolates toward the observed ``max``.
+        """
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q / 100 * self.count
+        if rank <= 0:
+            return self.min
+        cumulative = 0
+        for i, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if cumulative >= rank and bucket_count:
+                lower = self.bounds[i - 1] if i > 0 else min(self.min, 0.0)
+                upper = (
+                    self.bounds[i] if i < len(self.bounds) else self.max
+                )
+                fraction = (rank - (cumulative - bucket_count)) / bucket_count
+                estimate = lower + (upper - lower) * fraction
+                return min(max(estimate, self.min), self.max)
+        return self.max
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p90(self) -> float:
+        return self.percentile(90)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+
+Metric = Counter | Gauge | Histogram
+
+
+class MetricsRegistry:
+    """A live metric store, keyed by ``(name, labels)``.
+
+    ``counter`` / ``gauge`` / ``histogram`` get-or-create, so call
+    sites need no registration ceremony; requesting an existing name
+    with a different metric kind raises.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._metrics: dict[MetricKey, Metric] = {}
+
+    # -- factories -----------------------------------------------------
+    def counter(
+        self, name: str, labels: Labels | None = None, help: str = ""
+    ) -> Counter:
+        return self._get_or_create(Counter, name, labels, help)
+
+    def gauge(
+        self, name: str, labels: Labels | None = None, help: str = ""
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, labels, help)
+
+    def histogram(
+        self,
+        name: str,
+        labels: Labels | None = None,
+        help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, labels, help, buckets=buckets
+        )
+
+    def _get_or_create(self, cls, name, labels, help, **kwargs):
+        key = metric_key(name, labels)
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name, labels, help, **kwargs)
+            self._metrics[key] = metric
+        elif not isinstance(metric, cls):
+            raise ValueError(
+                f"metric {name!r} already registered as {metric.kind}, "
+                f"requested {cls.kind}"
+            )
+        return metric
+
+    # -- access --------------------------------------------------------
+    def attach(self, metric: Metric) -> Metric:
+        """Adopt an externally built metric (e.g. a harness histogram)."""
+        self._metrics[metric_key(metric.name, metric.labels)] = metric
+        return metric
+
+    def get(self, name: str, labels: Labels | None = None) -> Metric | None:
+        return self._metrics.get(metric_key(name, labels))
+
+    def metrics(self) -> list[Metric]:
+        """All metrics in registration order."""
+        return list(self._metrics.values())
+
+    def clear(self) -> None:
+        self._metrics.clear()
+
+
+class _NullMetric:
+    """Shared do-nothing stand-in for every metric kind."""
+
+    kind = "null"
+    name = ""
+    labels: dict[str, str] = {}
+    help = ""
+    value = 0.0
+    count = 0
+    sum = 0.0
+    mean = 0.0
+    bounds: tuple[float, ...] = ()
+    counts: list[int] = []
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def percentile(self, q: float) -> float:
+        return 0.0
+
+    p50 = p90 = p95 = p99 = 0.0
+
+
+NULL_METRIC = _NullMetric()
+
+
+class NullRegistry:
+    """The disabled default: every factory returns :data:`NULL_METRIC`."""
+
+    enabled = False
+
+    def counter(self, name, labels=None, help="") -> _NullMetric:
+        return NULL_METRIC
+
+    def gauge(self, name, labels=None, help="") -> _NullMetric:
+        return NULL_METRIC
+
+    def histogram(
+        self, name, labels=None, help="", buckets=DEFAULT_LATENCY_BUCKETS
+    ) -> _NullMetric:
+        return NULL_METRIC
+
+    def attach(self, metric):
+        return metric
+
+    def get(self, name, labels=None):
+        return None
+
+    def metrics(self) -> list:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+
+NULL_REGISTRY = NullRegistry()
+
+_active_registry: MetricsRegistry | NullRegistry = NULL_REGISTRY
+
+
+def get_registry() -> MetricsRegistry | NullRegistry:
+    """The process-wide active registry (the no-op one by default)."""
+    return _active_registry
+
+
+def set_registry(
+    registry: MetricsRegistry | NullRegistry,
+) -> MetricsRegistry | NullRegistry:
+    """Install ``registry`` as the active sink; returns the previous one."""
+    global _active_registry
+    previous = _active_registry
+    _active_registry = registry
+    return previous
+
+
+@contextlib.contextmanager
+def use_registry(
+    registry: MetricsRegistry | NullRegistry,
+) -> Iterator[MetricsRegistry | NullRegistry]:
+    """Scoped :func:`set_registry`; restores the previous registry."""
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)
+
+
+def observe_query(registry, engine: str, stats, phases=()) -> None:
+    """Record one answered query's :class:`~repro.types.QueryStats`.
+
+    ``phases`` is an iterable of finished spans (anything with ``name``
+    and ``duration``); each lands in the per-phase latency histogram.
+    """
+    labels = {"engine": engine}
+    registry.histogram(
+        "qhl_query_seconds", labels, help="end-to-end query latency"
+    ).observe(stats.seconds)
+    registry.counter("qhl_queries_total", labels).inc()
+    registry.counter("qhl_hoplinks_total", labels).inc(stats.hoplinks)
+    registry.counter(
+        "qhl_concatenations_total", labels
+    ).inc(stats.concatenations)
+    registry.counter("qhl_label_lookups_total", labels).inc(
+        stats.label_lookups
+    )
+    for span in phases:
+        registry.histogram(
+            "qhl_phase_seconds",
+            {"engine": engine, "phase": span.name},
+            help="per-phase query latency",
+        ).observe(span.duration)

@@ -1,0 +1,187 @@
+"""Span tracing for the query pipeline and the index build.
+
+A :class:`Span` is one timed region — an index-build phase (tree
+decomposition, label construction, pruning-index build) or a query
+phase (LCA lookup, separator initialisation, pruning-condition checks,
+per-hoplink concatenation).  Spans nest: entering a span while another
+is open makes it a child, so one query produces a small tree mirroring
+Algorithm 3's structure, and each span carries the ``QueryStats``-style
+counters observed inside it.
+
+Like the metrics registry, the module-level default is a no-op
+(:data:`NULL_TRACER`): ``tracer.span(...)`` then returns a shared inert
+object, so instrumented code can be written unconditionally while the
+disabled cost stays at one attribute check plus a call.  Install a live
+tracer with :func:`set_tracer` or, scoped, :func:`use_tracer`::
+
+    >>> from repro.observability.tracing import SpanTracer, use_tracer
+    >>> tracer = SpanTracer()
+    >>> with use_tracer(tracer):
+    ...     with tracer.span("outer"):
+    ...         with tracer.span("inner") as inner:
+    ...             inner.add("work", 3)
+    >>> [s.name for s in walk(tracer.last())]
+    ['outer', 'inner']
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from typing import Iterator
+
+
+class Span:
+    """One timed, counter-carrying region of work.
+
+    Use as a context manager (via :meth:`SpanTracer.span`); ``duration``
+    is in seconds and only valid after exit.
+    """
+
+    __slots__ = ("name", "counters", "children", "started", "duration",
+                 "_tracer")
+
+    def __init__(self, name: str, tracer: "SpanTracer | None" = None):
+        self.name = name
+        self.counters: dict[str, float] = {}
+        self.children: list[Span] = []
+        self.started = 0.0
+        self.duration = 0.0
+        self._tracer = tracer
+
+    def add(self, key: str, amount: float = 1.0) -> None:
+        """Accumulate into a counter on this span."""
+        self.counters[key] = self.counters.get(key, 0.0) + amount
+
+    def set(self, key: str, value: float) -> None:
+        """Set a counter on this span."""
+        self.counters[key] = value
+
+    def __enter__(self) -> "Span":
+        if self._tracer is not None:
+            self._tracer._push(self)
+        self.started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.duration = time.perf_counter() - self.started
+        if self._tracer is not None:
+            self._tracer._pop()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, {self.duration * 1e6:.1f}us, "
+            f"{len(self.children)} children)"
+        )
+
+
+class SpanTracer:
+    """Collects span trees; each top-level span becomes a root."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    def span(self, name: str) -> Span:
+        """A new span, attached to the open span on entry."""
+        return Span(name, self)
+
+    def last(self) -> Span | None:
+        """The most recently completed root span, if any."""
+        return self.roots[-1] if self.roots else None
+
+    def reset(self) -> None:
+        self.roots.clear()
+        self._stack.clear()
+
+    # -- internal stack discipline (driven by Span.__enter__/__exit__) --
+    def _push(self, span: Span) -> None:
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+
+    def _pop(self) -> None:
+        self._stack.pop()
+
+
+class _NullSpan:
+    """Inert shared span handed out by the disabled tracer."""
+
+    name = ""
+    counters: dict[str, float] = {}
+    children: tuple = ()
+    started = 0.0
+    duration = 0.0
+
+    def add(self, key: str, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, key: str, value: float) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled default tracer."""
+
+    enabled = False
+
+    def span(self, name: str) -> _NullSpan:
+        return NULL_SPAN
+
+    def last(self) -> None:
+        return None
+
+    def reset(self) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()
+
+_active_tracer: SpanTracer | NullTracer = NULL_TRACER
+
+
+def get_tracer() -> SpanTracer | NullTracer:
+    """The process-wide active tracer (the no-op one by default)."""
+    return _active_tracer
+
+
+def set_tracer(
+    tracer: SpanTracer | NullTracer,
+) -> SpanTracer | NullTracer:
+    """Install ``tracer`` as active; returns the previous one."""
+    global _active_tracer
+    previous = _active_tracer
+    _active_tracer = tracer
+    return previous
+
+
+@contextlib.contextmanager
+def use_tracer(
+    tracer: SpanTracer | NullTracer,
+) -> Iterator[SpanTracer | NullTracer]:
+    """Scoped :func:`set_tracer`; restores the previous tracer."""
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)
+
+
+def walk(span: Span) -> Iterator[Span]:
+    """Depth-first pre-order iteration over a span tree."""
+    yield span
+    for child in span.children:
+        yield from walk(child)

@@ -1,0 +1,205 @@
+"""Unit tests for the metrics registry: bucket math, percentiles,
+registry semantics, and the disabled (no-op) path."""
+
+import pytest
+
+from repro.observability.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    NULL_METRIC,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("x_total")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5.0
+
+    def test_rejects_negative_increment(self):
+        with pytest.raises(ValueError):
+            Counter("x_total").inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("x")
+        g.set(10)
+        g.inc(2.5)
+        g.dec()
+        assert g.value == 11.5
+
+
+class TestHistogramBuckets:
+    def test_values_land_in_correct_buckets(self):
+        h = Histogram("h", buckets=(1.0, 10.0, 100.0))
+        for value in (0.5, 1.0, 5.0, 50.0, 500.0):
+            h.observe(value)
+        # bisect_left: exact bound values land in that bound's bucket.
+        assert h.counts == [2, 1, 1, 1]
+        assert h.count == 5
+        assert h.sum == pytest.approx(556.5)
+        assert h.min == 0.5
+        assert h.max == 500.0
+
+    def test_overflow_bucket_catches_everything_above_last_bound(self):
+        h = Histogram("h", buckets=(1.0,))
+        h.observe(2.0)
+        h.observe(3.0)
+        assert h.counts == [0, 2]
+
+    def test_bounds_sorted_and_deduplicated(self):
+        h = Histogram("h", buckets=(5.0, 1.0, 5.0))
+        assert h.bounds == (1.0, 5.0)
+
+    def test_empty_bucket_list_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+
+    def test_default_buckets_cover_microseconds_to_seconds(self):
+        assert DEFAULT_LATENCY_BUCKETS[0] == 1e-6
+        assert DEFAULT_LATENCY_BUCKETS[-1] == 10.0
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(
+            DEFAULT_LATENCY_BUCKETS
+        )
+
+
+class TestHistogramPercentiles:
+    def test_empty_histogram_reports_zero(self):
+        h = Histogram("h")
+        assert h.percentile(50) == 0.0
+        assert h.p99 == 0.0
+        assert h.mean == 0.0
+
+    def test_single_sample_reports_that_sample(self):
+        h = Histogram("h")
+        h.observe(0.003)
+        for q in (0, 50, 90, 95, 99, 100):
+            assert h.percentile(q) == pytest.approx(0.003)
+
+    def test_percentiles_are_monotone(self):
+        h = Histogram("h")
+        for i in range(1, 101):
+            h.observe(i / 1000)  # 1ms .. 100ms
+        values = [h.percentile(q) for q in (10, 50, 90, 95, 99)]
+        assert values == sorted(values)
+
+    def test_median_of_uniform_samples_is_close(self):
+        h = Histogram("h", buckets=tuple(i / 10 for i in range(1, 11)))
+        for i in range(1, 101):
+            h.observe(i / 100)  # 0.01 .. 1.00 uniformly
+        assert h.percentile(50) == pytest.approx(0.5, abs=0.06)
+        assert h.percentile(99) == pytest.approx(0.99, abs=0.06)
+
+    def test_estimates_clamped_to_observed_range(self):
+        h = Histogram("h", buckets=(1.0,))
+        h.observe(0.4)
+        h.observe(0.6)
+        assert h.percentile(99) <= 0.6
+        assert h.percentile(1) >= 0.4
+
+    def test_out_of_range_quantile_rejected(self):
+        h = Histogram("h")
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+
+    def test_labels_distinguish_metrics(self):
+        registry = MetricsRegistry()
+        a = registry.counter("a", {"engine": "QHL"})
+        b = registry.counter("a", {"engine": "CSP-2Hop"})
+        assert a is not b
+        a.inc()
+        assert b.value == 0.0
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(ValueError):
+            registry.gauge("a")
+
+    def test_attach_adopts_external_metric(self):
+        registry = MetricsRegistry()
+        h = Histogram("external", labels={"k": "v"})
+        registry.attach(h)
+        assert registry.get("external", {"k": "v"}) is h
+        assert h in registry.metrics()
+
+    def test_metrics_in_registration_order(self):
+        registry = MetricsRegistry()
+        registry.counter("z")
+        registry.gauge("a")
+        assert [m.name for m in registry.metrics()] == ["z", "a"]
+
+
+class TestNullRegistry:
+    def test_disabled_and_inert(self):
+        assert NULL_REGISTRY.enabled is False
+        metric = NULL_REGISTRY.counter("anything")
+        assert metric is NULL_METRIC
+        metric.inc()
+        metric.observe(1.0)
+        metric.set(5)
+        assert metric.value == 0.0
+        assert metric.percentile(99) == 0.0
+        assert NULL_REGISTRY.metrics() == []
+
+    def test_default_registry_is_the_null_one(self):
+        assert get_registry() is NULL_REGISTRY
+
+    def test_use_registry_restores_previous(self):
+        live = MetricsRegistry()
+        with use_registry(live):
+            assert get_registry() is live
+        assert get_registry() is NULL_REGISTRY
+
+    def test_use_registry_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with use_registry(MetricsRegistry()):
+                raise RuntimeError("boom")
+        assert get_registry() is NULL_REGISTRY
+
+    def test_set_registry_returns_previous(self):
+        live = MetricsRegistry()
+        previous = set_registry(live)
+        try:
+            assert previous is NULL_REGISTRY
+            assert get_registry() is live
+        finally:
+            set_registry(previous)
+
+
+class TestNoOpOverheadPath:
+    def test_query_with_defaults_records_nothing(self, small_grid_index):
+        """With the null registry/tracer active, queries leave no trace."""
+        engine = small_grid_index.qhl_engine()
+        result = engine.query(0, 63, budget=300)
+        assert result.stats.seconds > 0
+        assert get_registry().metrics() == []
+
+    def test_query_stats_identical_with_and_without_registry(
+        self, small_grid_index
+    ):
+        engine = small_grid_index.qhl_engine()
+        plain = engine.query(1, 62, budget=250)
+        with use_registry(MetricsRegistry()):
+            observed = engine.query(1, 62, budget=250)
+        assert plain.pair() == observed.pair()
+        assert plain.stats.hoplinks == observed.stats.hoplinks
+        assert plain.stats.concatenations == observed.stats.concatenations
+        assert plain.stats.label_lookups == observed.stats.label_lookups
+        assert plain.stats.candidates == observed.stats.candidates

@@ -1,0 +1,123 @@
+"""Unit tests for span tracing: nesting, ordering, counters, and the
+no-op default."""
+
+import pytest
+
+from repro.observability.tracing import (
+    NULL_SPAN,
+    NULL_TRACER,
+    SpanTracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+    walk,
+)
+
+
+class TestSpanNesting:
+    def test_children_attach_to_open_span(self):
+        tracer = SpanTracer()
+        with tracer.span("root"):
+            with tracer.span("a"):
+                with tracer.span("a1"):
+                    pass
+            with tracer.span("b"):
+                pass
+        root = tracer.last()
+        assert root.name == "root"
+        assert [c.name for c in root.children] == ["a", "b"]
+        assert [c.name for c in root.children[0].children] == ["a1"]
+
+    def test_walk_is_preorder(self):
+        tracer = SpanTracer()
+        with tracer.span("root"):
+            with tracer.span("a"):
+                with tracer.span("a1"):
+                    pass
+            with tracer.span("b"):
+                pass
+        assert [s.name for s in walk(tracer.last())] == [
+            "root", "a", "a1", "b",
+        ]
+
+    def test_sibling_roots(self):
+        tracer = SpanTracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [s.name for s in tracer.roots] == ["first", "second"]
+        assert tracer.last().name == "second"
+
+    def test_durations_nest_consistently(self):
+        tracer = SpanTracer()
+        with tracer.span("root"):
+            with tracer.span("child"):
+                sum(range(1000))
+        root = tracer.last()
+        child = root.children[0]
+        assert child.duration > 0
+        assert root.duration >= child.duration
+
+    def test_exception_still_closes_and_pops(self):
+        tracer = SpanTracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("root"):
+                with tracer.span("child"):
+                    raise RuntimeError("boom")
+        root = tracer.last()
+        assert root.duration > 0
+        assert root.children[0].duration > 0
+        # The stack unwound: a new span becomes a fresh root.
+        with tracer.span("after"):
+            pass
+        assert [s.name for s in tracer.roots] == ["root", "after"]
+
+    def test_reset_clears_state(self):
+        tracer = SpanTracer()
+        with tracer.span("root"):
+            pass
+        tracer.reset()
+        assert tracer.roots == []
+        assert tracer.last() is None
+
+
+class TestSpanCounters:
+    def test_add_accumulates_and_set_overwrites(self):
+        tracer = SpanTracer()
+        with tracer.span("s") as span:
+            span.add("n")
+            span.add("n", 2)
+            span.set("k", 7)
+            span.set("k", 9)
+        assert span.counters == {"n": 3.0, "k": 9.0}
+
+
+class TestNullTracer:
+    def test_disabled_and_shared_span(self):
+        assert NULL_TRACER.enabled is False
+        span = NULL_TRACER.span("anything")
+        assert span is NULL_SPAN
+        with span as entered:
+            entered.add("x")
+            entered.set("y", 1)
+        assert span.counters == {}
+        assert span.duration == 0.0
+        assert NULL_TRACER.last() is None
+
+    def test_default_tracer_is_the_null_one(self):
+        assert get_tracer() is NULL_TRACER
+
+    def test_use_tracer_restores_previous(self):
+        live = SpanTracer()
+        with use_tracer(live):
+            assert get_tracer() is live
+        assert get_tracer() is NULL_TRACER
+
+    def test_set_tracer_returns_previous(self):
+        live = SpanTracer()
+        previous = set_tracer(live)
+        try:
+            assert previous is NULL_TRACER
+        finally:
+            set_tracer(previous)

@@ -124,6 +124,103 @@ class TestWorkloadAndBench:
         assert "Q5" in out
 
 
+class TestObservabilityFlags:
+    def test_query_trace_prints_qhl_phases(self, workspace, capsys):
+        _net, idx = workspace
+        code = main([
+            "query", "--index", idx, "--source", "0", "--target", "140",
+            "--budget", "500", "--trace",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "qhl.query" in out
+        for phase in ("lca", "separator-init", "pruning", "concatenation"):
+            assert phase in out
+        # The legend ties phases back to the paper.
+        assert "Algorithm 3" in out
+
+    def test_build_metrics_out(self, workspace, tmp_path, capsys):
+        from repro.observability.export import parse_jsonl
+
+        net, _idx = workspace
+        idx2 = str(tmp_path / "obs.idx")
+        metrics = tmp_path / "build.jsonl"
+        assert main([
+            "build", "--network", net, "--out", idx2,
+            "--index-queries", "50", "--metrics-out", str(metrics),
+        ]) == 0
+        assert "wrote" in capsys.readouterr().out
+        records = parse_jsonl(metrics.read_text())
+        names = {r["name"] for r in records}
+        assert "qhl_index_treewidth" in names
+        assert "qhl_index_build_seconds" in names
+
+    def test_workload_metrics_out(self, workspace, tmp_path):
+        from repro.observability.export import parse_jsonl
+
+        net, _idx = workspace
+        out = str(tmp_path / "obs.queries")
+        metrics = tmp_path / "workload.jsonl"
+        assert main([
+            "workload", "--network", net, "--out", out, "--size", "5",
+            "--metrics-out", str(metrics),
+        ]) == 0
+        records = parse_jsonl(metrics.read_text())
+        phases = {
+            r["labels"]["phase"]
+            for r in records
+            if r["name"] == "qhl_workload_phase_seconds"
+        }
+        assert phases == {"estimate-diameter", "generate-sets"}
+        for record in records:
+            if record["type"] == "histogram":
+                assert {"p50", "p95", "p99"} <= set(record["percentiles"])
+
+    def test_unwritable_metrics_path_reports_error(
+        self, workspace, tmp_path, capsys
+    ):
+        net, _idx = workspace
+        code = main([
+            "build", "--network", net, "--out", str(tmp_path / "x.idx"),
+            "--index-queries", "50",
+            "--metrics-out", str(tmp_path / "missing" / "m.jsonl"),
+        ])
+        assert code == 2
+        assert "cannot write metrics" in capsys.readouterr().err
+
+    def test_bench_metrics_out(self, workspace, tmp_path, capsys):
+        from repro.observability.export import parse_jsonl
+
+        net, _idx = workspace
+        queries = str(tmp_path / "obs.queries")
+        main(["workload", "--network", net, "--out", queries, "--size", "5"])
+        metrics = tmp_path / "bench.jsonl"
+        assert main([
+            "bench", "--network", net, "--queries", queries,
+            "--index-queries", "100", "--metrics-out", str(metrics),
+        ]) == 0
+        capsys.readouterr()
+        records = parse_jsonl(metrics.read_text())
+        by_name = {}
+        for record in records:
+            by_name.setdefault(record["name"], []).append(record)
+        # Per-engine end-to-end latency histograms with percentiles.
+        engines = {
+            r["labels"]["engine"] for r in by_name["qhl_query_seconds"]
+        }
+        assert {"QHL", "CSP-2Hop"} <= engines
+        for record in by_name["qhl_query_seconds"]:
+            assert record["count"] > 0
+            assert {"p50", "p95", "p99"} <= set(record["percentiles"])
+        # Per-phase histograms from the query pipeline.
+        phases = {
+            r["labels"]["phase"] for r in by_name["qhl_phase_seconds"]
+        }
+        assert "lca" in phases
+        # The harness's own per-workload histograms rode along too.
+        assert "qhl_workload_query_seconds" in by_name
+
+
 class TestBuildOptions:
     def test_no_paths_build(self, workspace, tmp_path):
         net, _idx = workspace

@@ -29,6 +29,7 @@ def test_every_example_is_covered():
         "one_way_streets.py",
         "quickstart.py",
         "toll_budget_routing.py",
+        "trace_query.py",
     ]
 
 

@@ -2,7 +2,15 @@
 
 import time
 
-from repro.instrument import Timer, format_bytes, format_seconds
+from repro.instrument import (
+    COLUMNS,
+    Timer,
+    WorkloadReport,
+    format_bytes,
+    format_seconds,
+    run_workload,
+)
+from repro.observability.metrics import Histogram
 
 
 class TestTimer:
@@ -48,3 +56,63 @@ class TestFormatSeconds:
 
     def test_seconds(self):
         assert format_seconds(4.2) == "4.20 s"
+
+
+def _report(num_queries=4, total_seconds=0.004, latency=None):
+    return WorkloadReport(
+        engine="QHL",
+        workload="Q1",
+        num_queries=num_queries,
+        total_seconds=total_seconds,
+        avg_hoplinks=2.5,
+        avg_concatenations=7.0,
+        avg_label_lookups=3.0,
+        feasible=num_queries,
+        latency=latency,
+    )
+
+
+class TestWorkloadReport:
+    def test_header_and_row_share_the_column_spec(self):
+        header = WorkloadReport.header()
+        row = _report().row()
+        for column in COLUMNS:
+            assert column.title in header
+        # Same spec, same geometry: cells line up under their titles.
+        assert len(header) == len(row)
+
+    def test_row_contains_percentile_columns(self):
+        latency = Histogram("lat")
+        for value in (0.001, 0.002, 0.010):
+            latency.observe(value)
+        report = _report(num_queries=3, total_seconds=0.013, latency=latency)
+        header, row = WorkloadReport.header(), report.row()
+        assert "p50" in header and "p95" in header and "p99" in header
+        assert report.p50_ms > 0
+        assert report.p50_ms <= report.p95_ms <= report.p99_ms
+        assert f"{report.p99_ms:.3f} ms" in row
+
+    def test_empty_workload_is_guarded(self):
+        report = _report(num_queries=0, total_seconds=0.0)
+        assert report.avg_ms == 0.0
+        assert report.p50_ms == report.p99_ms == 0.0
+        report.row()  # must not raise
+
+    def test_missing_latency_histogram_is_guarded(self):
+        report = _report(latency=None)
+        assert report.p95_ms == 0.0
+
+    def test_run_workload_fills_latency_histogram(self, small_grid_index):
+        from repro.types import CSPQuery
+
+        engine = small_grid_index.qhl_engine()
+        queries = [
+            CSPQuery(0, 63, 10_000),
+            CSPQuery(1, 62, 10_000),
+            CSPQuery(2, 61, 10_000),
+        ]
+        report = run_workload(engine, queries, "Q1")
+        assert report.num_queries == 3
+        assert report.latency.count == 3
+        assert report.latency.labels == {"engine": "QHL", "workload": "Q1"}
+        assert report.p50_ms > 0
