@@ -34,6 +34,7 @@ from repro.dynamic import DynamicQHLIndex
 from repro.forest import ForestQHLIndex
 from repro.multicsp import MultiCSPIndex, MultiMetricNetwork
 from repro.exceptions import (
+    DeadlineExceededError,
     DisconnectedGraphError,
     IndexBuildError,
     InfeasibleQueryError,
@@ -41,6 +42,7 @@ from repro.exceptions import (
     QueryError,
     ReproError,
     SerializationError,
+    ServiceUnavailableError,
 )
 from repro.graph import (
     RoadNetwork,
@@ -61,7 +63,14 @@ from repro.observability import (
     use_registry,
     use_tracer,
 )
-from repro.storage import load_index, save_index
+from repro.service import (
+    Deadline,
+    FaultInjector,
+    QueryService,
+    ServiceConfig,
+    use_injector,
+)
+from repro.storage import load_index, load_index_with_retry, save_index
 from repro.types import CSPQuery, QueryResult, QueryStats
 from repro.workloads import (
     generate_distance_sets,
@@ -75,10 +84,13 @@ __all__ = [
     "COLAEngine",
     "CSP2HopEngine",
     "CSPQuery",
+    "Deadline",
+    "DeadlineExceededError",
     "DirectedQHLIndex",
     "DirectedRoadNetwork",
     "DisconnectedGraphError",
     "DynamicQHLIndex",
+    "FaultInjector",
     "ForestQHLIndex",
     "IndexBuildError",
     "InfeasibleQueryError",
@@ -90,10 +102,13 @@ __all__ = [
     "QHLIndex",
     "QueryError",
     "QueryResult",
+    "QueryService",
     "QueryStats",
     "ReproError",
     "RoadNetwork",
     "SerializationError",
+    "ServiceConfig",
+    "ServiceUnavailableError",
     "SpanTracer",
     "constrained_dijkstra",
     "dense_core_network",
@@ -105,6 +120,7 @@ __all__ = [
     "ksp_csp",
     "load_dataset",
     "load_index",
+    "load_index_with_retry",
     "random_connected_network",
     "random_geometric_network",
     "read_csp_text",
@@ -113,6 +129,7 @@ __all__ = [
     "save_index",
     "skyline_between",
     "traffic_signal_network",
+    "use_injector",
     "use_registry",
     "use_tracer",
     "write_csp_text",

@@ -12,6 +12,7 @@ from repro.baselines.kpath import ksp_csp, yen_paths
 from repro.baselines.overlay import overlay_csp_search
 from repro.baselines.pulse import pulse_csp
 from repro.baselines.sky_dijkstra import (
+    SkyDijkstraEngine,
     sky_dijkstra_csp,
     skyline_between,
     skyline_pairs_bruteforce,
@@ -21,6 +22,7 @@ from repro.baselines.sky_dijkstra import (
 __all__ = [
     "COLAEngine",
     "CSP2HopEngine",
+    "SkyDijkstraEngine",
     "constrained_dijkstra",
     "ksp_csp",
     "multi_adjacency",

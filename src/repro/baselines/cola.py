@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import random
 import time
+from typing import TYPE_CHECKING
 
 from repro.exceptions import IndexBuildError
 from repro.graph.network import RoadNetwork
@@ -31,6 +32,9 @@ from repro.baselines.overlay import overlay_csp_search
 from repro.baselines.sky_dijkstra import skyline_search
 from repro.skyline.set_ops import SkylineSet
 from repro.types import CSPQuery, QueryResult, QueryStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.deadline import Deadline
 
 
 def partition_network(
@@ -133,15 +137,28 @@ class COLAEngine:
         self.build_seconds = time.perf_counter() - started
 
     # ------------------------------------------------------------------
-    def _intra_search(self, source: int, pid: int) -> list[SkylineSet]:
+    def _intra_search(
+        self,
+        source: int,
+        pid: int,
+        stats: QueryStats | None = None,
+        deadline: "Deadline | None" = None,
+    ) -> list[SkylineSet]:
         """Skyline sets from ``source`` using only partition ``pid``."""
         part = self._part
         return skyline_search(
-            self._network, source, allowed=lambda v: part[v] == pid
+            self._network, source, allowed=lambda v: part[v] == pid,
+            stats=stats, deadline=deadline,
         )
 
     # ------------------------------------------------------------------
-    def query(self, source: int, target: int, budget: float) -> QueryResult:
+    def query(
+        self,
+        source: int,
+        target: int,
+        budget: float,
+        deadline: "Deadline | None" = None,
+    ) -> QueryResult:
         """Answer one CSP query exactly over the partition overlay."""
         query = CSPQuery(source, target, budget).validated(
             self._network.num_vertices
@@ -157,14 +174,16 @@ class COLAEngine:
 
         # Paths that never leave the shared partition.
         if ps == pt:
-            frontiers = self._intra_search(source, ps)
+            frontiers = self._intra_search(
+                source, ps, deadline=deadline
+            )
             for w, c, _prov in frontiers[target]:
                 if c <= budget and (best is None or (w, c) < best):
                     best = (w, c)
 
         # Paths through the overlay.
-        s_front = self._intra_search(source, ps)
-        t_front = self._intra_search(target, pt)
+        s_front = self._intra_search(source, ps, deadline=deadline)
+        t_front = self._intra_search(target, pt, deadline=deadline)
         s_links = [
             (b, s_front[b]) for b in self._boundary_of.get(ps, [])
             if s_front[b]
@@ -178,6 +197,8 @@ class COLAEngine:
         if target in self._boundary:
             t_links[target] = [(0, 0, None)]
 
+        if deadline is not None:
+            deadline.check(stats)
         overlay_best = overlay_csp_search(
             self._overlay, s_links, t_links, budget, stats
         )

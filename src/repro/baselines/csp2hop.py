@@ -11,6 +11,7 @@ costing ``O(|X(l)| · |P_sh| · |P_ht|)``.
 from __future__ import annotations
 
 import time
+from typing import TYPE_CHECKING
 
 from repro.hierarchy.lca import LCAIndex
 from repro.hierarchy.tree import TreeDecomposition
@@ -20,6 +21,9 @@ from repro.observability.tracing import NULL_TRACER, SpanTracer, get_tracer
 from repro.skyline.entries import Entry, expand, join_entry
 from repro.skyline.set_ops import best_under
 from repro.types import CSPQuery, QueryResult, QueryStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.deadline import Deadline
 
 
 class CSP2HopEngine:
@@ -38,9 +42,17 @@ class CSP2HopEngine:
         self._lca = lca if lca is not None else LCAIndex(tree)
 
     def query(
-        self, source: int, target: int, budget: float, want_path: bool = False
+        self,
+        source: int,
+        target: int,
+        budget: float,
+        want_path: bool = False,
+        deadline: "Deadline | None" = None,
     ) -> QueryResult:
-        """Answer one CSP query exactly (Algorithm 2)."""
+        """Answer one CSP query exactly (Algorithm 2).
+
+        ``deadline`` is checked cooperatively per hoplink.
+        """
         query = CSPQuery(source, target, budget).validated(
             self._tree.num_vertices
         )
@@ -49,7 +61,9 @@ class CSP2HopEngine:
         registry = get_registry()
         if not (tracer.enabled or registry.enabled):
             started = time.perf_counter()
-            result = self._answer(query, stats, want_path, NULL_TRACER)
+            result = self._answer(
+                query, stats, want_path, NULL_TRACER, deadline
+            )
             stats.seconds = time.perf_counter() - started
             result.stats = stats
             return result
@@ -57,7 +71,7 @@ class CSP2HopEngine:
             tracer = SpanTracer()
         started = time.perf_counter()
         with tracer.span("csp2hop.query") as root:
-            result = self._answer(query, stats, want_path, tracer)
+            result = self._answer(query, stats, want_path, tracer, deadline)
         stats.seconds = time.perf_counter() - started
         root.set("hoplinks", stats.hoplinks)
         root.set("concatenations", stats.concatenations)
@@ -73,8 +87,11 @@ class CSP2HopEngine:
         stats: QueryStats,
         want_path: bool,
         tracer: SpanTracer = NULL_TRACER,
+        deadline: "Deadline | None" = None,
     ) -> QueryResult:
         s, t, budget = query
+        if deadline is not None:
+            deadline.check(stats)
         if s == t:
             return QueryResult(
                 query, weight=0, cost=0, path=[s] if want_path else None
@@ -101,6 +118,8 @@ class CSP2HopEngine:
         best: Entry | None = None
         with tracer.span("concatenation") as span:
             for h in hoplinks:
+                if deadline is not None:
+                    deadline.check(stats)
                 p_sh = label_s[h]
                 p_ht = label_t[h]
                 stats.label_lookups += 2

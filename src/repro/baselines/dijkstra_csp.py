@@ -17,10 +17,13 @@ from __future__ import annotations
 
 import heapq
 import time
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.graph.network import RoadNetwork
 from repro.types import CSPQuery, QueryResult, QueryStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.deadline import Deadline
 
 
 def constrained_dijkstra(
@@ -29,11 +32,13 @@ def constrained_dijkstra(
     target: int,
     budget: float,
     want_path: bool = True,
+    deadline: "Deadline | None" = None,
 ) -> QueryResult:
     """Exact CSP via bi-criteria label setting.
 
     Returns a :class:`QueryResult`; ``feasible`` is False when no path
-    meets the budget.
+    meets the budget.  An optional ``deadline`` is checked every 256
+    heap pops.
     """
     query = CSPQuery(source, target, budget).validated(network.num_vertices)
     stats = QueryStats()
@@ -66,8 +71,13 @@ def constrained_dijkstra(
     heap: list[tuple[float, float, int, int, tuple | None]] = [
         (0, 0, counter, source, None)
     ]
+    pops = 0
     while heap:
         w, c, _tie, v, parent = heapq.heappop(heap)
+        if deadline is not None:
+            pops += 1
+            if not pops & 0xFF:
+                deadline.check(stats)
         if dominated(v, w, c) and (w, c) not in frontier[v]:
             continue
         if v == target:

@@ -9,9 +9,12 @@ from __future__ import annotations
 
 import heapq
 import time
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.graph.network import RoadNetwork
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.deadline import Deadline
 from repro.skyline.entries import (
     Entry,
     edge_entry,
@@ -30,6 +33,7 @@ def skyline_search(
     allowed: Callable[[int], bool] | None = None,
     with_prov: bool = False,
     stats: QueryStats | None = None,
+    deadline: "Deadline | None" = None,
 ) -> list[SkylineSet]:
     """All skyline sets ``P_sv`` from ``source`` (label-setting).
 
@@ -50,6 +54,11 @@ def skyline_search(
     stats:
         Optional :class:`~repro.types.QueryStats`; when given, every
         label relaxation is counted as one concatenation.
+    deadline:
+        Optional :class:`~repro.service.deadline.Deadline`; checked
+        every 256 heap pops, raising
+        :class:`~repro.exceptions.DeadlineExceededError` with the
+        partial ``stats`` when the budget is exhausted.
 
     Returns
     -------
@@ -71,8 +80,13 @@ def skyline_search(
     heap: list[tuple[float, float, int, int, Entry]] = [
         (0, 0, counter, source, start)
     ]
+    pops = 0
     while heap:
         c, w, _tie, v, entry = heapq.heappop(heap)
+        if deadline is not None:
+            pops += 1
+            if not pops & 0xFF:
+                deadline.check(stats)
         frontier = frontiers[v]
         if frontier and frontier[-1][0] <= w:
             # Settled in cost order: the last frontier member has both
@@ -121,6 +135,7 @@ def sky_dijkstra_csp(
     target: int,
     budget: float,
     want_path: bool = False,
+    deadline: "Deadline | None" = None,
 ) -> QueryResult:
     """Exact CSP answered from the full skyline set (SkyDijkstra).
 
@@ -128,7 +143,8 @@ def sky_dijkstra_csp(
     minimum-weight member within budget.  Populates
     :class:`~repro.types.QueryStats` (``seconds``, ``concatenations``)
     uniformly with the other baselines, so it slots straight into the
-    workload harness.
+    workload harness.  An optional ``deadline`` is checked
+    cooperatively in the heap loop.
     """
     query = CSPQuery(source, target, budget).validated(network.num_vertices)
     stats = QueryStats()
@@ -141,6 +157,7 @@ def sky_dijkstra_csp(
         )
     frontiers = skyline_search(
         network, source, max_cost=budget, with_prov=want_path, stats=stats,
+        deadline=deadline,
     )
     best = best_under(frontiers[target], budget)
     stats.seconds = time.perf_counter() - started
@@ -150,6 +167,33 @@ def sky_dijkstra_csp(
     return QueryResult(
         query, weight=best[0], cost=best[1], path=path, stats=stats
     )
+
+
+class SkyDijkstraEngine:
+    """:func:`sky_dijkstra_csp` behind the uniform engine protocol.
+
+    Index-free, so it is always available — the last rung of the
+    serving layer's degradation ladder — and it slots into the workload
+    harness like any label-based engine.
+    """
+
+    name = "SkyDijkstra"
+
+    def __init__(self, network: RoadNetwork):
+        self._network = network
+
+    def query(
+        self,
+        source: int,
+        target: int,
+        budget: float,
+        want_path: bool = False,
+        deadline: "Deadline | None" = None,
+    ) -> QueryResult:
+        return sky_dijkstra_csp(
+            self._network, source, target, budget,
+            want_path=want_path, deadline=deadline,
+        )
 
 
 def skyline_pairs_bruteforce(

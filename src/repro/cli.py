@@ -17,10 +17,16 @@ Example session::
     repro-qhl query --index ny.idx --source 0 --target 140 --budget 400 --trace
     repro-qhl stats --index ny.idx
 
-``build``, ``workload`` and ``bench`` accept ``--metrics-out PATH`` to
-dump the run's metrics registry as JSON-lines (counters, gauges, and
-latency histograms with p50/p95/p99); ``query --trace`` prints the
-phase-by-phase span tree of one query.
+``build``, ``workload``, ``bench`` and ``query`` accept
+``--metrics-out PATH`` to dump the run's metrics registry as JSON-lines
+(counters, gauges, and latency histograms with p50/p95/p99);
+``query --trace`` prints the phase-by-phase span tree of one query.
+
+Serving-style robustness flags (see ``docs/robustness.md``): ``query``
+takes ``--deadline-ms`` (time budget), ``--fallback`` (degradation
+ladder QHL -> CSP-2Hop -> SkyDijkstra, tolerating engine failures and
+corrupt indexes) and ``--verify-checksum on|off``; ``bench`` takes
+``--deadline-ms`` (over-budget queries land in the fail column).
 """
 
 from __future__ import annotations
@@ -37,7 +43,11 @@ from repro.instrument.timing import Timer, format_bytes, format_seconds
 from repro.observability.metrics import MetricsRegistry, use_registry
 from repro.observability.export import write_jsonl
 from repro.observability.tracing import SpanTracer, use_tracer
-from repro.storage.serialize import load_index, save_index
+from repro.storage.serialize import (
+    load_index,
+    load_index_with_retry,
+    save_index,
+)
 
 
 @contextlib.contextmanager
@@ -90,35 +100,73 @@ def _cmd_build(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    index = load_index(args.index)
-    tracer = SpanTracer() if args.trace else None
-    if tracer is not None:
-        with use_tracer(tracer):
-            result = index.query(
-                args.source, args.target, args.budget, want_path=args.path
-            )
-    else:
-        result = index.query(
-            args.source, args.target, args.budget, want_path=args.path
-        )
-    if result.feasible:
-        print(
-            f"optimal weight {result.weight} at cost {result.cost} "
-            f"(budget {args.budget}) in "
-            f"{format_seconds(result.stats.seconds)}"
-        )
-        if args.path and result.path is not None:
-            print(" -> ".join(str(v) for v in result.path))
-    else:
-        print(
-            f"no path from {args.source} to {args.target} within "
-            f"budget {args.budget}"
-        )
-    if tracer is not None and tracer.last() is not None:
-        from repro.core.explain import explain_trace
+    from repro.service import Deadline, QueryService, ServiceConfig
 
-        print()
-        print(explain_trace(tracer.last()))
+    verify = args.verify_checksum != "off"
+    deadline = (
+        Deadline.from_ms(args.deadline_ms)
+        if args.deadline_ms is not None
+        else None
+    )
+    with _metrics_scope(args.metrics_out):
+        if args.fallback:
+            network = (
+                read_csp_text(args.network) if args.network else None
+            )
+            service = QueryService(
+                index_path=args.index,
+                network=network,
+                config=ServiceConfig(verify_checksum=verify),
+            )
+            if service.index_load_error is not None:
+                print(
+                    f"warning: index unusable "
+                    f"({service.index_load_error}); serving degraded "
+                    f"via {' -> '.join(service.tiers)}",
+                    file=sys.stderr,
+                )
+
+            def run(want_path: bool):
+                return service.query(
+                    args.source, args.target, args.budget,
+                    want_path=want_path, deadline=deadline,
+                )
+        else:
+            index = load_index_with_retry(
+                args.index, verify_checksum=verify
+            )
+
+            def run(want_path: bool):
+                return index.query(
+                    args.source, args.target, args.budget,
+                    want_path=want_path, deadline=deadline,
+                )
+
+        tracer = SpanTracer() if args.trace else None
+        if tracer is not None:
+            with use_tracer(tracer):
+                result = run(args.path)
+        else:
+            result = run(args.path)
+        if result.feasible:
+            via = f" via {result.engine}" if result.engine else ""
+            print(
+                f"optimal weight {result.weight} at cost {result.cost} "
+                f"(budget {args.budget}) in "
+                f"{format_seconds(result.stats.seconds)}{via}"
+            )
+            if args.path and result.path is not None:
+                print(" -> ".join(str(v) for v in result.path))
+        else:
+            print(
+                f"no path from {args.source} to {args.target} within "
+                f"budget {args.budget}"
+            )
+        if tracer is not None and tracer.last() is not None:
+            from repro.core.explain import explain_trace
+
+            print()
+            print(explain_trace(tracer.last()))
     return 0 if result.feasible else 1
 
 
@@ -201,7 +249,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(WorkloadReport.header())
         for name, query_set in sets.items():
             for engine in engines:
-                report = run_workload(engine, query_set.queries, name)
+                report = run_workload(
+                    engine, query_set.queries, name,
+                    deadline_ms=args.deadline_ms,
+                )
                 print(report.row())
     return 0
 
@@ -252,6 +303,37 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the per-phase span trace of the query",
     )
+    p_query.add_argument(
+        "--deadline-ms",
+        type=float,
+        help="per-query time budget in milliseconds; exceeding it "
+        "raises a DeadlineExceededError instead of answering late",
+    )
+    p_query.add_argument(
+        "--fallback",
+        action="store_true",
+        help="serve through the degradation ladder "
+        "(QHL -> CSP-2Hop -> SkyDijkstra): engine failures and a "
+        "missing/corrupt index degrade instead of failing",
+    )
+    p_query.add_argument(
+        "--network",
+        help="network file backing the index-free fallback tier; with "
+        "--fallback, lets a missing/corrupt index degrade to direct "
+        "skyline Dijkstra search instead of erroring out",
+    )
+    p_query.add_argument(
+        "--verify-checksum",
+        choices=("on", "off"),
+        default="on",
+        help="verify the index file's SHA-256 payload checksum on "
+        "load (default on; v1 files carry no checksum)",
+    )
+    p_query.add_argument(
+        "--metrics-out",
+        help="dump query/service metrics (fallbacks, deadline hits) as "
+        "JSON-lines to this path",
+    )
     p_query.set_defaults(func=_cmd_query)
 
     p_stats = sub.add_parser("stats", help="print index statistics")
@@ -281,6 +363,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument(
         "--cola", action="store_true",
         help="include the (slow) COLA baseline",
+    )
+    p_bench.add_argument(
+        "--deadline-ms",
+        type=float,
+        help="per-query time budget; queries over it are counted in "
+        "the report's fail column instead of aborting the run",
     )
     p_bench.add_argument(
         "--metrics-out",

@@ -155,11 +155,16 @@ class QHLIndex:
         return CSP2HopEngine(self.tree, self.labels, self.lca)
 
     def query(
-        self, source: int, target: int, budget: float, want_path: bool = False
+        self,
+        source: int,
+        target: int,
+        budget: float,
+        want_path: bool = False,
+        deadline=None,
     ) -> QueryResult:
         """Answer a CSP query with the default QHL engine."""
         return self._default_engine.query(
-            source, target, budget, want_path=want_path
+            source, target, budget, want_path=want_path, deadline=deadline
         )
 
     # ------------------------------------------------------------------

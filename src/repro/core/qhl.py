@@ -23,6 +23,7 @@ Cartesian product.
 from __future__ import annotations
 
 import time
+from typing import TYPE_CHECKING
 
 from repro.core.concatenation import (
     concat_best_under,
@@ -43,6 +44,9 @@ from repro.observability.tracing import SpanTracer, get_tracer
 from repro.skyline.entries import Entry, expand
 from repro.skyline.set_ops import best_under
 from repro.types import CSPQuery, QueryResult, QueryStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.deadline import Deadline
 
 
 class QHLEngine:
@@ -70,9 +74,20 @@ class QHLEngine:
 
     # ------------------------------------------------------------------
     def query(
-        self, source: int, target: int, budget: float, want_path: bool = False
+        self,
+        source: int,
+        target: int,
+        budget: float,
+        want_path: bool = False,
+        deadline: "Deadline | None" = None,
     ) -> QueryResult:
-        """Answer one CSP query exactly (Algorithm 3)."""
+        """Answer one CSP query exactly (Algorithm 3).
+
+        ``deadline`` (a :class:`~repro.service.deadline.Deadline`) is
+        checked cooperatively in the hoplink loop; on expiry a
+        :class:`~repro.exceptions.DeadlineExceededError` carries the
+        partial stats.
+        """
         query = CSPQuery(source, target, budget).validated(
             self._tree.num_vertices
         )
@@ -81,7 +96,7 @@ class QHLEngine:
         registry = get_registry()
         if not (tracer.enabled or registry.enabled):
             started = time.perf_counter()
-            result = self._answer(query, stats, want_path)
+            result = self._answer(query, stats, want_path, deadline)
             stats.seconds = time.perf_counter() - started
             result.stats = stats
             return result
@@ -91,7 +106,9 @@ class QHLEngine:
             tracer = SpanTracer()
         started = time.perf_counter()
         with tracer.span("qhl.query") as root:
-            result = self._answer_traced(query, stats, want_path, tracer)
+            result = self._answer_traced(
+                query, stats, want_path, tracer, deadline
+            )
         stats.seconds = time.perf_counter() - started
         root.set("hoplinks", stats.hoplinks)
         root.set("concatenations", stats.concatenations)
@@ -104,9 +121,15 @@ class QHLEngine:
 
     # ------------------------------------------------------------------
     def _answer(
-        self, query: CSPQuery, stats: QueryStats, want_path: bool
+        self,
+        query: CSPQuery,
+        stats: QueryStats,
+        want_path: bool,
+        deadline: "Deadline | None" = None,
     ) -> QueryResult:
         s, t, budget = query
+        if deadline is not None:
+            deadline.check(stats)
         if s == t:
             return QueryResult(
                 query, weight=0, cost=0, path=[s] if want_path else None
@@ -143,6 +166,8 @@ class QHLEngine:
         best: Entry | None = None
         best_hop = -1
         for h in hoplinks:
+            if deadline is not None:
+                deadline.check(stats)
             p_sh = fetcher.from_s(h)
             p_ht = fetcher.from_t(h)
             prune = (best[0], best[1]) if best is not None else None
@@ -164,6 +189,7 @@ class QHLEngine:
         stats: QueryStats,
         want_path: bool,
         tracer: SpanTracer,
+        deadline: "Deadline | None" = None,
     ) -> QueryResult:
         """:meth:`_answer` with each pipeline phase wrapped in a span.
 
@@ -171,6 +197,8 @@ class QHLEngine:
         phase structure mirrors ``_answer`` line for line.
         """
         s, t, budget = query
+        if deadline is not None:
+            deadline.check(stats)
         if s == t:
             return QueryResult(
                 query, weight=0, cost=0, path=[s] if want_path else None
@@ -214,6 +242,8 @@ class QHLEngine:
             best = None
             best_hop = -1
             for h in hoplinks:
+                if deadline is not None:
+                    deadline.check(stats)
                 with tracer.span("hoplink") as hop_span:
                     p_sh = fetcher.from_s(h)
                     p_ht = fetcher.from_t(h)

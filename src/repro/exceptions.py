@@ -40,4 +40,38 @@ class InfeasibleQueryError(QueryError):
 
 
 class SerializationError(ReproError):
-    """An index file is missing, truncated, or of an unsupported version."""
+    """An index file is missing, truncated, corrupt (checksum mismatch),
+    or of an unsupported version."""
+
+
+class DeadlineExceededError(ReproError):
+    """A query (or batch) ran out of its time budget.
+
+    Raised cooperatively from the engines' hoplink / heap loops, so the
+    partial work done before the budget expired is preserved in
+    ``stats`` (a :class:`~repro.types.QueryStats` or ``None``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        budget_ms: float | None = None,
+        elapsed_ms: float | None = None,
+        stats=None,
+    ):
+        super().__init__(message)
+        self.budget_ms = budget_ms
+        self.elapsed_ms = elapsed_ms
+        self.stats = stats
+
+
+class ServiceUnavailableError(ReproError):
+    """Every tier of the degradation ladder failed (or is circuit-open).
+
+    ``last_error`` keeps the exception from the deepest tier tried, so
+    the root cause is not lost behind the ladder.
+    """
+
+    def __init__(self, message: str, last_error: BaseException | None = None):
+        super().__init__(message)
+        self.last_error = last_error

@@ -8,6 +8,13 @@ fixed-bucket histogram, so reports carry p50/p95/p99 alongside the
 mean.  Every benchmark in ``benchmarks/`` reports through this module
 so the printed rows are uniform.
 
+A query that raises a :class:`~repro.exceptions.ReproError` no longer
+aborts the run: it is recorded as a :class:`QueryFailure` row and
+counted in ``WorkloadReport.failed``, so one pathological query cannot
+take down a whole workload.  Per-query and per-batch time budgets
+(``deadline_ms`` / ``batch_deadline_ms``) thread
+:class:`~repro.service.deadline.Deadline` objects into the engines.
+
 The table layout is driven by one column spec (:data:`COLUMNS`):
 ``WorkloadReport.header()`` and ``row()`` are derived from the same
 tuple, so they cannot drift apart when columns are added.
@@ -19,7 +26,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Protocol
 
+from repro.exceptions import ReproError
 from repro.observability.metrics import Histogram, get_registry
+from repro.service.deadline import Deadline
 from repro.types import CSPQuery, QueryResult
 
 
@@ -31,6 +40,16 @@ class QueryEngine(Protocol):
     def query(
         self, source: int, target: int, budget: float
     ) -> QueryResult: ...
+
+
+@dataclass(frozen=True)
+class QueryFailure:
+    """One query that raised instead of answering."""
+
+    index: int
+    query: CSPQuery
+    error: str
+    message: str
 
 
 @dataclass
@@ -46,6 +65,9 @@ class WorkloadReport:
     avg_label_lookups: float
     feasible: int
     latency: Histogram | None = field(default=None, repr=False)
+    failed: int = 0
+    failures: list[QueryFailure] = field(default_factory=list, repr=False)
+    skipped: int = 0
 
     @property
     def avg_ms(self) -> float:
@@ -113,6 +135,7 @@ COLUMNS: tuple[Column, ...] = (
     Column("hoplinks", 9, lambda r: f"{r.avg_hoplinks:.1f}"),
     Column("concats", 12, lambda r: f"{r.avg_concatenations:.1f}"),
     Column("feas", 5, lambda r: f"{r.feasible}/{r.num_queries}"),
+    Column("fail", 4, lambda r: str(r.failed)),
 )
 
 
@@ -120,6 +143,8 @@ def run_workload(
     engine: QueryEngine,
     queries: Iterable[CSPQuery],
     workload_name: str = "",
+    deadline_ms: float | None = None,
+    batch_deadline_ms: float | None = None,
 ) -> WorkloadReport:
     """Run every query through the engine and aggregate the statistics.
 
@@ -127,6 +152,14 @@ def run_workload(
     metrics registry is installed (:func:`repro.observability.metrics.
     set_registry`) the histogram is also attached to it under
     ``qhl_workload_query_seconds{engine=...,workload=...}``.
+
+    A query raising :class:`~repro.exceptions.ReproError` (including
+    :class:`~repro.exceptions.DeadlineExceededError` from
+    ``deadline_ms``) is recorded as a failure row, not a crash.  With
+    ``batch_deadline_ms``, queries remaining when the batch budget
+    expires are skipped and counted in ``WorkloadReport.skipped``.
+    Deadline arguments require an engine whose ``query`` accepts a
+    ``deadline`` keyword (every engine in this package does).
     """
     latency = Histogram(
         "qhl_workload_query_seconds",
@@ -136,15 +169,57 @@ def run_workload(
     registry = get_registry()
     if registry.enabled:
         registry.attach(latency)
+    batch_deadline = (
+        Deadline.from_ms(batch_deadline_ms)
+        if batch_deadline_ms is not None
+        else None
+    )
     total = 0.0
     hoplinks = 0
     concatenations = 0
     lookups = 0
     feasible = 0
     count = 0
-    for query in queries:
+    failed = 0
+    skipped = 0
+    failures: list[QueryFailure] = []
+    for i, query in enumerate(queries):
+        if batch_deadline is not None and batch_deadline.expired():
+            skipped += 1
+            continue
+        deadline = (
+            Deadline.from_ms(deadline_ms) if deadline_ms is not None
+            else batch_deadline
+        )
         started = time.perf_counter()
-        result = engine.query(query.source, query.target, query.budget)
+        try:
+            if deadline is None:
+                result = engine.query(
+                    query.source, query.target, query.budget
+                )
+            else:
+                result = engine.query(
+                    query.source, query.target, query.budget,
+                    deadline=deadline,
+                )
+        except ReproError as exc:
+            total += time.perf_counter() - started
+            count += 1
+            failed += 1
+            failures.append(
+                QueryFailure(i, query, type(exc).__name__, str(exc))
+            )
+            if registry.enabled:
+                registry.counter(
+                    "qhl_workload_failures_total",
+                    {
+                        "engine": engine.name,
+                        "workload": workload_name,
+                        "error": type(exc).__name__,
+                    },
+                    help="queries that raised instead of answering",
+                ).inc()
+            continue
         elapsed = time.perf_counter() - started
         total += elapsed
         latency.observe(elapsed)
@@ -165,4 +240,7 @@ def run_workload(
         avg_label_lookups=lookups / divisor,
         feasible=feasible,
         latency=latency,
+        failed=failed,
+        failures=failures,
+        skipped=skipped,
     )

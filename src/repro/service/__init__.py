@@ -1,0 +1,43 @@
+"""Resilient serving layer: deadlines, degradation ladder, fault injection.
+
+See :mod:`repro.service.ladder` for the service itself,
+:mod:`repro.service.deadline` for cooperative time budgets,
+:mod:`repro.service.breaker` for the per-tier circuit breaker, and
+:mod:`repro.service.faults` for the deterministic chaos harness.
+Narrative documentation lives in ``docs/robustness.md``.
+"""
+
+from repro.service.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.service.deadline import Deadline
+from repro.service.faults import (
+    INJECTION_POINTS,
+    NULL_INJECTOR,
+    FaultInjector,
+    FaultyLabelStore,
+    get_injector,
+    set_injector,
+    use_injector,
+)
+from repro.service.ladder import (
+    DEFAULT_TIERS,
+    QueryService,
+    ServiceConfig,
+)
+
+__all__ = [
+    "CLOSED",
+    "CircuitBreaker",
+    "DEFAULT_TIERS",
+    "Deadline",
+    "FaultInjector",
+    "FaultyLabelStore",
+    "HALF_OPEN",
+    "INJECTION_POINTS",
+    "NULL_INJECTOR",
+    "OPEN",
+    "QueryService",
+    "ServiceConfig",
+    "get_injector",
+    "set_injector",
+    "use_injector",
+]

@@ -1,0 +1,107 @@
+"""A per-tier circuit breaker for the degradation ladder.
+
+Classic three-state breaker:
+
+* **closed** — calls flow; consecutive failures are counted and
+  ``failure_threshold`` of them opens the breaker.
+* **open** — calls are refused (the ladder skips the tier) until
+  ``reset_timeout`` seconds have passed, then the breaker half-opens.
+* **half-open** — the next call is a probe: success closes the breaker
+  (and resets the backoff), failure re-opens it with the timeout grown
+  by ``backoff_factor`` (capped at ``max_timeout``).
+
+The clock is injectable for deterministic tests, and an optional
+``on_transition(state)`` callback lets the owner count transitions in a
+metrics registry without the breaker knowing about metrics.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with exponential half-open backoff."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_timeout: float = 30.0,
+        backoff_factor: float = 2.0,
+        max_timeout: float = 300.0,
+        clock: Callable[[], float] | None = None,
+        on_transition: Callable[[str], None] | None = None,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout <= 0:
+            raise ValueError("reset_timeout must be positive")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.backoff_factor = backoff_factor
+        self.max_timeout = max_timeout
+        self._clock = clock if clock is not None else time.monotonic
+        self._on_transition = on_transition
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self._current_timeout = reset_timeout
+        self._opened_at = 0.0
+
+    # ------------------------------------------------------------------
+    def _transition(self, state: str) -> None:
+        if state == self.state:
+            return
+        self.state = state
+        if self._on_transition is not None:
+            self._on_transition(state)
+
+    # ------------------------------------------------------------------
+    def allow(self) -> bool:
+        """Whether a call may proceed right now.
+
+        An open breaker whose backoff has elapsed half-opens as a side
+        effect and lets the (probe) call through.
+        """
+        if self.state == OPEN:
+            if self._clock() - self._opened_at >= self._current_timeout:
+                self._transition(HALF_OPEN)
+                return True
+            return False
+        return True
+
+    def record_success(self) -> None:
+        """A call succeeded: close and reset the backoff."""
+        self.consecutive_failures = 0
+        if self.state != CLOSED:
+            self._current_timeout = self.reset_timeout
+            self._transition(CLOSED)
+
+    def record_failure(self) -> None:
+        """A call failed: count it; maybe open (or re-open with backoff)."""
+        self.consecutive_failures += 1
+        if self.state == HALF_OPEN:
+            # Failed probe: back off harder before the next one.
+            self._current_timeout = min(
+                self._current_timeout * self.backoff_factor,
+                self.max_timeout,
+            )
+            self._opened_at = self._clock()
+            self._transition(OPEN)
+        elif (
+            self.state == CLOSED
+            and self.consecutive_failures >= self.failure_threshold
+        ):
+            self._opened_at = self._clock()
+            self._transition(OPEN)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CircuitBreaker(state={self.state!r}, "
+            f"failures={self.consecutive_failures}, "
+            f"timeout={self._current_timeout:g}s)"
+        )

@@ -1,0 +1,81 @@
+"""Cooperative time budgets for queries and batches.
+
+A :class:`Deadline` is created once (per query, or once for a whole
+batch and shared) and threaded down into the engines, which call
+:meth:`Deadline.check` at cooperative checkpoints — per hoplink in the
+label-based engines, every :data:`HEAP_CHECK_MASK` + 1 pops in the
+Dijkstra-style heap loops.  When the budget is gone, ``check`` raises
+:class:`~repro.exceptions.DeadlineExceededError` carrying the partial
+:class:`~repro.types.QueryStats` accumulated so far.
+
+The clock is injectable (any zero-argument callable returning seconds),
+which is what the fault harness' ``clock`` injection point and the unit
+tests use; the default is :func:`time.monotonic`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.exceptions import DeadlineExceededError
+
+#: Heap loops check the deadline when ``pops & HEAP_CHECK_MASK == 0`` —
+#: every 256 pops, bounding overshoot without a clock read per pop.
+HEAP_CHECK_MASK = 0xFF
+
+Clock = Callable[[], float]
+
+
+class Deadline:
+    """A monotonic expiry time with a ``check()`` that raises on expiry."""
+
+    __slots__ = ("seconds", "_clock", "_started", "_expires_at")
+
+    def __init__(self, seconds: float, clock: Clock | None = None):
+        self.seconds = float(seconds)
+        self._clock = clock if clock is not None else time.monotonic
+        self._started = self._clock()
+        self._expires_at = self._started + self.seconds
+
+    @classmethod
+    def from_ms(cls, milliseconds: float, clock: Clock | None = None
+                ) -> "Deadline":
+        """A deadline ``milliseconds`` from now."""
+        return cls(milliseconds / 1e3, clock=clock)
+
+    # ------------------------------------------------------------------
+    def elapsed(self) -> float:
+        """Seconds since the deadline was armed."""
+        return self._clock() - self._started
+
+    def remaining(self) -> float:
+        """Seconds left in the budget (negative once expired)."""
+        return self._expires_at - self._clock()
+
+    def expired(self) -> bool:
+        """Whether the budget is exhausted (no exception)."""
+        return self._clock() >= self._expires_at
+
+    def check(self, stats=None) -> None:
+        """Raise :class:`DeadlineExceededError` if the budget is gone.
+
+        ``stats`` (a :class:`~repro.types.QueryStats` or ``None``) rides
+        along on the exception so callers see the partial work done.
+        """
+        now = self._clock()
+        if now >= self._expires_at:
+            elapsed_ms = (now - self._started) * 1e3
+            raise DeadlineExceededError(
+                f"deadline of {self.seconds * 1e3:.3f} ms exceeded "
+                f"after {elapsed_ms:.3f} ms",
+                budget_ms=self.seconds * 1e3,
+                elapsed_ms=elapsed_ms,
+                stats=stats,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Deadline({self.seconds:.6f}s, "
+            f"remaining={self.remaining():.6f}s)"
+        )

@@ -1,0 +1,328 @@
+"""The fault-tolerant query service: deadline + degradation ladder.
+
+:class:`QueryService` wraps the engines this repo already has into the
+ladder related systems use (FHL/MCSP-style forest labelings fall back
+to skyline Dijkstra when labels are absent; COLA-style overlays degrade
+to plain constrained search):
+
+    QHL  →  CSP-2Hop  →  SkyDijkstra (index-free, always available)
+
+Every tier answers the *exact* optimum — degradation trades speed, not
+correctness — so stepping down on an engine exception or a missing /
+corrupt index is always safe.  Each tier sits behind its own
+:class:`~repro.service.breaker.CircuitBreaker`: consecutive failures
+open the breaker (the ladder skips the tier without paying the failure
+again), and after a backoff it half-opens to probe recovery.
+
+Observability (PR-1 registry, when one is installed):
+
+* ``service_queries_total{tier}`` — answers per tier,
+* ``service_fallback_total{from,to,reason}`` — every ladder step down,
+* ``service_deadline_exceeded_total{engine}`` — budget exhaustions,
+* ``service_breaker_transitions_total{tier,state}`` — breaker flips,
+* ``service_index_load_failures_total`` — degraded-from-birth starts.
+
+Deadlines are *not* tier failures: a query that exhausts its budget on
+the fastest tier would only get slower below, so
+:class:`~repro.exceptions.DeadlineExceededError` propagates to the
+caller immediately.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.baselines.sky_dijkstra import SkyDijkstraEngine
+from repro.core.engine import QHLIndex
+from repro.exceptions import (
+    DeadlineExceededError,
+    QueryError,
+    ReproError,
+    SerializationError,
+    ServiceUnavailableError,
+)
+from repro.graph.network import RoadNetwork
+from repro.observability.metrics import get_registry
+from repro.service.breaker import CircuitBreaker
+from repro.service.deadline import Deadline
+from repro.service.faults import get_injector
+from repro.storage.serialize import load_index_with_retry
+from repro.types import CSPQuery, QueryResult
+
+#: Ladder order: fastest first, index-free last resort last.
+DEFAULT_TIERS: tuple[str, ...] = ("QHL", "CSP-2Hop", "SkyDijkstra")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning knobs for :class:`QueryService`."""
+
+    #: Default per-query budget in milliseconds (``None`` = no deadline).
+    deadline_ms: float | None = None
+    #: Ladder tiers, tried in order; unknown names raise at build time.
+    tiers: tuple[str, ...] = DEFAULT_TIERS
+    #: Consecutive failures that open a tier's breaker.
+    breaker_failure_threshold: int = 3
+    #: Seconds an open breaker waits before half-opening.
+    breaker_reset_s: float = 30.0
+    #: Half-open probe failure multiplies the wait by this factor…
+    breaker_backoff_factor: float = 2.0
+    #: …capped here.
+    breaker_max_reset_s: float = 300.0
+    #: Attempts for loading an index from ``index_path``.
+    load_attempts: int = 3
+    #: Verify the SHA-256 payload checksum when loading an index.
+    verify_checksum: bool = True
+
+
+class _Tier:
+    """One rung of the ladder: an engine plus its breaker."""
+
+    __slots__ = ("name", "engine", "breaker")
+
+    def __init__(self, name: str, engine, breaker: CircuitBreaker):
+        self.name = name
+        self.engine = engine
+        self.breaker = breaker
+
+
+class QueryService:
+    """Resilient CSP serving over the QHL degradation ladder.
+
+    Build from an in-memory index, an index path (load failures degrade
+    the service to its index-free tier instead of killing it), or a
+    bare network (index-free from the start)::
+
+        service = QueryService(index=index)
+        service = QueryService(index_path="ny.idx", network=network)
+        service = QueryService(network=network)
+
+    ``engines`` overrides the auto-built tier engines (for tests and
+    custom ladders); each needs ``name`` and
+    ``query(s, t, budget, want_path=..., deadline=...)``.  The service
+    itself satisfies the harness'
+    :class:`~repro.instrument.harness.QueryEngine` protocol.
+    """
+
+    name = "service"
+
+    def __init__(
+        self,
+        index: QHLIndex | None = None,
+        network: RoadNetwork | None = None,
+        index_path: str | None = None,
+        config: ServiceConfig | None = None,
+        engines: Sequence | None = None,
+        clock: Callable[[], float] | None = None,
+    ):
+        self.config = config or ServiceConfig()
+        self._clock = clock if clock is not None else time.monotonic
+        self.index_load_error: ReproError | None = None
+        if index is None and index_path is not None:
+            index = self._load_index(index_path)
+        if network is None and index is not None:
+            network = index.network
+        if network is None and index is None and not engines:
+            if self.index_load_error is not None:
+                # Nothing to degrade to: surface the typed load error.
+                raise self.index_load_error
+            raise ValueError(
+                "QueryService needs an index, an index_path, a network, "
+                "or explicit engines"
+            )
+        self.index = index
+        self.network = network
+        self._tiers = [
+            _Tier(engine.name, engine, self._make_breaker(engine.name))
+            for engine in (
+                engines if engines is not None else self._build_engines()
+            )
+        ]
+        if not self._tiers:
+            raise ValueError("QueryService ended up with no tiers")
+
+    # ------------------------------------------------------------------
+    def _load_index(self, path: str) -> QHLIndex | None:
+        try:
+            return load_index_with_retry(
+                path,
+                attempts=self.config.load_attempts,
+                verify_checksum=self.config.verify_checksum,
+            )
+        except (SerializationError, OSError) as exc:
+            # Degrade instead of dying: the index is a rebuildable cache
+            # over the always-available online search.
+            self.index_load_error = (
+                exc
+                if isinstance(exc, ReproError)
+                else SerializationError(str(exc))
+            )
+            registry = get_registry()
+            if registry.enabled:
+                registry.counter(
+                    "service_index_load_failures_total",
+                    help="index loads that failed and degraded the service",
+                ).inc()
+            return None
+
+    def _build_engines(self) -> list:
+        engines = []
+        for name in self.config.tiers:
+            if name == "QHL":
+                if self.index is not None:
+                    engines.append(self.index.qhl_engine())
+            elif name == "CSP-2Hop":
+                if self.index is not None:
+                    engines.append(self.index.csp2hop_engine())
+            elif name == "SkyDijkstra":
+                if self.network is not None:
+                    engines.append(SkyDijkstraEngine(self.network))
+            else:
+                raise ValueError(
+                    f"unknown tier {name!r}; known: "
+                    f"{', '.join(DEFAULT_TIERS)}"
+                )
+        return engines
+
+    def _make_breaker(self, tier: str) -> CircuitBreaker:
+        def on_transition(state: str, _tier: str = tier) -> None:
+            registry = get_registry()
+            if registry.enabled:
+                registry.counter(
+                    "service_breaker_transitions_total",
+                    {"tier": _tier, "state": state},
+                    help="circuit breaker state transitions",
+                ).inc()
+
+        return CircuitBreaker(
+            failure_threshold=self.config.breaker_failure_threshold,
+            reset_timeout=self.config.breaker_reset_s,
+            backoff_factor=self.config.breaker_backoff_factor,
+            max_timeout=self.config.breaker_max_reset_s,
+            clock=self._clock,
+            on_transition=on_transition,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def tiers(self) -> list[str]:
+        """The active ladder, fastest first."""
+        return [tier.name for tier in self._tiers]
+
+    def breaker(self, tier: str) -> CircuitBreaker:
+        """The circuit breaker guarding ``tier`` (KeyError if absent)."""
+        for candidate in self._tiers:
+            if candidate.name == tier:
+                return candidate.breaker
+        raise KeyError(tier)
+
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        source: int,
+        target: int,
+        budget: float,
+        want_path: bool = False,
+        deadline_ms: float | None = None,
+        deadline: Deadline | None = None,
+    ) -> QueryResult:
+        """Answer one CSP query through the ladder.
+
+        ``deadline_ms`` arms a fresh per-query deadline (defaulting to
+        the config's); pass an existing ``deadline`` instead to share a
+        per-batch budget across queries.  The answer's
+        :attr:`~repro.types.QueryResult.engine` names the tier that
+        produced it.
+
+        Raises
+        ------
+        QueryError
+            Malformed queries fail fast — no tier could answer them.
+        DeadlineExceededError
+            The budget ran out (falling back would only be slower).
+        ServiceUnavailableError
+            Every tier failed or had an open breaker.
+        """
+        num_vertices = (
+            self.network.num_vertices if self.network is not None else None
+        )
+        if num_vertices is not None:
+            CSPQuery(source, target, budget).validated(num_vertices)
+        if deadline is None:
+            ms = deadline_ms if deadline_ms is not None else (
+                self.config.deadline_ms
+            )
+            if ms is not None:
+                deadline = Deadline.from_ms(ms, clock=self._deadline_clock())
+        injector = get_injector()
+        registry = get_registry()
+        last_error: BaseException | None = None
+        for position, tier in enumerate(self._tiers):
+            next_name = (
+                self._tiers[position + 1].name
+                if position + 1 < len(self._tiers)
+                else None
+            )
+            if not tier.breaker.allow():
+                self._record_fallback(
+                    registry, tier.name, next_name, "breaker-open"
+                )
+                continue
+            try:
+                if injector.enabled:
+                    injector.fire("engine-query", engine=tier.name)
+                result = tier.engine.query(
+                    source, target, budget,
+                    want_path=want_path, deadline=deadline,
+                )
+            except DeadlineExceededError:
+                # Not a tier fault: the query is out of time everywhere.
+                if registry.enabled:
+                    registry.counter(
+                        "service_deadline_exceeded_total",
+                        {"engine": tier.name},
+                        help="queries that exhausted their time budget",
+                    ).inc()
+                raise
+            except QueryError:
+                raise
+            except Exception as exc:  # ReproError or unexpected crash
+                last_error = exc
+                tier.breaker.record_failure()
+                self._record_fallback(
+                    registry, tier.name, next_name, type(exc).__name__
+                )
+                continue
+            tier.breaker.record_success()
+            result.engine = tier.name
+            if registry.enabled:
+                registry.counter(
+                    "service_queries_total",
+                    {"tier": tier.name},
+                    help="queries answered, by ladder tier",
+                ).inc()
+            return result
+        raise ServiceUnavailableError(
+            f"no tier could answer query ({source}, {target}, {budget}); "
+            f"tried {', '.join(self.tiers)}; last error: {last_error}",
+            last_error=last_error,
+        )
+
+    # ------------------------------------------------------------------
+    def _deadline_clock(self) -> Callable[[], float]:
+        injector = get_injector()
+        if injector.enabled and injector.clock is not None:
+            return injector.clock
+        return self._clock
+
+    @staticmethod
+    def _record_fallback(registry, frm: str, to: str | None, reason: str
+                         ) -> None:
+        if registry.enabled:
+            registry.counter(
+                "service_fallback_total",
+                {"from": frm, "to": to or "none", "reason": reason},
+                help="degradation ladder step-downs",
+            ).inc()

@@ -6,6 +6,7 @@ from repro.storage.serialize import (
     FORMAT_VERSION,
     load_compact_index,
     load_index,
+    load_index_with_retry,
     save_compact_index,
     save_index,
 )
@@ -15,6 +16,7 @@ __all__ = [
     "FORMAT_VERSION",
     "load_compact_index",
     "load_index",
+    "load_index_with_retry",
     "pack_labels",
     "save_compact_index",
     "save_index",

@@ -1,9 +1,21 @@
 """Index persistence.
 
 Saves/loads a complete :class:`~repro.core.engine.QHLIndex` with a
-versioned pickle envelope.  Skyline-entry provenance is a deep recursive
-tuple structure (depth grows with path length), so (de)serialisation
-temporarily raises the interpreter recursion limit.
+versioned, checksummed envelope.  Skyline-entry provenance is a deep
+recursive tuple structure (depth grows with path length), so
+(de)serialisation temporarily raises the interpreter recursion limit —
+capped at :data:`_RECURSION_LIMIT` because each pickle level also burns
+C stack, and a runaway limit trades a catchable ``RecursionError`` for
+a hard interpreter crash.  Provenance deeper than the cap fails with
+:class:`SerializationError` pointing at the compact format (which drops
+provenance and never recurses).
+
+Crash safety: every save goes through :func:`_atomic_write_bytes` —
+temp file in the destination directory, flush + ``fsync``, then
+``os.replace`` — so a crash at any point leaves either the old file or
+no file at the destination, never a truncated one.  Format version 2
+adds a SHA-256 checksum of the pickled payload, verified on load;
+version-1 files (no checksum) still load.
 
 By default the elimination shortcuts are dropped on save: queries only
 need the tree structure, labels, LCA and pruning conditions; shortcuts
@@ -14,17 +26,37 @@ works).
 
 from __future__ import annotations
 
+import contextlib
+import hashlib
 import os
 import pickle
 import sys
+import time
 
 from repro.core.engine import QHLIndex
 from repro.exceptions import SerializationError
 
 MAGIC = "repro-qhl-index"
-FORMAT_VERSION = 1
+COMPACT_MAGIC = "repro-qhl-compact"
+FORMAT_VERSION = 2
 
-_RECURSION_LIMIT = 1_000_000
+#: Capped recursion-limit bump for pickling provenance trees.  Each
+#: pickle recursion level also consumes C stack (~hundreds of bytes), so
+#: limits much past this risk a segfault instead of a RecursionError on
+#: the default 8 MB stack; paths on road networks stay far below it.
+_RECURSION_LIMIT = 20_000
+
+_PICKLE_ERRORS = (
+    pickle.UnpicklingError,
+    EOFError,
+    AttributeError,
+    ImportError,
+    IndexError,
+    ValueError,
+    TypeError,
+    KeyError,
+    RecursionError,
+)
 
 
 class _raised_recursion_limit:
@@ -36,30 +68,99 @@ class _raised_recursion_limit:
         sys.setrecursionlimit(self._old)
 
 
-def save_index(
-    index: QHLIndex, path: str, keep_shortcuts: bool = False
-) -> int:
-    """Serialise an index to ``path``; returns the file size in bytes."""
+def _sha256(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def _fire_fault(point: str, **ctx) -> None:
+    """Fire a fault-injection point (inert unless a harness is active)."""
+    from repro.service.faults import get_injector
+
+    injector = get_injector()
+    if injector.enabled:
+        injector.fire(point, **ctx)
+
+
+def _atomic_write_bytes(path: str, data: bytes) -> None:
+    """Write ``data`` to ``path`` crash-safely.
+
+    The bytes land in a temp file in the destination directory, are
+    flushed and fsynced, and only then renamed over ``path`` with
+    ``os.replace`` (atomic on POSIX).  On any failure the temp file is
+    removed; the destination keeps its previous content (or absence).
+    """
     directory = os.path.dirname(path)
     if directory:
         os.makedirs(directory, exist_ok=True)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "wb") as f:
+            _fire_fault("save-index", stage="write", path=path)
+            f.write(data)
+            f.flush()
+            _fire_fault("save-index", stage="fsync", path=path)
+            os.fsync(f.fileno())
+        _fire_fault("save-index", stage="replace", path=path)
+        os.replace(tmp, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.remove(tmp)
+        raise
+    # Make the rename itself durable (best effort; not all filesystems
+    # support fsyncing a directory handle).
+    with contextlib.suppress(OSError):
+        dir_fd = os.open(directory or ".", os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+
+
+def _dumps_payload(obj, what: str) -> bytes:
+    """Pickle ``obj`` under the raised (capped) recursion limit."""
+    try:
+        with _raised_recursion_limit():
+            return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    except RecursionError as exc:
+        raise SerializationError(
+            f"{what} is too deeply nested to pickle even at the capped "
+            f"recursion limit ({_RECURSION_LIMIT}); provenance depth "
+            "grows with path length — save with save_compact_index "
+            "(drops provenance) or rebuild with store_paths=False"
+        ) from exc
+
+
+def save_index(
+    index: QHLIndex, path: str, keep_shortcuts: bool = False
+) -> int:
+    """Serialise an index to ``path``; returns the file size in bytes.
+
+    The write is atomic (temp file + fsync + ``os.replace``) and the
+    payload carries a SHA-256 checksum verified by :func:`load_index`.
+
+    Raises
+    ------
+    SerializationError
+        When provenance is too deep for the capped recursion limit
+        (use the compact format instead of crashing the interpreter).
+    """
     shortcuts = index.tree.shortcuts
     try:
         if not keep_shortcuts:
             index.tree.shortcuts = {}
-        payload = {
-            "magic": MAGIC,
-            "version": FORMAT_VERSION,
-            "index": index,
-        }
-        with _raised_recursion_limit(), open(path, "wb") as f:
-            pickle.dump(payload, f, protocol=pickle.HIGHEST_PROTOCOL)
+        payload = _dumps_payload({"index": index}, "index provenance")
     finally:
         index.tree.shortcuts = shortcuts
+    envelope = {
+        "magic": MAGIC,
+        "version": FORMAT_VERSION,
+        "checksum": _sha256(payload),
+        "payload": payload,
+    }
+    _atomic_write_bytes(
+        path, pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL)
+    )
     return os.path.getsize(path)
-
-
-COMPACT_MAGIC = "repro-qhl-compact"
 
 
 def save_compact_index(index: QHLIndex, path: str) -> int:
@@ -71,33 +172,114 @@ def save_compact_index(index: QHLIndex, path: str) -> int:
     graph, so the format is stable across refactors of the in-memory
     classes.  Provenance (path retrieval) and elimination shortcuts are
     not kept — the trade documented in :mod:`repro.storage.compact`.
+    Writes are atomic and checksummed like :func:`save_index`.
     """
     import gzip
 
     from repro.storage.compact import pack_labels
 
-    directory = os.path.dirname(path)
-    if directory:
-        os.makedirs(directory, exist_ok=True)
     tree = index.tree
-    payload = {
+    payload = pickle.dumps(
+        {
+            "num_vertices": tree.num_vertices,
+            "edges": list(index.network.edges()),
+            "order": list(tree.order),
+            "bags": {v: list(tree.bag[v]) for v in range(tree.num_vertices)},
+            "labels": pack_labels(index.labels),
+            "label_build_seconds": index.labels.build_seconds,
+            "conditions": dict(index.pruning._conditions),
+            "pruning_build_seconds": index.pruning.build_seconds,
+        },
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    envelope = {
         "magic": COMPACT_MAGIC,
         "version": FORMAT_VERSION,
-        "num_vertices": tree.num_vertices,
-        "edges": list(index.network.edges()),
-        "order": list(tree.order),
-        "bags": {v: list(tree.bag[v]) for v in range(tree.num_vertices)},
-        "labels": pack_labels(index.labels),
-        "label_build_seconds": index.labels.build_seconds,
-        "conditions": dict(index.pruning._conditions),
-        "pruning_build_seconds": index.pruning.build_seconds,
+        "checksum": _sha256(payload),
+        "payload": payload,
     }
-    with gzip.open(path, "wb", compresslevel=6) as f:
-        pickle.dump(payload, f, protocol=pickle.HIGHEST_PROTOCOL)
+    data = gzip.compress(
+        pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL),
+        compresslevel=6,
+    )
+    _atomic_write_bytes(path, data)
     return os.path.getsize(path)
 
 
-def load_compact_index(path: str) -> QHLIndex:
+def _open_envelope(
+    envelope, path: str, magic: str, verify_checksum: bool, kind: str
+) -> dict:
+    """Validate an envelope and return the inner payload dict.
+
+    Handles both format versions: v1 keeps the fields inline (no
+    checksum to verify), v2 nests them as checksummed pickled bytes.
+    """
+    if not isinstance(envelope, dict) or envelope.get("magic") != magic:
+        raise SerializationError(f"{path!r} is not a {kind} file")
+    version = envelope.get("version")
+    if version == 1:
+        return envelope
+    if version != FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported {kind} format version {version} "
+            f"(this build reads versions 1..{FORMAT_VERSION})"
+        )
+    payload = envelope.get("payload")
+    if not isinstance(payload, (bytes, bytearray)):
+        raise SerializationError(f"{path!r} has a malformed payload")
+    if verify_checksum:
+        digest = _sha256(bytes(payload))
+        if digest != envelope.get("checksum"):
+            raise SerializationError(
+                f"{path!r} failed checksum verification (stored "
+                f"{str(envelope.get('checksum'))[:12]}…, computed "
+                f"{digest[:12]}…); the file is corrupt"
+            )
+    try:
+        with _raised_recursion_limit():
+            inner = pickle.loads(bytes(payload))
+    except _PICKLE_ERRORS as exc:
+        raise SerializationError(
+            f"{path!r} payload is not readable: {exc}"
+        ) from exc
+    if not isinstance(inner, dict):
+        raise SerializationError(f"{path!r} has a malformed payload")
+    return inner
+
+
+def load_index(path: str, verify_checksum: bool = True) -> QHLIndex:
+    """Load an index previously written by :func:`save_index`.
+
+    ``verify_checksum=False`` skips the SHA-256 verification of
+    version-2 files (version-1 files carry no checksum).
+
+    Raises
+    ------
+    SerializationError
+        On missing files, directories, foreign pickles, checksum
+        mismatches, or version mismatches.
+    """
+    if not os.path.exists(path):
+        raise SerializationError(f"index file {path!r} does not exist")
+    if os.path.isdir(path):
+        raise SerializationError(f"{path!r} is a directory, not an index file")
+    try:
+        with _raised_recursion_limit(), open(path, "rb") as f:
+            envelope = pickle.load(f)
+    except _PICKLE_ERRORS as exc:
+        raise SerializationError(
+            f"{path!r} is not a readable repro index: {exc}"
+        ) from exc
+    inner = _open_envelope(
+        envelope, path, MAGIC, verify_checksum, "repro index"
+    )
+    index = inner.get("index")
+    if not isinstance(index, QHLIndex):
+        raise SerializationError(f"{path!r} does not contain a QHLIndex")
+    return index
+
+
+def load_compact_index(path: str, verify_checksum: bool = True) -> QHLIndex:
     """Load an index written by :func:`save_compact_index`."""
     import gzip
 
@@ -109,65 +291,81 @@ def load_compact_index(path: str) -> QHLIndex:
 
     if not os.path.exists(path):
         raise SerializationError(f"index file {path!r} does not exist")
+    if os.path.isdir(path):
+        raise SerializationError(f"{path!r} is a directory, not an index file")
     try:
         with gzip.open(path, "rb") as f:
-            payload = pickle.load(f)
-    except (pickle.UnpicklingError, EOFError, AttributeError,
-            gzip.BadGzipFile, OSError) as exc:
+            envelope = pickle.load(f)
+    except (*_PICKLE_ERRORS, gzip.BadGzipFile, OSError) as exc:
         raise SerializationError(
             f"{path!r} is not a readable compact index: {exc}"
         ) from exc
-    if not isinstance(payload, dict) or payload.get("magic") != COMPACT_MAGIC:
-        raise SerializationError(f"{path!r} is not a compact repro index")
-    if payload.get("version") != FORMAT_VERSION:
-        raise SerializationError(
-            f"unsupported compact index version {payload.get('version')}"
+    payload = _open_envelope(
+        envelope, path, COMPACT_MAGIC, verify_checksum, "compact repro index"
+    )
+    try:
+        network = RoadNetwork.from_edges(
+            payload["num_vertices"], payload["edges"]
         )
-
-    network = RoadNetwork.from_edges(
-        payload["num_vertices"], payload["edges"]
-    )
-    tree = TreeDecomposition(
-        payload["num_vertices"],
-        payload["order"],
-        {v: tuple(bag) for v, bag in payload["bags"].items()},
-        {},
-    )
-    labels = unpack_labels(payload["labels"])
-    labels.build_seconds = payload["label_build_seconds"]
-    pruning = PruningConditionIndex()
-    for (child, v_end), bounds in payload["conditions"].items():
-        pruning.add(child, v_end, bounds)
-    pruning.build_seconds = payload["pruning_build_seconds"]
+        tree = TreeDecomposition(
+            payload["num_vertices"],
+            payload["order"],
+            {v: tuple(bag) for v, bag in payload["bags"].items()},
+            {},
+        )
+        labels = unpack_labels(payload["labels"])
+        labels.build_seconds = payload["label_build_seconds"]
+        pruning = PruningConditionIndex()
+        for (child, v_end), bounds in payload["conditions"].items():
+            pruning.add(child, v_end, bounds)
+        pruning.build_seconds = payload["pruning_build_seconds"]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(
+            f"{path!r} compact payload is incomplete: {exc}"
+        ) from exc
     return QHLIndex(network, tree, labels, LCAIndex(tree), pruning)
 
 
-def load_index(path: str) -> QHLIndex:
-    """Load an index previously written by :func:`save_index`.
+def load_index_with_retry(
+    path: str,
+    attempts: int = 3,
+    base_delay: float = 0.05,
+    max_delay: float = 1.0,
+    jitter: float = 0.25,
+    verify_checksum: bool = True,
+    compact: bool = False,
+    sleep=time.sleep,
+    rng=None,
+) -> QHLIndex:
+    """:func:`load_index` with bounded exponential backoff on ``OSError``.
 
-    Raises
-    ------
-    SerializationError
-        On missing files, foreign pickles, or version mismatches.
+    Transient I/O errors (NFS hiccups, slow attach of a volume) are
+    retried up to ``attempts`` times with delay
+    ``min(base_delay * 2**i, max_delay)`` plus up to ``jitter`` fraction
+    of random extra.  :class:`SerializationError` (missing, corrupt, or
+    wrong-version files) is permanent and never retried.  ``sleep`` and
+    ``rng`` are injectable for deterministic tests; the ``index-load``
+    fault point fires at the start of every attempt.
     """
-    if not os.path.exists(path):
-        raise SerializationError(f"index file {path!r} does not exist")
-    try:
-        with _raised_recursion_limit(), open(path, "rb") as f:
-            payload = pickle.load(f)
-    except (pickle.UnpicklingError, EOFError, AttributeError) as exc:
-        raise SerializationError(
-            f"{path!r} is not a readable repro index: {exc}"
-        ) from exc
-    if not isinstance(payload, dict) or payload.get("magic") != MAGIC:
-        raise SerializationError(f"{path!r} is not a repro index file")
-    version = payload.get("version")
-    if version != FORMAT_VERSION:
-        raise SerializationError(
-            f"unsupported index format version {version} "
-            f"(this build reads version {FORMAT_VERSION})"
-        )
-    index = payload["index"]
-    if not isinstance(index, QHLIndex):
-        raise SerializationError(f"{path!r} does not contain a QHLIndex")
-    return index
+    if attempts < 1:
+        raise ValueError("attempts must be >= 1")
+    if rng is None:
+        import random
+
+        rng = random.Random()
+    loader = load_compact_index if compact else load_index
+    last: OSError | None = None
+    for attempt in range(attempts):
+        try:
+            _fire_fault("index-load", path=path, attempt=attempt)
+            return loader(path, verify_checksum=verify_checksum)
+        except SerializationError:
+            raise
+        except OSError as exc:
+            last = exc
+            if attempt + 1 < attempts:
+                delay = min(base_delay * (2 ** attempt), max_delay)
+                sleep(delay * (1.0 + jitter * rng.random()))
+    raise SerializationError(
+        f"could not read {path!r} after {attempts} attempts: {last}"
+    ) from last

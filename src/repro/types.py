@@ -53,7 +53,10 @@ class QueryResult:
 
     ``feasible`` is False when no s-t path meets the budget; ``weight`` /
     ``cost`` are then ``None``.  ``path`` is filled only when the engine
-    was built with path storage and asked to retrieve paths.
+    was built with path storage and asked to retrieve paths.  ``engine``
+    names the engine that produced the answer when the query went
+    through the serving layer (``repro.service``) — useful to tell a
+    fast QHL answer from a degraded Dijkstra one.
     """
 
     query: CSPQuery
@@ -61,6 +64,7 @@ class QueryResult:
     cost: float | None = None
     path: list[int] | None = None
     stats: QueryStats = field(default_factory=QueryStats)
+    engine: str | None = None
 
     @property
     def feasible(self) -> bool:

@@ -1,0 +1,97 @@
+"""Circuit breaker state machine, driven by a fake clock."""
+
+import pytest
+
+from repro.service import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+@pytest.fixture
+def breaker(fake_clock):
+    return CircuitBreaker(
+        failure_threshold=3, reset_timeout=10.0, backoff_factor=2.0,
+        max_timeout=40.0, clock=fake_clock,
+    )
+
+
+class TestCircuitBreaker:
+    def test_starts_closed_and_allows(self, breaker):
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_opens_after_threshold_consecutive_failures(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_the_failure_count(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_half_opens_after_backoff(self, breaker, fake_clock):
+        for _ in range(3):
+            breaker.record_failure()
+        assert not breaker.allow()
+        fake_clock.advance(9.9)
+        assert not breaker.allow()
+        fake_clock.advance(0.2)
+        assert breaker.allow()  # the probe call
+        assert breaker.state == HALF_OPEN
+
+    def test_successful_probe_closes(self, breaker, fake_clock):
+        for _ in range(3):
+            breaker.record_failure()
+        fake_clock.advance(10.5)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_failed_probe_reopens_with_longer_backoff(
+        self, breaker, fake_clock
+    ):
+        for _ in range(3):
+            breaker.record_failure()
+        fake_clock.advance(10.5)
+        assert breaker.allow()
+        breaker.record_failure()  # failed probe: timeout doubles to 20 s
+        assert breaker.state == OPEN
+        fake_clock.advance(10.5)
+        assert not breaker.allow()
+        fake_clock.advance(10.0)
+        assert breaker.allow()
+
+    def test_backoff_is_capped(self, breaker, fake_clock):
+        for _ in range(3):
+            breaker.record_failure()
+        # Fail four probes: 10 -> 20 -> 40 -> capped at 40.
+        for _ in range(4):
+            fake_clock.advance(100.0)
+            assert breaker.allow()
+            breaker.record_failure()
+        fake_clock.advance(40.5)
+        assert breaker.allow()
+
+    def test_transition_callback_sees_every_flip(self, fake_clock):
+        seen = []
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout=5.0, clock=fake_clock,
+            on_transition=seen.append,
+        )
+        breaker.record_failure()
+        fake_clock.advance(5.5)
+        breaker.allow()
+        breaker.record_success()
+        assert seen == [OPEN, HALF_OPEN, CLOSED]
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(reset_timeout=0)

@@ -1,0 +1,334 @@
+"""Crash-safe writes, the corruption matrix, and load retries."""
+
+import gzip
+import os
+import pickle
+import random
+import sys
+
+import pytest
+
+from repro.exceptions import SerializationError
+from repro.service import FaultInjector, use_injector
+from repro.storage import (
+    load_compact_index,
+    load_index,
+    load_index_with_retry,
+    save_compact_index,
+    save_index,
+)
+from repro.storage.serialize import (
+    COMPACT_MAGIC,
+    MAGIC,
+    _dumps_payload,
+    _RECURSION_LIMIT,
+)
+
+SAVERS = {"full": save_index, "compact": save_compact_index}
+LOADERS = {"full": load_index, "compact": load_compact_index}
+
+
+def no_tmp_litter(directory):
+    return [n for n in os.listdir(directory) if ".tmp." in n] == []
+
+
+# ----------------------------------------------------------------------
+# Kill safety: a fault at any write stage never corrupts the target.
+# ----------------------------------------------------------------------
+class TestKillSafety:
+    @pytest.mark.parametrize("fmt", ["full", "compact"])
+    @pytest.mark.parametrize("stage", ["write", "fsync", "replace"])
+    def test_interrupted_first_save_leaves_nothing(
+        self, service_index, tmp_path, fmt, stage
+    ):
+        path = str(tmp_path / "victim.idx")
+        injector = FaultInjector()
+        injector.fail("save-index", exc=OSError, match={"stage": stage})
+        with use_injector(injector):
+            with pytest.raises(OSError):
+                SAVERS[fmt](service_index, path)
+        assert not os.path.exists(path)
+        assert no_tmp_litter(tmp_path)
+
+    @pytest.mark.parametrize("fmt", ["full", "compact"])
+    @pytest.mark.parametrize("stage", ["write", "fsync", "replace"])
+    def test_interrupted_resave_keeps_the_old_file(
+        self, service_index, service_grid, tmp_path, fmt, stage
+    ):
+        path = str(tmp_path / "victim.idx")
+        SAVERS[fmt](service_index, path)
+        with open(path, "rb") as f:
+            before = f.read()
+        injector = FaultInjector()
+        injector.fail("save-index", exc=OSError, match={"stage": stage})
+        with use_injector(injector):
+            with pytest.raises(OSError):
+                SAVERS[fmt](service_index, path)
+        with open(path, "rb") as f:
+            assert f.read() == before
+        assert no_tmp_litter(tmp_path)
+        # The survivor is not just byte-identical but fully loadable.
+        loaded = LOADERS[fmt](path)
+        assert loaded.query(0, 63, 250).pair() == service_index.query(
+            0, 63, 250
+        ).pair()
+
+    def test_save_creates_missing_directories(self, service_index, tmp_path):
+        path = str(tmp_path / "deep" / "nested" / "x.idx")
+        save_index(service_index, path)
+        assert os.path.exists(path)
+
+
+# ----------------------------------------------------------------------
+# The corruption matrix, for both on-disk formats.
+# ----------------------------------------------------------------------
+def _write_envelope(path, envelope, fmt):
+    data = pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL)
+    if fmt == "compact":
+        data = gzip.compress(data)
+    with open(path, "wb") as f:
+        f.write(data)
+
+
+@pytest.fixture(scope="module")
+def saved(service_index, tmp_path_factory):
+    """One pristine save per format, reused by the whole matrix."""
+    root = tmp_path_factory.mktemp("pristine")
+    paths = {}
+    for fmt, saver in SAVERS.items():
+        path = str(root / f"{fmt}.idx")
+        saver(service_index, path)
+        paths[fmt] = path
+    return paths
+
+
+@pytest.mark.parametrize("fmt", ["full", "compact"])
+class TestCorruptionMatrix:
+    def _corrupt_copy(self, saved, tmp_path, fmt, mutate):
+        with open(saved[fmt], "rb") as f:
+            data = bytearray(f.read())
+        path = str(tmp_path / f"corrupt-{fmt}.idx")
+        with open(path, "wb") as f:
+            f.write(mutate(data))
+        return path
+
+    def test_truncated_file(self, saved, tmp_path, fmt):
+        path = self._corrupt_copy(
+            saved, tmp_path, fmt, lambda d: d[: len(d) // 2]
+        )
+        with pytest.raises(SerializationError):
+            LOADERS[fmt](path)
+
+    def test_flipped_byte(self, saved, tmp_path, fmt):
+        def flip(data):
+            data[int(len(data) * 0.6)] ^= 0xFF
+            return data
+
+        path = self._corrupt_copy(saved, tmp_path, fmt, flip)
+        with pytest.raises(SerializationError):
+            LOADERS[fmt](path)
+
+    def test_wrong_magic(self, saved, tmp_path, fmt):
+        path = str(tmp_path / "magic.idx")
+        _write_envelope(
+            path,
+            {"magic": "definitely-not-an-index", "version": 2,
+             "checksum": "0" * 64, "payload": b""},
+            fmt,
+        )
+        with pytest.raises(SerializationError, match="is not a"):
+            LOADERS[fmt](path)
+
+    def test_future_version(self, saved, tmp_path, fmt):
+        magic = MAGIC if fmt == "full" else COMPACT_MAGIC
+        path = str(tmp_path / "future.idx")
+        _write_envelope(
+            path,
+            {"magic": magic, "version": 999,
+             "checksum": "0" * 64, "payload": b""},
+            fmt,
+        )
+        with pytest.raises(SerializationError, match="version 999"):
+            LOADERS[fmt](path)
+
+    def test_empty_file(self, saved, tmp_path, fmt):
+        path = str(tmp_path / "empty.idx")
+        open(path, "wb").close()
+        with pytest.raises(SerializationError):
+            LOADERS[fmt](path)
+
+    def test_directory_instead_of_file(self, saved, tmp_path, fmt):
+        path = str(tmp_path / "a-directory")
+        os.mkdir(path)
+        with pytest.raises(SerializationError, match="directory"):
+            LOADERS[fmt](path)
+
+    def test_every_matrix_error_message_names_the_path(
+        self, saved, tmp_path, fmt
+    ):
+        path = str(tmp_path / "named.idx")
+        open(path, "wb").close()
+        with pytest.raises(SerializationError, match="named.idx"):
+            LOADERS[fmt](path)
+
+
+# ----------------------------------------------------------------------
+# Checksums and format versions.
+# ----------------------------------------------------------------------
+class TestChecksumAndVersions:
+    def test_checksum_mismatch_names_both_digests(
+        self, saved, tmp_path
+    ):
+        with open(saved["full"], "rb") as f:
+            envelope = pickle.load(f)
+        envelope["checksum"] = "0" * 64
+        path = str(tmp_path / "badsum.idx")
+        _write_envelope(path, envelope, "full")
+        with pytest.raises(SerializationError, match="checksum"):
+            load_index(path)
+        # The payload itself is intact, so skipping verification loads.
+        index = load_index(path, verify_checksum=False)
+        assert index.query(0, 63, 250).feasible
+
+    def test_compact_checksum_mismatch(self, saved, tmp_path):
+        with gzip.open(saved["compact"], "rb") as f:
+            envelope = pickle.load(f)
+        envelope["checksum"] = "0" * 64
+        path = str(tmp_path / "badsum.cidx")
+        _write_envelope(path, envelope, "compact")
+        with pytest.raises(SerializationError, match="checksum"):
+            load_compact_index(path)
+        index = load_compact_index(path, verify_checksum=False)
+        assert index.query(0, 63, 250).feasible
+
+    def test_v1_full_file_still_loads(self, service_index, tmp_path):
+        # A version-1 file keeps its fields inline, with no checksum.
+        path = str(tmp_path / "v1.idx")
+        _write_envelope(
+            path,
+            {"magic": MAGIC, "version": 1, "index": service_index},
+            "full",
+        )
+        loaded = load_index(path)
+        assert loaded.query(0, 63, 250).pair() == service_index.query(
+            0, 63, 250
+        ).pair()
+
+    def test_v1_compact_file_still_loads(self, service_index, tmp_path):
+        from repro.storage.compact import pack_labels
+
+        tree = service_index.tree
+        path = str(tmp_path / "v1.cidx")
+        _write_envelope(
+            path,
+            {
+                "magic": COMPACT_MAGIC,
+                "version": 1,
+                "num_vertices": tree.num_vertices,
+                "edges": list(service_index.network.edges()),
+                "order": list(tree.order),
+                "bags": {
+                    v: list(tree.bag[v]) for v in range(tree.num_vertices)
+                },
+                "labels": pack_labels(service_index.labels),
+                "label_build_seconds": 0.0,
+                "conditions": dict(service_index.pruning._conditions),
+                "pruning_build_seconds": 0.0,
+            },
+            "compact",
+        )
+        loaded = load_compact_index(path)
+        assert loaded.query(0, 63, 250).pair() == service_index.query(
+            0, 63, 250
+        ).pair()
+
+
+# ----------------------------------------------------------------------
+# Retrying loader.
+# ----------------------------------------------------------------------
+class TestLoadWithRetry:
+    def test_transient_errors_retried_with_backoff(
+        self, saved, service_index
+    ):
+        delays = []
+        injector = FaultInjector()
+        injector.fail("index-load", exc=OSError, times=2)
+        with use_injector(injector):
+            index = load_index_with_retry(
+                saved["full"], attempts=3,
+                sleep=delays.append, rng=random.Random(0),
+            )
+        assert index.query(0, 63, 250).pair() == service_index.query(
+            0, 63, 250
+        ).pair()
+        assert len(delays) == 2
+        # delay_i = min(0.05 * 2**i, 1.0) * (1 + 0.25 * U[0,1)).
+        assert 0.05 <= delays[0] <= 0.0625
+        assert 0.10 <= delays[1] <= 0.1250
+
+    def test_backoff_is_capped(self, saved):
+        delays = []
+        injector = FaultInjector()
+        injector.fail("index-load", exc=OSError, times=None)
+        with use_injector(injector):
+            with pytest.raises(SerializationError, match="5 attempts"):
+                load_index_with_retry(
+                    saved["full"], attempts=5, base_delay=0.05,
+                    max_delay=0.1, jitter=0.0, sleep=delays.append,
+                )
+        assert delays == [0.05, 0.1, 0.1, 0.1]
+
+    def test_exhaustion_wraps_the_last_oserror(self, saved):
+        injector = FaultInjector()
+        injector.fail("index-load", exc=OSError("disk went away"),
+                      times=None)
+        with use_injector(injector):
+            with pytest.raises(SerializationError) as excinfo:
+                load_index_with_retry(
+                    saved["full"], attempts=2, sleep=lambda _s: None
+                )
+        assert isinstance(excinfo.value.__cause__, OSError)
+        assert "disk went away" in str(excinfo.value)
+
+    def test_corruption_is_permanent_not_retried(self, tmp_path):
+        path = str(tmp_path / "corrupt.idx")
+        with open(path, "wb") as f:
+            f.write(b"not an index at all")
+        sleeps = []
+        with pytest.raises(SerializationError):
+            load_index_with_retry(path, attempts=5, sleep=sleeps.append)
+        assert sleeps == []  # permanent failure: no backoff, no retry
+
+    def test_compact_flag_routes_to_the_compact_loader(
+        self, saved, service_index
+    ):
+        index = load_index_with_retry(saved["compact"], compact=True)
+        assert index.query(0, 63, 250).pair() == service_index.query(
+            0, 63, 250
+        ).pair()
+
+    def test_rejects_non_positive_attempts(self, saved):
+        with pytest.raises(ValueError):
+            load_index_with_retry(saved["full"], attempts=0)
+
+
+# ----------------------------------------------------------------------
+# Recursion-limit cap (the interpreter-crash guard).
+# ----------------------------------------------------------------------
+class TestRecursionCap:
+    def test_cap_is_bounded(self):
+        # The point of the cap: deep provenance must surface as a
+        # catchable error, not exhaust the C stack.
+        assert _RECURSION_LIMIT <= 20_000
+
+    def test_too_deep_payload_raises_serialization_error(self):
+        deep = None
+        for _ in range(_RECURSION_LIMIT + 5_000):
+            deep = (deep,)
+        with pytest.raises(SerializationError, match="compact"):
+            _dumps_payload(deep, "test payload")
+
+    def test_limit_restored_after_save(self, service_index, tmp_path):
+        before = sys.getrecursionlimit()
+        save_index(service_index, str(tmp_path / "x.idx"))
+        assert sys.getrecursionlimit() == before

@@ -116,3 +116,81 @@ class TestWorkloadReport:
         assert report.latency.count == 3
         assert report.latency.labels == {"engine": "QHL", "workload": "Q1"}
         assert report.p50_ms > 0
+
+
+class _FlakyEngine:
+    """Answers via a real engine but raises on selected query indices."""
+
+    name = "flaky"
+
+    def __init__(self, inner, fail_on):
+        self.inner = inner
+        self.fail_on = set(fail_on)
+        self.calls = 0
+
+    def query(self, source, target, budget, **kwargs):
+        from repro.exceptions import QueryError
+
+        self.calls += 1
+        if self.calls - 1 in self.fail_on:
+            raise QueryError(f"engine tripped on call {self.calls - 1}")
+        return self.inner.query(source, target, budget, **kwargs)
+
+
+class TestWorkloadFailures:
+    def _queries(self, n=4):
+        from repro.types import CSPQuery
+
+        return [CSPQuery(i, 63 - i, 10_000) for i in range(n)]
+
+    def test_failing_queries_become_rows_not_crashes(
+        self, small_grid_index
+    ):
+        engine = _FlakyEngine(small_grid_index.qhl_engine(), fail_on={1, 3})
+        report = run_workload(engine, self._queries(), "flaky")
+        assert report.num_queries == 4
+        assert report.failed == 2
+        assert report.feasible == 2
+        assert [f.index for f in report.failures] == [1, 3]
+        assert report.failures[0].error == "QueryError"
+        assert "tripped" in report.failures[0].message
+        assert report.row()  # the fail column renders
+
+    def test_failures_are_counted_in_the_registry(self, small_grid_index):
+        from repro.observability.metrics import (
+            MetricsRegistry,
+            use_registry,
+        )
+
+        engine = _FlakyEngine(small_grid_index.qhl_engine(), fail_on={0})
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            run_workload(engine, self._queries(2), "flaky")
+        metric = registry.get(
+            "qhl_workload_failures_total",
+            {"engine": "flaky", "workload": "flaky",
+             "error": "QueryError"},
+        )
+        assert metric is not None and metric.value == 1
+
+    def test_per_query_deadline_failure_is_recorded(self, small_grid_index):
+        # A 0 ms budget expires at the first cooperative checkpoint of
+        # every query: all rows fail, none crash the harness.
+        engine = small_grid_index.qhl_engine()
+        report = run_workload(
+            engine, self._queries(3), "deadline", deadline_ms=0
+        )
+        assert report.failed == 3
+        assert all(
+            f.error == "DeadlineExceededError" for f in report.failures
+        )
+
+    def test_batch_deadline_skips_the_remainder(self, small_grid_index):
+        # An already-expired batch budget: the first query fails on its
+        # deadline and the rest are never attempted.
+        engine = small_grid_index.qhl_engine()
+        report = run_workload(
+            engine, self._queries(5), "batch", batch_deadline_ms=0
+        )
+        assert report.num_queries + report.skipped == 5
+        assert report.skipped >= 4
