@@ -70,6 +70,12 @@ from repro.service import (
     ServiceConfig,
     use_injector,
 )
+from repro.perf import (
+    BatchReport,
+    CachedQHLEngine,
+    SkylineCache,
+    execute_batch,
+)
 from repro.storage import load_index, load_index_with_retry, save_index
 from repro.types import CSPQuery, QueryResult, QueryStats
 from repro.workloads import (
@@ -81,8 +87,10 @@ from repro.workloads import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchReport",
     "COLAEngine",
     "CSP2HopEngine",
+    "CachedQHLEngine",
     "CSPQuery",
     "Deadline",
     "DeadlineExceededError",
@@ -109,11 +117,13 @@ __all__ = [
     "SerializationError",
     "ServiceConfig",
     "ServiceUnavailableError",
+    "SkylineCache",
     "SpanTracer",
     "constrained_dijkstra",
     "dense_core_network",
     "directed_from_undirected",
     "estimate_diameter",
+    "execute_batch",
     "generate_distance_sets",
     "generate_ratio_sets",
     "grid_network",

@@ -27,6 +27,13 @@ takes ``--deadline-ms`` (time budget), ``--fallback`` (degradation
 ladder QHL -> CSP-2Hop -> SkyDijkstra, tolerating engine failures and
 corrupt indexes) and ``--verify-checksum on|off``; ``bench`` takes
 ``--deadline-ms`` (over-budget queries land in the fail column).
+
+Performance flags (see ``docs/performance.md``): ``build --workers N``
+builds labels level-parallel across N processes; ``bench --cache-size
+N`` races a QHL+cache engine (skyline-frontier LRU over N pairs)
+alongside the others, ``--batch`` runs each query set through the
+batch API in cache-friendly order, and ``--workers N`` fans a batched
+run out across N worker processes.
 """
 
 from __future__ import annotations
@@ -89,6 +96,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
             num_index_queries=args.index_queries,
             store_paths=not args.no_paths,
             seed=args.seed,
+            label_workers=args.workers,
         )
     size = save_index(index, args.out)
     print(
@@ -241,6 +249,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"index built in {format_seconds(timer.seconds)}")
 
         engines = [index.qhl_engine(), index.csp2hop_engine()]
+        if args.cache_size:
+            engines.insert(0, index.cached_engine(args.cache_size))
         if args.cola:
             from repro.baselines import COLAEngine
 
@@ -252,8 +262,25 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 report = run_workload(
                     engine, query_set.queries, name,
                     deadline_ms=args.deadline_ms,
+                    batch=args.batch,
+                    workers=args.workers,
                 )
                 print(report.row())
+        if args.cache_size:
+            if args.batch and args.workers >= 2:
+                # Worker processes queried forked engine copies; their
+                # caches died with them, so parent-side numbers would
+                # read as a (misleading) string of zeros.
+                print("cache: per-worker caches are not aggregated")
+            else:
+                cached = engines[0]
+                stats = cached.cache.stats()
+                print(
+                    f"cache: {stats.entries}/{stats.capacity} pairs, "
+                    f"{stats.hits} hits / {stats.misses} misses "
+                    f"(hit rate {stats.hit_rate:.1%}), "
+                    f"{stats.evictions} evictions"
+                )
     return 0
 
 
@@ -287,6 +314,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out",
         help="dump build metrics (phase timings, index sizes) as "
         "JSON-lines to this path",
+    )
+    p_build.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="label-construction process pool size; >= 2 builds the "
+        "tree-depth levels in parallel (same index, faster build)",
     )
     p_build.set_defaults(func=_cmd_build)
 
@@ -374,6 +408,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out",
         help="dump per-engine query and phase histograms as JSON-lines "
         "to this path",
+    )
+    p_bench.add_argument(
+        "--cache-size",
+        type=int,
+        default=0,
+        help="add a QHL+cache engine with a skyline-frontier LRU of "
+        "this many pairs to the race (0 = off)",
+    )
+    p_bench.add_argument(
+        "--batch",
+        action="store_true",
+        help="execute each query set through the batch API "
+        "(cache-friendly sorted order instead of file order)",
+    )
+    p_bench.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="with --batch, fan each query set out across this many "
+        "worker processes (0 = in-process)",
     )
     p_bench.set_defaults(func=_cmd_bench)
 

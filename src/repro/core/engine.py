@@ -82,6 +82,7 @@ class QHLIndex:
         store_paths: bool = True,
         max_skyline: int | None = None,
         seed: int = 0,
+        label_workers: int = 1,
     ) -> "QHLIndex":
         """Build the full index.
 
@@ -99,6 +100,10 @@ class QHLIndex:
         seed:
             Seed for query sampling and Algorithm 7's random pruner
             choice.
+        label_workers:
+            ``>= 2`` builds the labels level-parallel across a process
+            pool (:mod:`repro.labeling.parallel`); the index is
+            value-identical to a sequential build.
         """
         tracer = get_tracer()
         with tracer.span("qhl.build") as root:
@@ -111,7 +116,10 @@ class QHLIndex:
                 )
             with tracer.span("label-construction"):
                 labels = build_labels(
-                    tree, store_paths=store_paths, max_skyline=max_skyline
+                    tree,
+                    store_paths=store_paths,
+                    max_skyline=max_skyline,
+                    workers=label_workers,
                 )
             with tracer.span("lca-index"):
                 lca = LCAIndex(tree)
@@ -153,6 +161,51 @@ class QHLIndex:
     def csp2hop_engine(self) -> CSP2HopEngine:
         """The CSP-2Hop baseline over the same labels."""
         return CSP2HopEngine(self.tree, self.labels, self.lca)
+
+    def cached_engine(self, cache_size: int = 1024):
+        """A :class:`~repro.perf.cached_engine.CachedQHLEngine`.
+
+        Repeated-pair workloads answer from a cached skyline frontier
+        in ``O(log k)``; exact for every budget (``docs/performance.md``
+        has the argument).
+        """
+        from repro.perf.cached_engine import CachedQHLEngine
+
+        return CachedQHLEngine(
+            self.tree, self.labels, self.lca, cache=cache_size
+        )
+
+    def query_many(
+        self,
+        queries: Sequence,
+        want_path: bool = False,
+        deadline_ms: float | None = None,
+        batch_deadline_ms: float | None = None,
+        workers: int = 0,
+        cache_size: int = 0,
+    ):
+        """Batched queries over this index (cache-friendly order).
+
+        ``cache_size > 0`` routes the batch through a fresh
+        :meth:`cached_engine`; ``workers >= 2`` fans it out across a
+        process pool.  Returns a :class:`~repro.perf.batch.BatchReport`
+        with results in input order.
+        """
+        from repro.perf.batch import execute_batch
+
+        engine = (
+            self.cached_engine(cache_size)
+            if cache_size > 0
+            else self._default_engine
+        )
+        return execute_batch(
+            engine,
+            queries,
+            want_path=want_path,
+            deadline_ms=deadline_ms,
+            batch_deadline_ms=batch_deadline_ms,
+            workers=workers,
+        )
 
     def query(
         self,
@@ -220,10 +273,23 @@ def random_index_queries(
 
     Budgets are irrelevant to condition *construction* (conditions store
     the largest valid θ), so a placeholder budget of 0 is used.
+
+    RNG contract: the result is a pure function of
+    ``(network.num_vertices, count, seed)`` — a private
+    ``random.Random(seed)`` drives the sampling, so the global
+    :mod:`random` state is neither read nor advanced, and equal seeds
+    yield equal query lists across runs and platforms.
+
+    Every query has ``s != t``: a pruning condition describes how one
+    *distinct* endpoint's position shrinks a separator, so a degenerate
+    ``s == t`` pair carries no information and would only dilute
+    ``Q_index``.  Pairs violating this are rejected and redrawn.
     """
     rng = random.Random(seed)
     queries = []
     for _ in range(count):
         s, t = sample_connected_pair(network, rng)
+        while s == t:  # reject degenerate pairs; redraw from the same RNG
+            s, t = sample_connected_pair(network, rng)
         queries.append(CSPQuery(s, t, 0))
     return queries

@@ -120,6 +120,123 @@ class QHLEngine:
         return result
 
     # ------------------------------------------------------------------
+    def query_many(
+        self,
+        queries,
+        want_path: bool = False,
+        deadline: "Deadline | None" = None,
+    ) -> list[QueryResult]:
+        """Answer a batch of queries, sharing per-pair initialisation.
+
+        The batch is executed in cache-friendly order (sorted by
+        normalised pair, see :func:`repro.perf.batch.
+        sorted_batch_order`) and consecutive queries on the same
+        ``(s, t)`` pair share one LCA lookup, one separator
+        initialisation, and one :class:`~repro.core.separators.
+        LabelFetcher` — only the budget-dependent steps (condition
+        pruning, hoplink selection, concatenation) run per query.
+        Results come back in the *input* order, each carrying the same
+        answer (``weight``/``cost``/``path``) as a standalone
+        :meth:`query`; only the operation counters differ on repeated
+        pairs (shared label lookups are counted once).  ``deadline``
+        (shared across the batch) is checked per query and inside each
+        hoplink loop.
+        """
+        from repro.perf.batch import sorted_batch_order
+
+        results: list[QueryResult | None] = [None] * len(queries)
+        shared_key: tuple[int, int] | None = None
+        shared: tuple | None = None
+        for i in sorted_batch_order(queries):
+            s, t, budget = queries[i]
+            query = CSPQuery(s, t, budget).validated(
+                self._tree.num_vertices
+            )
+            stats = QueryStats()
+            started = time.perf_counter()
+            if deadline is not None:
+                deadline.check(stats)
+            if s == t:
+                result = QueryResult(
+                    query, weight=0, cost=0,
+                    path=[s] if want_path else None,
+                )
+            else:
+                if shared_key != (s, t):
+                    shared_key = (s, t)
+                    shared = self._pair_context(s, t)
+                result = self._answer_with_context(
+                    query, stats, want_path, shared, deadline
+                )
+            stats.seconds = time.perf_counter() - started
+            result.stats = stats
+            results[i] = result
+        registry = get_registry()
+        if registry.enabled:
+            for result in results:
+                observe_query(registry, self.name, result.stats)
+        return results
+
+    def _pair_context(self, s: int, t: int) -> tuple:
+        """The budget-independent query state shared across a pair."""
+        lca_v, s_is_anc, t_is_anc = self._lca.relation(s, t)
+        if s_is_anc or t_is_anc:
+            return (True, None, None, None)
+        c_s, h_s, c_t, h_t = initial_separators(self._tree, lca_v, s, t)
+        fetcher = LabelFetcher(self._labels, s, t)
+        return (False, ((c_s, h_s), (c_t, h_t)), fetcher, None)
+
+    def _answer_with_context(
+        self,
+        query: CSPQuery,
+        stats: QueryStats,
+        want_path: bool,
+        shared: tuple,
+        deadline: "Deadline | None",
+    ) -> QueryResult:
+        """The budget-dependent tail of :meth:`_answer`.
+
+        Mirrors ``_answer`` exactly from the candidate-pruning step on;
+        the ancestor fast path re-reads the label per query (it is one
+        dict lookup — nothing worth sharing).
+        """
+        s, t, budget = query
+        is_ancestor, initial, fetcher, _ = shared
+        if is_ancestor:
+            entries = self._labels.get(s, t)
+            stats.label_lookups += 1
+            best = best_under(entries, budget)
+            return self._finish(query, best, s, t, want_path)
+
+        candidates = self._candidate_separators(initial, s, t, budget)
+        stats.candidates = len(candidates)
+        lookups_before = fetcher.lookups
+        hoplinks = min(
+            candidates, key=lambda h: estimated_cost(fetcher, h)
+        )
+        stats.hoplinks = len(hoplinks)
+        concat = (
+            concat_best_under if self.use_two_pointer else concat_cartesian
+        )
+        best: Entry | None = None
+        best_hop = -1
+        for h in hoplinks:
+            if deadline is not None:
+                deadline.check(stats)
+            p_sh = fetcher.from_s(h)
+            p_ht = fetcher.from_t(h)
+            prune = (best[0], best[1]) if best is not None else None
+            found, inspected = concat(p_sh, p_ht, budget, prune=prune)
+            stats.concatenations += inspected
+            if found is not None:
+                best = found
+                best_hop = h
+        stats.label_lookups += fetcher.lookups - lookups_before
+        if best is not None:
+            best = rejoin_with_mid(best, best_hop)
+        return self._finish(query, best, s, t, want_path)
+
+    # ------------------------------------------------------------------
     def _answer(
         self,
         query: CSPQuery,

@@ -145,6 +145,8 @@ def run_workload(
     workload_name: str = "",
     deadline_ms: float | None = None,
     batch_deadline_ms: float | None = None,
+    batch: bool = False,
+    workers: int = 0,
 ) -> WorkloadReport:
     """Run every query through the engine and aggregate the statistics.
 
@@ -160,7 +162,18 @@ def run_workload(
     expires are skipped and counted in ``WorkloadReport.skipped``.
     Deadline arguments require an engine whose ``query`` accepts a
     ``deadline`` keyword (every engine in this package does).
+
+    ``batch=True`` executes through the batch API
+    (:func:`repro.perf.batch.execute_batch`): queries run in
+    cache-friendly sorted order (``workers >= 2`` fans them out over a
+    process pool) and per-query latency is the engine-measured
+    ``stats.seconds`` rather than harness wall-clock.
     """
+    if batch:
+        return _run_workload_batched(
+            engine, queries, workload_name,
+            deadline_ms, batch_deadline_ms, workers,
+        )
     latency = Histogram(
         "qhl_workload_query_seconds",
         labels={"engine": engine.name, "workload": workload_name},
@@ -243,4 +256,70 @@ def run_workload(
         failed=failed,
         failures=failures,
         skipped=skipped,
+    )
+
+
+def _run_workload_batched(
+    engine: QueryEngine,
+    queries: Iterable[CSPQuery],
+    workload_name: str,
+    deadline_ms: float | None,
+    batch_deadline_ms: float | None,
+    workers: int,
+) -> WorkloadReport:
+    """The ``batch=True`` body of :func:`run_workload`."""
+    from repro.perf.batch import execute_batch
+
+    query_list = list(queries)
+    latency = Histogram(
+        "qhl_workload_query_seconds",
+        labels={"engine": engine.name, "workload": workload_name},
+        help="per-query latency measured by the workload harness",
+    )
+    registry = get_registry()
+    if registry.enabled:
+        registry.attach(latency)
+    batch_report = execute_batch(
+        engine,
+        query_list,
+        deadline_ms=deadline_ms,
+        batch_deadline_ms=batch_deadline_ms,
+        workers=workers,
+    )
+    total = 0.0
+    hoplinks = 0
+    concatenations = 0
+    lookups = 0
+    feasible = 0
+    count = 0
+    for result in batch_report.results:
+        if result is None:
+            continue
+        count += 1
+        total += result.stats.seconds
+        latency.observe(result.stats.seconds)
+        hoplinks += result.stats.hoplinks
+        concatenations += result.stats.concatenations
+        lookups += result.stats.label_lookups
+        if result.feasible:
+            feasible += 1
+    failures = [
+        QueryFailure(f.index, f.query, f.error, f.message)
+        for f in batch_report.failures
+    ]
+    count += len(failures)  # failed queries still count as attempted
+    divisor = max(1, count)
+    return WorkloadReport(
+        engine=engine.name,
+        workload=workload_name,
+        num_queries=count,
+        total_seconds=total,
+        avg_hoplinks=hoplinks / divisor,
+        avg_concatenations=concatenations / divisor,
+        avg_label_lookups=lookups / divisor,
+        feasible=feasible,
+        latency=latency,
+        failed=len(failures),
+        failures=failures,
+        skipped=batch_report.skipped,
     )

@@ -13,6 +13,11 @@ eliminated after ``v`` — the prefix is dominated by a member of
 member of ``P(w, u)``.  Both ``w`` and ``u`` are ancestors of ``X(v)``,
 hence chain-comparable, so the needed ``P(w, u)`` was computed earlier in
 the top-down sweep and is found by the store's symmetric lookup.
+
+The per-vertex kernel lives in
+:func:`repro.labeling.parallel.label_rows_for`, shared with the
+level-parallel builder (``workers >= 2``) so the sequential and
+parallel paths cannot drift.
 """
 
 from __future__ import annotations
@@ -23,13 +28,13 @@ from repro.hierarchy.tree import TreeDecomposition
 from repro.labeling.labels import LabelStore
 from repro.observability.metrics import get_registry
 from repro.observability.tracing import get_tracer
-from repro.skyline.set_ops import join, merge, truncate
 
 
 def build_labels(
     tree: TreeDecomposition,
     store_paths: bool = True,
     max_skyline: int | None = None,
+    workers: int = 1,
 ) -> LabelStore:
     """Build the full 2-hop skyline labels from a tree decomposition.
 
@@ -44,12 +49,31 @@ def build_labels(
     max_skyline:
         Optional cap on label skyline-set sizes (approximation knob;
         ``None`` = exact).
+    workers:
+        ``>= 2`` builds each tree-depth level across a process pool
+        (:func:`repro.labeling.parallel.build_labels_parallel`); the
+        result is value-identical to the sequential build.  ``1``
+        (default) keeps the sequential top-down sweep.
 
     Returns
     -------
     LabelStore
         Labels for every vertex, with ``build_seconds`` filled in.
     """
+    from repro.labeling.parallel import (
+        build_labels_parallel,
+        fork_available,
+        label_rows_for,
+    )
+
+    if workers >= 2 and fork_available():
+        return build_labels_parallel(
+            tree,
+            store_paths=store_paths,
+            max_skyline=max_skyline,
+            workers=workers,
+        )
+
     started = time.perf_counter()
     store = LabelStore(tree.num_vertices, store_paths=store_paths)
     registry = get_registry()
@@ -65,20 +89,9 @@ def build_labels(
             if v == tree.root:
                 continue
             vertex_started = time.perf_counter() if observed else 0.0
-            hubs = tree.bag[v]  # X(v)\{v}, all ancestors of X(v)
-            shortcuts_v = tree.shortcuts[v]
-            for u in tree.ancestors(v):
-                acc = []
-                for w in hubs:
-                    s_vw = shortcuts_v[w]
-                    if w == u:
-                        part = s_vw
-                    else:
-                        part = join(s_vw, store.get(w, u), mid=w)
-                        joins += 1
-                    acc = merge(acc, part) if acc else list(part)
-                if max_skyline is not None:
-                    acc = truncate(acc, max_skyline)
+            rows, vertex_joins = label_rows_for(tree, store, v, max_skyline)
+            joins += vertex_joins
+            for u, acc in rows:
                 store.set(v, u, acc)
             if observed:
                 vertex_seconds.observe(time.perf_counter() - vertex_started)

@@ -1,0 +1,182 @@
+"""Level-parallel label construction.
+
+The sequential top-down sweep (:func:`repro.labeling.builder.
+build_labels`) computes, per vertex ``v`` and ancestor ``u``::
+
+    P(v, u) = skyline(  ⋃_{w ∈ X(v)\\{v}}  S(v, w) ⊗ P(w, u)  )
+
+Every ``w ∈ X(v)\\{v}`` is a *strict ancestor* of ``v`` in the tree, so
+``P(v, ·)`` depends only on labels of strictly shallower vertices —
+which makes each tree-decomposition **depth level an independent
+batch** (the partition the hierarchical-cut-labelling line of work
+parallelises over).  This module builds each level across a process
+pool and merges the per-vertex label rows back in deterministic
+top-down order, so the resulting store is *value-identical* to the
+sequential build: identical ``(weight, cost)`` sequences for every
+``(v, u)`` pair, identical compact serialisation bytes
+(:func:`repro.storage.compact.pack_labels`), identical query answers
+and expanded paths.  (Object *identity* differs — entries that cross a
+process boundary come back as copies — which is why "byte-identical"
+is asserted on the canonical compact form, not on pickle output.)
+
+Workers are forked, so they inherit the tree and the partially built
+store by memory snapshot instead of pickling them; one fresh pool per
+level keeps each snapshot current.  Platforms without the ``fork``
+start method (or ``workers <= 1``) fall back to the sequential sweep.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+
+from repro.hierarchy.tree import TreeDecomposition
+from repro.labeling.labels import LabelStore
+from repro.observability.metrics import get_registry
+from repro.observability.tracing import get_tracer
+from repro.skyline.set_ops import SkylineSet, join, merge, truncate
+
+#: Levels smaller than this are built inline — forking a pool costs
+#: more than computing a handful of vertices.
+MIN_PARALLEL_LEVEL = 8
+
+# Worker-side state, inherited by fork (set immediately before each
+# level's pool is created, read-only in the children).
+_TREE: TreeDecomposition | None = None
+_STORE: LabelStore | None = None
+_MAX_SKYLINE: int | None = None
+
+
+def label_rows_for(
+    tree: TreeDecomposition,
+    store: LabelStore,
+    v: int,
+    max_skyline: int | None,
+) -> tuple[list[tuple[int, SkylineSet]], int]:
+    """The complete label of ``v``: ``([(u, P(v, u))], joins)``.
+
+    Pure function of the tree and the labels of ``v``'s strict
+    ancestors; the single per-vertex kernel shared by the sequential
+    and parallel builders, so the two cannot drift.  ``joins`` counts
+    the skyline joins performed (the build-cost unit the sequential
+    builder reports).
+    """
+    hubs = tree.bag[v]  # X(v)\{v}, all ancestors of X(v)
+    shortcuts_v = tree.shortcuts[v]
+    rows: list[tuple[int, SkylineSet]] = []
+    joins = 0
+    for u in tree.ancestors(v):
+        acc: SkylineSet = []
+        for w in hubs:
+            s_vw = shortcuts_v[w]
+            if w == u:
+                part = s_vw
+            else:
+                part = join(s_vw, store.get(w, u), mid=w)
+                joins += 1
+            acc = merge(acc, part) if acc else list(part)
+        if max_skyline is not None:
+            acc = truncate(acc, max_skyline)
+        rows.append((u, acc))
+    return rows, joins
+
+
+def _build_vertex(v: int) -> tuple[int, list[tuple[int, SkylineSet]]]:
+    """Worker task: one vertex's label rows from the forked snapshot."""
+    rows, _joins = label_rows_for(_TREE, _STORE, v, _MAX_SKYLINE)
+    return v, rows
+
+
+def depth_levels(tree: TreeDecomposition) -> list[list[int]]:
+    """Tree vertices grouped by depth, root level first.
+
+    Within a level, vertices keep their top-down-order positions, so
+    the merge order is deterministic.
+    """
+    levels: dict[int, list[int]] = {}
+    for v in tree.topdown_order:
+        levels.setdefault(tree.depth[v], []).append(v)
+    return [levels[d] for d in sorted(levels)]
+
+
+def fork_available() -> bool:
+    """Whether the ``fork`` start method exists on this platform."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def build_labels_parallel(
+    tree: TreeDecomposition,
+    store_paths: bool = True,
+    max_skyline: int | None = None,
+    workers: int = 2,
+) -> LabelStore:
+    """Parallel :func:`~repro.labeling.builder.build_labels`.
+
+    Value-identical to the sequential build (see the module docstring
+    for exactly what "identical" means).  ``workers`` caps the process
+    pool; levels smaller than :data:`MIN_PARALLEL_LEVEL` are built
+    inline.
+    """
+    global _TREE, _STORE, _MAX_SKYLINE
+    if workers < 2 or not fork_available():
+        from repro.labeling.builder import build_labels
+
+        return build_labels(
+            tree, store_paths=store_paths, max_skyline=max_skyline
+        )
+
+    started = time.perf_counter()
+    store = LabelStore(tree.num_vertices, store_paths=store_paths)
+    registry = get_registry()
+    levels = depth_levels(tree)
+    parallel_vertices = 0
+    context = multiprocessing.get_context("fork")
+
+    with get_tracer().span("labels.parallel-sweep") as span:
+        for level in levels:
+            level = [v for v in level if v != tree.root]
+            if not level:
+                continue
+            if len(level) < MIN_PARALLEL_LEVEL:
+                for v in level:
+                    rows, _joins = label_rows_for(
+                        tree, store, v, max_skyline
+                    )
+                    for u, acc in rows:
+                        store.set(v, u, acc)
+                continue
+            # Fork a fresh pool so the children see the store as built
+            # up to (and excluding) this level.
+            _TREE, _STORE, _MAX_SKYLINE = tree, store, max_skyline
+            try:
+                with context.Pool(processes=workers) as pool:
+                    chunksize = max(1, len(level) // (workers * 4))
+                    for v, rows in pool.map(
+                        _build_vertex, level, chunksize=chunksize
+                    ):
+                        for u, acc in rows:
+                            store.set(v, u, acc)
+            finally:
+                _TREE = _STORE = _MAX_SKYLINE = None
+            parallel_vertices += len(level)
+        span.set("vertices", tree.num_vertices)
+        span.set("levels", len(levels))
+        span.set("parallel_vertices", parallel_vertices)
+        span.set("workers", workers)
+
+    store.build_seconds = time.perf_counter() - started
+    if registry.enabled:
+        registry.gauge("qhl_label_build_seconds").set(store.build_seconds)
+        registry.gauge(
+            "qhl_label_build_workers",
+            help="process-pool size of the last label build",
+        ).set(workers)
+        registry.gauge(
+            "qhl_label_build_levels",
+            help="depth levels (independent batches) in the last build",
+        ).set(len(levels))
+        registry.gauge(
+            "qhl_label_build_parallel_vertices",
+            help="vertices whose labels were built in worker processes",
+        ).set(parallel_vertices)
+    return store

@@ -1,0 +1,283 @@
+"""Batched query execution.
+
+One batch API for every engine in the package:
+
+* :func:`sorted_batch_order` — the execution order that maximises
+  skyline-cache reuse: queries sorted by normalised ``(s, t)`` pair
+  (then budget), so repeated pairs run back-to-back and a cached
+  frontier is hot when its siblings arrive.
+* :func:`execute_batch` — run a workload through an engine, tolerant
+  of per-query failures, honouring per-query and per-batch deadlines
+  (the PR-2 checkpoints are preserved: the batch deadline is checked
+  between queries and threaded *into* each engine call), optionally
+  fanned out across a ``concurrent.futures`` process pool with a
+  per-worker engine handle.
+
+The pool uses the ``fork`` start method so workers inherit the engine
+(index included) without pickling its deep provenance structures; on
+platforms without ``fork`` the batch silently runs sequentially.
+Results always come back in the *input* order, bit-identical to a
+sequential run (each query's answer is independent of batch order).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.exceptions import ReproError
+from repro.observability.metrics import get_registry
+from repro.perf.cache import normalize_pair
+from repro.types import CSPQuery, QueryResult
+
+QueryLike = CSPQuery | tuple[int, int, float]
+
+
+@dataclass(frozen=True)
+class BatchFailure:
+    """One batch query that raised instead of answering."""
+
+    index: int
+    query: CSPQuery
+    error: str
+    message: str
+
+
+@dataclass
+class BatchReport:
+    """Outcome of one :func:`execute_batch` run.
+
+    ``results[i]`` answers ``queries[i]``; it is ``None`` when that
+    query failed (see ``failures``) or was skipped because the batch
+    deadline expired first.
+    """
+
+    results: list[QueryResult | None]
+    failures: list[BatchFailure] = field(default_factory=list)
+    skipped: int = 0
+
+    @property
+    def answered(self) -> int:
+        """Queries that produced a result."""
+        return sum(1 for r in self.results if r is not None)
+
+    @property
+    def failed(self) -> int:
+        return len(self.failures)
+
+
+def sorted_batch_order(queries: Sequence[QueryLike]) -> list[int]:
+    """Indices of ``queries`` in cache-friendly execution order.
+
+    Sorted by normalised pair, then budget, then input position — so
+    identical pairs are adjacent (one frontier computation serves the
+    whole run) and the order is deterministic.
+    """
+    return sorted(
+        range(len(queries)),
+        key=lambda i: (
+            normalize_pair(queries[i][0], queries[i][1]),
+            queries[i][2],
+            i,
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Sequential execution
+# ----------------------------------------------------------------------
+def _run_indices(
+    engine,
+    queries: Sequence[QueryLike],
+    indices: Sequence[int],
+    want_path: bool,
+    deadline_ms: float | None,
+    batch_deadline,
+) -> BatchReport:
+    """Run the given queries in the given order, collecting failures."""
+    results: list[QueryResult | None] = [None] * len(queries)
+    failures: list[BatchFailure] = []
+    skipped = 0
+    for i in indices:
+        if batch_deadline is not None and batch_deadline.expired():
+            skipped += 1
+            continue
+        deadline = _fresh_deadline(deadline_ms, batch_deadline)
+        s, t, c = queries[i]
+        try:
+            results[i] = engine.query(
+                s, t, c, want_path=want_path, deadline=deadline
+            )
+        except ReproError as exc:
+            failures.append(
+                BatchFailure(
+                    i, CSPQuery(s, t, c), type(exc).__name__, str(exc)
+                )
+            )
+    return BatchReport(results=results, failures=failures, skipped=skipped)
+
+
+def _fresh_deadline(deadline_ms: float | None, batch_deadline):
+    """Per-query deadline: its own budget, else the shared batch one."""
+    if deadline_ms is not None:
+        from repro.service.deadline import Deadline
+
+        return Deadline.from_ms(deadline_ms)
+    return batch_deadline
+
+
+# ----------------------------------------------------------------------
+# Process-pool execution
+# ----------------------------------------------------------------------
+_WORKER_ENGINE = None
+
+
+def _init_worker(engine) -> None:
+    """Pool initializer: pin this worker's private engine handle."""
+    global _WORKER_ENGINE
+    _WORKER_ENGINE = engine
+
+
+def _run_chunk(payload):
+    """Run one contiguous chunk of the sorted order in a worker.
+
+    The payload carries plain triples (never entries), so only small
+    tuples cross the process boundary; the engine came in via fork.
+    """
+    indices, triples, want_path, deadline_ms = payload
+    out = []
+    for i, (s, t, c) in zip(indices, triples):
+        deadline = _fresh_deadline(deadline_ms, None)
+        try:
+            result = _WORKER_ENGINE.query(
+                s, t, c, want_path=want_path, deadline=deadline
+            )
+        except ReproError as exc:
+            out.append((i, None, (type(exc).__name__, str(exc))))
+        else:
+            out.append((i, result, None))
+    return out
+
+
+def _fork_context():
+    """The ``fork`` multiprocessing context, or ``None`` if unsupported."""
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return None
+    return multiprocessing.get_context("fork")
+
+
+# ----------------------------------------------------------------------
+def execute_batch(
+    engine,
+    queries: Sequence[QueryLike],
+    want_path: bool = False,
+    deadline_ms: float | None = None,
+    batch_deadline_ms: float | None = None,
+    workers: int = 0,
+) -> BatchReport:
+    """Run a whole workload through ``engine``.
+
+    Parameters
+    ----------
+    engine:
+        Anything with ``query(s, t, C, want_path=..., deadline=...)``.
+        A :class:`~repro.perf.cached_engine.CachedQHLEngine` benefits
+        most (the sorted order maximises its frontier reuse), but any
+        engine gains the failure tolerance and deadline handling.
+    queries:
+        ``CSPQuery`` instances or plain ``(s, t, C)`` triples.
+    deadline_ms:
+        Per-query time budget; an over-budget query lands in
+        ``failures`` and the batch continues.
+    batch_deadline_ms:
+        Shared budget for the whole batch; once it expires the
+        remaining queries are counted in ``skipped``.  Incompatible
+        with ``workers`` (a wall-clock budget cannot be shared across
+        processes) — raises :class:`ValueError` if both are given.
+    workers:
+        ``0``/``1`` runs sequentially.  ``>= 2`` fans the sorted order
+        out over a process pool: contiguous chunks of the sorted order
+        (so repeated pairs stay on one worker's cache) run on
+        per-worker engine handles inherited by fork.  Platforms
+        without the ``fork`` start method fall back to sequential.
+    """
+    if workers >= 2 and batch_deadline_ms is not None:
+        raise ValueError(
+            "batch_deadline_ms cannot be combined with workers: a "
+            "shared wall-clock budget does not cross process boundaries"
+        )
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter(
+            "qhl_batch_queries_total",
+            {"engine": getattr(engine, "name", "?")},
+            help="queries submitted through the batch API",
+        ).inc(len(queries))
+    order = sorted_batch_order(queries)
+    batch_deadline = None
+    if batch_deadline_ms is not None:
+        from repro.service.deadline import Deadline
+
+        batch_deadline = Deadline.from_ms(batch_deadline_ms)
+
+    context = _fork_context() if workers >= 2 else None
+    if context is None:
+        if registry.enabled:
+            registry.gauge(
+                "qhl_batch_workers",
+                help="process-pool size of the last batch run",
+            ).set(1)
+        return _run_indices(
+            engine, queries, order, want_path, deadline_ms, batch_deadline
+        )
+
+    if registry.enabled:
+        registry.gauge(
+            "qhl_batch_workers",
+            help="process-pool size of the last batch run",
+        ).set(workers)
+    chunks = _contiguous_chunks(order, workers)
+    results: list[QueryResult | None] = [None] * len(queries)
+    failures: list[BatchFailure] = []
+    with concurrent.futures.ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=context,
+        initializer=_init_worker,
+        initargs=(engine,),
+    ) as pool:
+        payloads = [
+            (
+                chunk,
+                [tuple(queries[i])[:3] for i in chunk],
+                want_path,
+                deadline_ms,
+            )
+            for chunk in chunks
+        ]
+        for chunk_out in pool.map(_run_chunk, payloads):
+            for i, result, failure in chunk_out:
+                if failure is not None:
+                    s, t, c = tuple(queries[i])[:3]
+                    failures.append(
+                        BatchFailure(i, CSPQuery(s, t, c), *failure)
+                    )
+                else:
+                    results[i] = result
+    failures.sort(key=lambda f: f.index)
+    return BatchReport(results=results, failures=failures)
+
+
+def _contiguous_chunks(order: list[int], workers: int) -> list[list[int]]:
+    """Split the sorted order into at most ``workers`` contiguous runs.
+
+    Contiguity matters: the order groups repeated pairs, so keeping
+    runs intact keeps each pair's frontier on a single worker.
+    """
+    if not order:
+        return []
+    chunk_size = max(1, (len(order) + workers - 1) // workers)
+    return [
+        order[i:i + chunk_size] for i in range(0, len(order), chunk_size)
+    ]

@@ -1,0 +1,156 @@
+"""The constraint-monotone skyline query cache.
+
+The key observation (Liu et al.'s FHL line of work exploits the same
+reuse): QHL re-derives the per-hoplink sets ``P_sh`` / ``P_ht`` for
+every ``(s, t, C)`` query, yet the *full* s-t skyline frontier answers
+every constraint value ``C`` for that pair at once.  On a canonical
+frontier (cost-sorted, weight-decreasing, dominance-free) the optimum
+for any budget ``C`` is the last entry with ``cost <= C`` — a binary
+search, zero label work.  Exactness follows from the skyline dominance
+invariant: every feasible s-t path is dominated by a frontier member,
+so the lowest-weight frontier entry within budget *is* the CSP optimum
+(see ``docs/performance.md`` for the full argument).
+
+:class:`SkylineCache` is the storage half: an LRU over normalised
+``(s, t)`` pairs (the network is undirected, so ``P_st = P_ts`` and
+both orientations share one slot).  The compute half lives in
+:class:`repro.perf.cached_engine.CachedQHLEngine`.
+
+Hit/miss/eviction counters mirror into the PR-1 metrics registry when
+one is live (``qhl_cache_{hits,misses,evictions}_total`` and the
+``qhl_cache_entries`` gauge); the local integer counters are always
+maintained so tests and reports work without a registry.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.observability.metrics import get_registry
+from repro.skyline.set_ops import SkylineSet
+
+PairKey = tuple[int, int]
+
+
+def normalize_pair(s: int, t: int) -> PairKey:
+    """The cache key for an unordered vertex pair.
+
+    The network is undirected, so ``(s, t)`` and ``(t, s)`` map to the
+    same frontier; the smaller vertex id goes first.
+    """
+    return (s, t) if s <= t else (t, s)
+
+
+@dataclass
+class CacheStats:
+    """Point-in-time counters of one :class:`SkylineCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    entries: int = 0
+    capacity: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 when the cache was never consulted)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+
+class SkylineCache:
+    """LRU cache of full s-t skyline frontiers, keyed by vertex pair.
+
+    Values are canonical skyline sets and are treated as immutable:
+    callers must never mutate a frontier they ``get`` back, because the
+    same list object is handed to every hit (and may alias a label set
+    for ancestor-descendant pairs).
+    """
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[PairKey, SkylineSet] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: PairKey) -> bool:
+        return key in self._entries
+
+    # ------------------------------------------------------------------
+    def get(self, s: int, t: int) -> SkylineSet | None:
+        """The cached frontier for the pair, or ``None`` on a miss.
+
+        A hit refreshes the pair's LRU position.
+        """
+        key = normalize_pair(s, t)
+        frontier = self._entries.get(key)
+        registry = get_registry()
+        if frontier is None:
+            self.misses += 1
+            if registry.enabled:
+                registry.counter(
+                    "qhl_cache_misses_total",
+                    help="skyline cache lookups that missed",
+                ).inc()
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        if registry.enabled:
+            registry.counter(
+                "qhl_cache_hits_total",
+                help="skyline cache lookups answered from the cache",
+            ).inc()
+        return frontier
+
+    def put(self, s: int, t: int, frontier: SkylineSet) -> None:
+        """Store the frontier, evicting the LRU pair when full."""
+        key = normalize_pair(s, t)
+        registry = get_registry()
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = frontier
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            if registry.enabled:
+                registry.counter(
+                    "qhl_cache_evictions_total",
+                    help="skyline cache LRU evictions",
+                ).inc()
+        if registry.enabled:
+            registry.gauge(
+                "qhl_cache_entries",
+                help="skyline frontiers currently cached",
+            ).set(len(self._entries))
+
+    def clear(self) -> None:
+        """Drop every cached frontier (counters are kept)."""
+        self._entries.clear()
+        registry = get_registry()
+        if registry.enabled:
+            registry.gauge("qhl_cache_entries").set(0)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> CacheStats:
+        """A snapshot of the hit/miss/eviction counters."""
+        return CacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            entries=len(self._entries),
+            capacity=self.capacity,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SkylineCache({len(self._entries)}/{self.capacity}, "
+            f"hits={self.hits}, misses={self.misses}, "
+            f"evictions={self.evictions})"
+        )

@@ -75,6 +75,9 @@ class ServiceConfig:
     load_attempts: int = 3
     #: Verify the SHA-256 payload checksum when loading an index.
     verify_checksum: bool = True
+    #: Skyline-frontier cache capacity for the QHL tier (pairs);
+    #: ``0`` disables caching and keeps the plain QHL engine.
+    cache_size: int = 0
 
 
 class _Tier:
@@ -172,7 +175,11 @@ class QueryService:
         for name in self.config.tiers:
             if name == "QHL":
                 if self.index is not None:
-                    engines.append(self.index.qhl_engine())
+                    engines.append(
+                        self.index.cached_engine(self.config.cache_size)
+                        if self.config.cache_size > 0
+                        else self.index.qhl_engine()
+                    )
             elif name == "CSP-2Hop":
                 if self.index is not None:
                     engines.append(self.index.csp2hop_engine())
@@ -308,6 +315,67 @@ class QueryService:
             f"no tier could answer query ({source}, {target}, {budget}); "
             f"tried {', '.join(self.tiers)}; last error: {last_error}",
             last_error=last_error,
+        )
+
+    # ------------------------------------------------------------------
+    def query_batch(
+        self,
+        queries: Sequence,
+        want_path: bool = False,
+        deadline_ms: float | None = None,
+        batch_deadline_ms: float | None = None,
+    ):
+        """Answer a whole workload through the ladder.
+
+        Queries run in cache-friendly order (sorted by normalised
+        ``(s, t)`` pair, so a cache-enabled QHL tier answers repeated
+        pairs from one frontier) but results come back in *input*
+        order, in a :class:`~repro.perf.batch.BatchReport`.
+
+        The PR-2 deadline checkpoints are preserved inside the batch
+        loop: ``deadline_ms`` arms a fresh per-query deadline,
+        ``batch_deadline_ms`` arms one shared deadline — it is checked
+        between queries (remaining queries land in ``skipped``) and
+        threaded into every engine, so a single slow query cannot
+        overrun the batch budget unchecked.  Per-query failures —
+        including deadline expiries and a fully failed ladder — become
+        :class:`~repro.perf.batch.BatchFailure` rows instead of
+        aborting the batch.
+        """
+        from repro.perf.batch import BatchFailure, BatchReport
+        from repro.perf.batch import sorted_batch_order
+
+        batch_deadline = (
+            Deadline.from_ms(batch_deadline_ms, clock=self._deadline_clock())
+            if batch_deadline_ms is not None
+            else None
+        )
+        results: list[QueryResult | None] = [None] * len(queries)
+        failures: list[BatchFailure] = []
+        skipped = 0
+        for i in sorted_batch_order(queries):
+            if batch_deadline is not None and batch_deadline.expired():
+                skipped += 1
+                continue
+            s, t, c = queries[i]
+            per_query = (
+                Deadline.from_ms(deadline_ms, clock=self._deadline_clock())
+                if deadline_ms is not None
+                else batch_deadline
+            )
+            try:
+                results[i] = self.query(
+                    s, t, c, want_path=want_path, deadline=per_query
+                )
+            except ReproError as exc:
+                failures.append(
+                    BatchFailure(
+                        i, CSPQuery(s, t, c), type(exc).__name__, str(exc)
+                    )
+                )
+        failures.sort(key=lambda f: f.index)
+        return BatchReport(
+            results=results, failures=failures, skipped=skipped
         )
 
     # ------------------------------------------------------------------

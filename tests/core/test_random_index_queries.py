@@ -1,0 +1,61 @@
+"""Unit tests for ``random_index_queries`` (the Q_index sampler)."""
+
+from __future__ import annotations
+
+import random
+
+import repro.core.engine as engine_mod
+from repro.core.engine import random_index_queries
+from repro.types import CSPQuery
+
+
+class TestRNGContract:
+    def test_pure_function_of_inputs(self, random30):
+        first = random_index_queries(random30, 50, seed=9)
+        second = random_index_queries(random30, 50, seed=9)
+        assert first == second
+
+    def test_different_seeds_differ(self, random30):
+        assert random_index_queries(random30, 50, seed=9) != (
+            random_index_queries(random30, 50, seed=10)
+        )
+
+    def test_global_random_state_untouched(self, random30):
+        """The documented contract: a private Random, not the global one."""
+        random.seed(12345)
+        state_before = random.getstate()
+        random_index_queries(random30, 50, seed=9)
+        assert random.getstate() == state_before
+
+    def test_result_shape(self, random30):
+        queries = random_index_queries(random30, 25, seed=3)
+        assert len(queries) == 25
+        n = random30.num_vertices
+        for query in queries:
+            assert isinstance(query, CSPQuery)
+            assert 0 <= query.source < n
+            assert 0 <= query.target < n
+            assert query.budget == 0  # placeholder, irrelevant to Alg. 6
+
+    def test_zero_count(self, random30):
+        assert random_index_queries(random30, 0, seed=1) == []
+
+
+class TestNoDegeneratePairs:
+    def test_never_source_equals_target(self, random30):
+        for seed in range(10):
+            for query in random_index_queries(random30, 200, seed=seed):
+                assert query.source != query.target
+
+    def test_degenerate_draws_are_redrawn(self, random30, monkeypatch):
+        """A sampler that emits s == t pairs gets redrawn, not recorded."""
+        draws = iter([(4, 4), (4, 4), (4, 7), (2, 2), (5, 1)])
+
+        def fake_sampler(network, rng):
+            return next(draws)
+
+        monkeypatch.setattr(
+            engine_mod, "sample_connected_pair", fake_sampler
+        )
+        queries = random_index_queries(random30, 2, seed=0)
+        assert queries == [CSPQuery(4, 7, 0), CSPQuery(5, 1, 0)]

@@ -1,0 +1,104 @@
+"""Unit tests for the skyline LRU cache mechanics and metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.observability.metrics import MetricsRegistry, use_registry
+from repro.perf import SkylineCache, normalize_pair
+
+
+def frontier(tag: int):
+    """A distinguishable stand-in skyline set."""
+    return [(tag, tag, None)]
+
+
+class TestNormalizePair:
+    def test_orders_endpoints(self):
+        assert normalize_pair(5, 2) == (2, 5)
+        assert normalize_pair(2, 5) == (2, 5)
+        assert normalize_pair(3, 3) == (3, 3)
+
+
+class TestLRUMechanics:
+    def test_get_miss_then_hit(self):
+        cache = SkylineCache(4)
+        assert cache.get(1, 2) is None
+        cache.put(1, 2, frontier(1))
+        assert cache.get(1, 2) == frontier(1)
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_both_orientations_share_one_slot(self):
+        cache = SkylineCache(4)
+        cache.put(7, 3, frontier(1))
+        assert cache.get(3, 7) == frontier(1)
+        assert len(cache) == 1
+
+    def test_eviction_drops_least_recently_used(self):
+        cache = SkylineCache(2)
+        cache.put(0, 1, frontier(1))
+        cache.put(0, 2, frontier(2))
+        cache.get(0, 1)            # refresh (0, 1)
+        cache.put(0, 3, frontier(3))  # evicts (0, 2)
+        assert cache.get(0, 2) is None
+        assert cache.get(0, 1) is not None
+        assert cache.get(0, 3) is not None
+        assert cache.evictions == 1
+        assert len(cache) == 2
+
+    def test_put_refreshes_existing_key(self):
+        cache = SkylineCache(2)
+        cache.put(0, 1, frontier(1))
+        cache.put(0, 2, frontier(2))
+        cache.put(1, 0, frontier(9))   # same pair as (0, 1), refreshed
+        cache.put(0, 3, frontier(3))   # evicts (0, 2), not (0, 1)
+        assert cache.get(0, 1) == frontier(9)
+        assert cache.get(0, 2) is None
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            SkylineCache(0)
+
+    def test_clear_keeps_counters(self):
+        cache = SkylineCache(4)
+        cache.put(0, 1, frontier(1))
+        cache.get(0, 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1
+
+    def test_stats_snapshot(self):
+        cache = SkylineCache(3)
+        cache.put(0, 1, frontier(1))
+        cache.get(0, 1)
+        cache.get(0, 2)
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.entries) == (1, 1, 1)
+        assert stats.capacity == 3
+        assert stats.hit_rate == pytest.approx(0.5)
+
+    def test_hit_rate_without_lookups(self):
+        assert SkylineCache(2).stats().hit_rate == 0.0
+
+
+class TestCacheMetrics:
+    def test_counters_mirror_into_registry(self):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            cache = SkylineCache(1)
+            cache.get(0, 1)                 # miss
+            cache.put(0, 1, frontier(1))
+            cache.get(0, 1)                 # hit
+            cache.put(0, 2, frontier(2))    # evicts (0, 1)
+        assert registry.counter("qhl_cache_misses_total").value == 1
+        assert registry.counter("qhl_cache_hits_total").value == 1
+        assert registry.counter("qhl_cache_evictions_total").value == 1
+        assert registry.gauge("qhl_cache_entries").value == 1
+
+    def test_no_registry_no_crash(self):
+        cache = SkylineCache(1)
+        cache.get(0, 1)
+        cache.put(0, 1, frontier(1))
+        cache.put(0, 2, frontier(2))
+        assert cache.stats().evictions == 1

@@ -1,0 +1,186 @@
+"""Cache exactness invariants.
+
+The skyline cache must be *invisible* in the answers: whatever sequence
+of queries, hits, and evictions happened before, a cached engine's
+``(feasible, weight, cost)`` must equal a cold engine's — and the
+uncached QHL engine's — for every query.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.baselines import skyline_between
+from repro.perf import CachedQHLEngine, SkylineCache
+
+
+def answer(result):
+    """The exactness-relevant projection of a QueryResult."""
+    return (result.feasible, result.weight, result.cost)
+
+
+def make_cached(index, capacity):
+    return CachedQHLEngine(
+        index.tree, index.labels, index.lca, cache=capacity
+    )
+
+
+@pytest.fixture(scope="module")
+def paper_uncached(paper_index):
+    return paper_index.qhl_engine()
+
+
+class TestCachedEqualsCold:
+    def test_eviction_sequence_never_changes_answers(
+        self, paper_network, paper_index, paper_uncached
+    ):
+        """A tiny cache churns through evictions; answers stay exact."""
+        warm = make_cached(paper_index, capacity=2)
+        n = paper_network.num_vertices
+        pairs = [(s, t) for s in range(n) for t in range(s + 1, n)]
+        budgets = (5, 10, 15, 20, 25)
+        # Interleave pairs and budgets so the same pair recurs after
+        # unrelated pairs have evicted its frontier.
+        sequence = [
+            (s, t, c)
+            for c in budgets
+            for (s, t) in pairs[::3] + pairs[1::3] + pairs[::3]
+        ]
+        for s, t, c in sequence:
+            got = warm.query(s, t, c)
+            cold = make_cached(paper_index, capacity=2).query(s, t, c)
+            assert answer(got) == answer(cold), (s, t, c)
+            assert answer(got) == answer(paper_uncached.query(s, t, c)), (
+                s, t, c,
+            )
+        assert warm.cache.evictions > 0, "sequence never exercised eviction"
+
+    def test_hits_match_uncached_on_grid(
+        self, small_grid, small_grid_index
+    ):
+        warm = make_cached(small_grid_index, capacity=64)
+        uncached = small_grid_index.qhl_engine()
+        n = small_grid.num_vertices
+        queries = [
+            (s, (s * 7 + 13) % n, budget)
+            for s in range(0, n, 5)
+            for budget in (50, 120, 250)
+            if s != (s * 7 + 13) % n
+        ]
+        for _ in range(2):  # second pass runs entirely on cache hits
+            for s, t, c in queries:
+                assert answer(warm.query(s, t, c)) == answer(
+                    uncached.query(s, t, c)
+                ), (s, t, c)
+        assert warm.cache.hits > 0
+
+
+class TestConstraintSweep:
+    def test_tighten_then_relax_single_frontier(
+        self, paper_index, paper_uncached
+    ):
+        """Sweep C down then back up: one miss, every answer exact."""
+        warm = make_cached(paper_index, capacity=4)
+        s, t = 7, 3  # the paper's (v8, v4) pair
+        budgets = list(range(30, -1, -1)) + list(range(0, 31))
+        for c in budgets:
+            assert answer(warm.query(s, t, c)) == answer(
+                paper_uncached.query(s, t, c)
+            ), c
+        assert warm.cache.misses == 1
+        assert warm.cache.hits == len(budgets) - 1
+
+    def test_answers_monotone_in_budget(self, paper_index):
+        """Relaxing C never worsens weight; tightening never improves."""
+        warm = make_cached(paper_index, capacity=4)
+        s, t = 7, 3
+        results = [warm.query(s, t, c) for c in range(0, 31)]
+        for lo, hi in itertools.pairwise(results):
+            if lo.feasible:
+                assert hi.feasible
+                assert hi.weight <= lo.weight
+
+
+class TestInfeasibleBudget:
+    def test_below_minimum_cost_is_infeasible(
+        self, paper_network, paper_index, paper_uncached
+    ):
+        warm = make_cached(paper_index, capacity=8)
+        frontier = warm.frontier(7, 3)
+        min_cost = min(entry[1] for entry in frontier)
+        result = warm.query(7, 3, min_cost - 1)
+        assert not result.feasible
+        assert result.weight is None and result.cost is None
+        assert answer(result) == answer(
+            paper_uncached.query(7, 3, min_cost - 1)
+        )
+        # The infeasible probe still cached the frontier: the next
+        # feasible budget answers as a hit.
+        hits_before = warm.cache.hits
+        assert warm.query(7, 3, min_cost).feasible
+        assert warm.cache.hits == hits_before + 1
+
+    def test_zero_budget_infeasible_everywhere(self, paper_index):
+        warm = make_cached(paper_index, capacity=8)
+        for s, t in ((0, 5), (2, 9), (7, 3)):
+            assert not warm.query(s, t, 0).feasible
+
+
+class TestFrontierGroundTruth:
+    def test_frontier_equals_dijkstra_skyline(
+        self, paper_network, paper_index
+    ):
+        """Cached frontiers equal the index-free skyline ground truth."""
+        warm = make_cached(paper_index, capacity=128)
+        n = paper_network.num_vertices
+        for s in range(n):
+            for t in range(s + 1, n):
+                got = [(e[0], e[1]) for e in warm.frontier(s, t)]
+                want = skyline_between(paper_network, s, t)
+                assert got == [(w, c) for w, c, *_ in want], (s, t)
+
+    def test_orientation_symmetric(self, paper_index):
+        warm = make_cached(paper_index, capacity=8)
+        fwd = [(e[0], e[1]) for e in warm.frontier(7, 3)]
+        rev = [(e[0], e[1]) for e in warm.frontier(3, 7)]
+        assert fwd == rev
+        assert warm.cache.misses == 1  # second orientation was a hit
+
+
+class TestPathsThroughCache:
+    def test_hit_paths_are_valid_walks(self, paper_network, paper_index):
+        warm = make_cached(paper_index, capacity=8)
+        warm.query(7, 3, 13)  # prime the cache
+        result = warm.query(7, 3, 13, want_path=True)  # answered on a hit
+        assert result.feasible
+        path = result.path
+        assert path[0] == 7 and path[-1] == 3
+        assert paper_network.path_metrics(path) == (
+            result.weight, result.cost,
+        )
+
+    def test_source_equals_target(self, paper_index):
+        warm = make_cached(paper_index, capacity=8)
+        result = warm.query(4, 4, 0, want_path=True)
+        assert answer(result) == (True, 0, 0)
+        assert result.path == [4]
+
+
+class TestSharedCacheObject:
+    def test_engines_can_share_one_cache(self, paper_index, paper_uncached):
+        cache = SkylineCache(16)
+        first = CachedQHLEngine(
+            paper_index.tree, paper_index.labels, paper_index.lca,
+            cache=cache,
+        )
+        second = CachedQHLEngine(
+            paper_index.tree, paper_index.labels, paper_index.lca,
+            cache=cache,
+        )
+        first.query(7, 3, 13)
+        assert answer(second.query(7, 3, 13)) == answer(
+            paper_uncached.query(7, 3, 13)
+        )
+        assert cache.misses == 1 and cache.hits == 1
