@@ -34,8 +34,11 @@ from repro.dynamic import DynamicQHLIndex
 from repro.forest import ForestQHLIndex
 from repro.multicsp import MultiCSPIndex, MultiMetricNetwork
 from repro.exceptions import (
+    AuditError,
+    BuildBudgetExceededError,
     DeadlineExceededError,
     DisconnectedGraphError,
+    GraphFormatError,
     IndexBuildError,
     InfeasibleQueryError,
     InvalidGraphError,
@@ -76,6 +79,15 @@ from repro.perf import (
     SkylineCache,
     execute_batch,
 )
+from repro.resilience import (
+    LENIENT,
+    STRICT,
+    AuditReport,
+    BuildBudget,
+    IngestReport,
+    ParsePolicy,
+    audit_index,
+)
 from repro.storage import load_index, load_index_with_retry, save_index
 from repro.types import CSPQuery, QueryResult, QueryStats
 from repro.workloads import (
@@ -87,7 +99,11 @@ from repro.workloads import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AuditError",
+    "AuditReport",
     "BatchReport",
+    "BuildBudget",
+    "BuildBudgetExceededError",
     "COLAEngine",
     "CSP2HopEngine",
     "CachedQHLEngine",
@@ -100,12 +116,16 @@ __all__ = [
     "DynamicQHLIndex",
     "FaultInjector",
     "ForestQHLIndex",
+    "GraphFormatError",
     "IndexBuildError",
     "InfeasibleQueryError",
+    "IngestReport",
     "InvalidGraphError",
+    "LENIENT",
     "MetricsRegistry",
     "MultiCSPIndex",
     "MultiMetricNetwork",
+    "ParsePolicy",
     "QHLEngine",
     "QHLIndex",
     "QueryError",
@@ -116,9 +136,11 @@ __all__ = [
     "RoadNetwork",
     "SerializationError",
     "ServiceConfig",
+    "STRICT",
     "ServiceUnavailableError",
     "SkylineCache",
     "SpanTracer",
+    "audit_index",
     "constrained_dijkstra",
     "dense_core_network",
     "directed_from_undirected",

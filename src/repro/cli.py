@@ -6,6 +6,7 @@ Subcommands::
     build      build the QHL index for a network file
     query      answer a CSP query against a saved index
     stats      print index statistics (Table 2-style)
+    verify     deep-audit a saved index (invariants + spot-checks)
     workload   generate the paper's Q1..Q5 query sets for a network
     bench      race QHL / CSP-2Hop (/ COLA) over a query-set file
 
@@ -27,6 +28,17 @@ takes ``--deadline-ms`` (time budget), ``--fallback`` (degradation
 ladder QHL -> CSP-2Hop -> SkyDijkstra, tolerating engine failures and
 corrupt indexes) and ``--verify-checksum on|off``; ``bench`` takes
 ``--deadline-ms`` (over-budget queries land in the fail column).
+
+Build-hardening flags (same doc): ``build`` takes ``--lenient`` /
+``--lcc-fallback`` (validating ingestion with typed, located errors and
+explicit drop policies), ``--checkpoint-dir`` + ``--resume``
+(per-level build checkpoints; an interrupted build continues from its
+last completed level and lands on an identical index) and
+``--max-build-seconds`` / ``--max-rss-mb`` (checkpoint-then-raise
+watchdog); ``verify`` deep-audits a saved index — storage checksum,
+skyline canonicality, hoplink coverage, tree/LCA structure, plus
+seeded spot-checks against constrained Dijkstra — and exits 1 if any
+check fails.
 
 Performance flags (see ``docs/performance.md``): ``build --workers N``
 builds labels level-parallel across N processes; ``bench --cache-size
@@ -88,8 +100,30 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _ingest_policy(args: argparse.Namespace):
+    """The :class:`~repro.resilience.ingest.ParsePolicy` for ``args``
+    (``None`` = the default strict policy)."""
+    import dataclasses
+
+    from repro.resilience.ingest import LENIENT, STRICT
+
+    policy = None
+    if getattr(args, "lenient", False):
+        policy = LENIENT
+    if getattr(args, "lcc_fallback", False):
+        policy = dataclasses.replace(policy or STRICT, lcc_fallback=True)
+    return policy
+
+
 def _cmd_build(args: argparse.Namespace) -> int:
-    network = read_csp_text(args.network)
+    from repro.resilience.checkpoint import BuildBudget, CheckpointStore
+
+    network = read_csp_text(args.network, policy=_ingest_policy(args))
+    budget = None
+    if args.max_build_seconds is not None or args.max_rss_mb is not None:
+        budget = BuildBudget(
+            max_seconds=args.max_build_seconds, max_rss_mb=args.max_rss_mb
+        )
     with _metrics_scope(args.metrics_out), Timer() as timer:
         index = QHLIndex.build(
             network,
@@ -97,14 +131,48 @@ def _cmd_build(args: argparse.Namespace) -> int:
             store_paths=not args.no_paths,
             seed=args.seed,
             label_workers=args.workers,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
+            build_budget=budget,
         )
     size = save_index(index, args.out)
+    if args.checkpoint_dir:
+        # The index reached durable storage; the checkpoints served
+        # their purpose.
+        CheckpointStore(args.checkpoint_dir).clear()
     print(
         f"built index for |V|={network.num_vertices} in "
         f"{format_seconds(timer.seconds)}; file {format_bytes(size)} "
         f"-> {args.out}"
     )
     return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.exceptions import SerializationError
+    from repro.resilience.audit import AuditCheck, AuditReport, audit_index
+
+    with _metrics_scope(args.metrics_out):
+        storage = AuditCheck("storage-checksum", checked=1)
+        try:
+            index = load_index(
+                args.index, verify_checksum=args.verify_checksum != "off"
+            )
+        except SerializationError as exc:
+            storage.add(str(exc))
+            report = AuditReport(checks=[storage])
+        else:
+            report = audit_index(
+                index, queries=args.queries, seed=args.seed
+            )
+            report.checks.insert(0, storage)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.summary())
+    return 0 if report.ok else 1
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
@@ -322,7 +390,80 @@ def build_parser() -> argparse.ArgumentParser:
         help="label-construction process pool size; >= 2 builds the "
         "tree-depth levels in parallel (same index, faster build)",
     )
+    p_build.add_argument(
+        "--checkpoint-dir",
+        help="persist per-level label-build checkpoints into this "
+        "directory (atomic, checksummed); an interrupted build can "
+        "then continue with --resume; cleared after a successful build",
+    )
+    p_build.add_argument(
+        "--resume",
+        action="store_true",
+        help="with --checkpoint-dir, continue an interrupted build "
+        "from its last completed level (result identical to a fresh "
+        "build)",
+    )
+    p_build.add_argument(
+        "--max-build-seconds",
+        type=float,
+        help="time budget for the label build; when exceeded, the "
+        "build checkpoints and raises instead of running away "
+        "(requires --checkpoint-dir)",
+    )
+    p_build.add_argument(
+        "--max-rss-mb",
+        type=float,
+        help="peak-memory budget (MiB) for the label build; when "
+        "exceeded, the build checkpoints and raises (requires "
+        "--checkpoint-dir)",
+    )
+    p_build.add_argument(
+        "--lenient",
+        action="store_true",
+        help="lenient network parsing: skip junk lines, drop "
+        "self-loops / duplicate edges / non-positive metrics, and fall "
+        "back to the largest connected component (all counted in "
+        "--metrics-out) instead of rejecting the file",
+    )
+    p_build.add_argument(
+        "--lcc-fallback",
+        action="store_true",
+        help="keep only the largest connected component of a "
+        "disconnected input (strict parsing otherwise; implied by "
+        "--lenient)",
+    )
     p_build.set_defaults(func=_cmd_build)
+
+    p_verify = sub.add_parser(
+        "verify", help="deep-audit a saved index (exit 1 on failure)"
+    )
+    p_verify.add_argument("--index", required=True)
+    p_verify.add_argument(
+        "--queries",
+        type=int,
+        default=8,
+        help="seeded random queries to spot-check against the exact "
+        "constrained-Dijkstra baseline (0 = structural checks only)",
+    )
+    p_verify.add_argument("--seed", type=int, default=0)
+    p_verify.add_argument(
+        "--json",
+        action="store_true",
+        help="print the machine-readable report as JSON",
+    )
+    p_verify.add_argument(
+        "--verify-checksum",
+        choices=("on", "off"),
+        default="on",
+        help="verify the index file's SHA-256 payload checksum before "
+        "auditing (a mismatch fails the storage-checksum check)",
+    )
+    p_verify.add_argument(
+        "--metrics-out",
+        help="dump audit metrics (audit_* counters) as JSON-lines to "
+        "this path",
+    )
+    p_verify.set_defaults(func=_cmd_verify)
 
     p_query = sub.add_parser("query", help="answer one CSP query")
     p_query.add_argument("--index", required=True)

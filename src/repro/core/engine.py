@@ -83,6 +83,9 @@ class QHLIndex:
         max_skyline: int | None = None,
         seed: int = 0,
         label_workers: int = 1,
+        checkpoint_dir: str | None = None,
+        resume: bool = False,
+        build_budget=None,
     ) -> "QHLIndex":
         """Build the full index.
 
@@ -104,6 +107,14 @@ class QHLIndex:
             ``>= 2`` builds the labels level-parallel across a process
             pool (:mod:`repro.labeling.parallel`); the index is
             value-identical to a sequential build.
+        checkpoint_dir, resume, build_budget:
+            Checkpoint the label build (the dominant phase) per depth
+            level into ``checkpoint_dir``; ``resume=True`` continues an
+            interrupted build from its last completed level, and
+            ``build_budget`` (a :class:`~repro.resilience.checkpoint.
+            BuildBudget`) checkpoints-then-raises when time/memory run
+            out.  The resulting index is value-identical to an
+            uninterrupted build.
         """
         tracer = get_tracer()
         with tracer.span("qhl.build") as root:
@@ -120,6 +131,9 @@ class QHLIndex:
                     store_paths=store_paths,
                     max_skyline=max_skyline,
                     workers=label_workers,
+                    checkpoint=checkpoint_dir,
+                    resume=resume,
+                    budget=build_budget,
                 )
             with tracer.span("lca-index"):
                 lca = LCAIndex(tree)
@@ -219,6 +233,21 @@ class QHLIndex:
         return self._default_engine.query(
             source, target, budget, want_path=want_path, deadline=deadline
         )
+
+    # ------------------------------------------------------------------
+    def audit(self, queries: int = 8, seed: int = 0):
+        """Deep self-audit; see :func:`repro.resilience.audit.audit_index`.
+
+        Checks skyline canonicality, hoplink coverage, tree/LCA
+        well-formedness, and spot-checks ``queries`` seeded random
+        queries against the exact constrained-Dijkstra baseline.
+        Returns the machine-readable
+        :class:`~repro.resilience.audit.AuditReport` (never raises on a
+        bad index).
+        """
+        from repro.resilience.audit import audit_index
+
+        return audit_index(self, queries=queries, seed=seed)
 
     # ------------------------------------------------------------------
     def record_metrics(self, registry) -> None:

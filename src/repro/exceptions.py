@@ -23,8 +23,70 @@ class DisconnectedGraphError(InvalidGraphError):
     """The operation requires a connected road network."""
 
 
+class GraphFormatError(InvalidGraphError):
+    """A network file is malformed.
+
+    Carries the file ``path`` and the 1-based ``line``/``column`` of the
+    offending token, and prefixes the message with them, so a bad byte in
+    a multi-gigabyte DIMACS file is locatable without bisecting it.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        path: str | None = None,
+        line: int | None = None,
+        column: int | None = None,
+    ):
+        self.path = path
+        self.line = line
+        self.column = column
+        where = []
+        if path is not None:
+            where.append(str(path))
+        if line is not None:
+            where.append(f"line {line}")
+        if column is not None:
+            where.append(f"col {column}")
+        prefix = ", ".join(where)
+        super().__init__(f"{prefix}: {message}" if prefix else message)
+
+
 class IndexBuildError(ReproError):
     """Index construction failed or was given inconsistent inputs."""
+
+
+class BuildBudgetExceededError(IndexBuildError):
+    """A label build overran its time or memory budget.
+
+    Raised by the checkpointed builder *after* the last completed level
+    was persisted, so ``build --resume`` continues from where the budget
+    ran out instead of restarting from zero.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        level: int | None = None,
+        elapsed_s: float | None = None,
+        rss_mb: float | None = None,
+    ):
+        super().__init__(message)
+        self.level = level
+        self.elapsed_s = elapsed_s
+        self.rss_mb = rss_mb
+
+
+class AuditError(IndexBuildError):
+    """A loaded index failed its structural/semantic self-audit.
+
+    Carries the machine-readable :class:`~repro.resilience.audit.AuditReport`
+    so callers can inspect exactly which invariant broke.
+    """
+
+    def __init__(self, message: str, report=None):
+        super().__init__(message)
+        self.report = report
 
 
 class QueryError(ReproError):

@@ -8,79 +8,46 @@ Two formats are supported:
   list; see :func:`read_dimacs_pair` / :func:`write_dimacs_pair`.
 * **CSP text** — a single-file convenience format used by this repo's CLI:
   a ``csp <n> <m>`` header followed by ``e u v w c`` lines (0-indexed).
+
+Parsing is delegated to the validating layer in
+:mod:`repro.resilience.ingest`: malformed input raises a typed
+:class:`~repro.exceptions.GraphFormatError` with path/line/column
+context, and the readers here accept an optional
+:class:`~repro.resilience.ingest.ParsePolicy` for lenient parsing and
+the largest-connected-component fallback.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Iterable, TextIO
 
-from repro.exceptions import InvalidGraphError
 from repro.graph.network import RoadNetwork
 
 
 # ----------------------------------------------------------------------
 # DIMACS .gr pairs
 # ----------------------------------------------------------------------
-def _parse_dimacs(stream: TextIO) -> tuple[int, list[tuple[int, int, float]]]:
-    """Parse one DIMACS .gr stream into ``(n, [(u, v, value)])`` (0-indexed)."""
-    n = -1
-    arcs: list[tuple[int, int, float]] = []
-    for lineno, raw in enumerate(stream, start=1):
-        line = raw.strip()
-        if not line or line.startswith("c"):
-            continue
-        parts = line.split()
-        if parts[0] == "p":
-            if len(parts) != 4 or parts[1] != "sp":
-                raise InvalidGraphError(
-                    f"line {lineno}: malformed problem line {line!r}"
-                )
-            n = int(parts[2])
-        elif parts[0] == "a":
-            if len(parts) != 4:
-                raise InvalidGraphError(
-                    f"line {lineno}: malformed arc line {line!r}"
-                )
-            u, v = int(parts[1]) - 1, int(parts[2]) - 1
-            arcs.append((u, v, float(parts[3])))
-        else:
-            raise InvalidGraphError(
-                f"line {lineno}: unknown record type {parts[0]!r}"
-            )
-    if n < 0:
-        raise InvalidGraphError("missing 'p sp' problem line")
-    return n, arcs
-
-
-def read_dimacs_pair(weight_path: str, cost_path: str) -> RoadNetwork:
+def read_dimacs_pair(
+    weight_path: str, cost_path: str, policy=None
+) -> RoadNetwork:
     """Read an undirected network from a DIMACS (weight, cost) file pair.
 
     DIMACS road networks list each undirected edge as two opposite arcs;
     duplicate ``(u, v)`` / ``(v, u)`` arcs with identical metrics collapse
-    into one undirected edge.  The two files must describe the same arcs.
+    into one undirected edge.  The two files must describe the same arc
+    multiset — an edge-set mismatch is reported explicitly (with example
+    arcs) rather than producing an inconsistent network.
+
+    ``policy`` (a :class:`~repro.resilience.ingest.ParsePolicy`,
+    default strict) governs lenient parsing; use
+    :func:`repro.resilience.ingest.load_dimacs_network` to also get the
+    :class:`~repro.resilience.ingest.IngestReport`.
     """
-    with open(weight_path) as f:
-        n_w, arcs_w = _parse_dimacs(f)
-    with open(cost_path) as f:
-        n_c, arcs_c = _parse_dimacs(f)
-    if n_w != n_c or len(arcs_w) != len(arcs_c):
-        raise InvalidGraphError(
-            "weight and cost files disagree on network shape: "
-            f"{n_w} vs {n_c} vertices, {len(arcs_w)} vs {len(arcs_c)} arcs"
-        )
-    network = RoadNetwork(n_w)
-    seen: set[tuple[int, int, float, float]] = set()
-    for (u, v, w), (u2, v2, c) in zip(arcs_w, arcs_c):
-        if (u, v) != (u2, v2):
-            raise InvalidGraphError(
-                f"arc mismatch between files: ({u},{v}) vs ({u2},{v2})"
-            )
-        key = (min(u, v), max(u, v), w, c)
-        if key in seen:
-            continue
-        seen.add(key)
-        network.add_edge(u, v, w, c)
+    from repro.resilience.ingest import STRICT, load_dimacs_network
+
+    network, _report = load_dimacs_network(
+        weight_path, cost_path, policy=policy or STRICT
+    )
     return network
 
 
@@ -110,49 +77,17 @@ def write_dimacs_pair(
 # ----------------------------------------------------------------------
 # Single-file CSP text format
 # ----------------------------------------------------------------------
-def read_csp_text(path: str) -> RoadNetwork:
-    """Read a network from the single-file ``csp`` text format."""
-    with open(path) as f:
-        return _parse_csp_text(f)
+def read_csp_text(path: str, policy=None) -> RoadNetwork:
+    """Read a network from the single-file ``csp`` text format.
 
+    ``policy`` (a :class:`~repro.resilience.ingest.ParsePolicy`,
+    default strict) governs lenient parsing; use
+    :func:`repro.resilience.ingest.load_csp_network` to also get the
+    :class:`~repro.resilience.ingest.IngestReport`.
+    """
+    from repro.resilience.ingest import STRICT, load_csp_network
 
-def _parse_csp_text(stream: TextIO) -> RoadNetwork:
-    network: RoadNetwork | None = None
-    declared_edges = 0
-    for lineno, raw in enumerate(stream, start=1):
-        line = raw.strip()
-        if not line or line.startswith("#"):
-            continue
-        parts = line.split()
-        if parts[0] == "csp":
-            if len(parts) != 3:
-                raise InvalidGraphError(
-                    f"line {lineno}: malformed header {line!r}"
-                )
-            network = RoadNetwork(int(parts[1]))
-            declared_edges = int(parts[2])
-        elif parts[0] == "e":
-            if network is None:
-                raise InvalidGraphError(
-                    f"line {lineno}: edge before 'csp' header"
-                )
-            if len(parts) != 5:
-                raise InvalidGraphError(
-                    f"line {lineno}: malformed edge line {line!r}"
-                )
-            u, v = int(parts[1]), int(parts[2])
-            network.add_edge(u, v, _parse_number(parts[3]), _parse_number(parts[4]))
-        else:
-            raise InvalidGraphError(
-                f"line {lineno}: unknown record type {parts[0]!r}"
-            )
-    if network is None:
-        raise InvalidGraphError("missing 'csp' header line")
-    if network.num_edges != declared_edges:
-        raise InvalidGraphError(
-            f"header declares {declared_edges} edges, file has "
-            f"{network.num_edges}"
-        )
+    network, _report = load_csp_network(path, policy=policy or STRICT)
     return network
 
 
@@ -175,10 +110,3 @@ def _format_number(x: float) -> str:
     if isinstance(x, float) and x.is_integer():
         return str(int(x))
     return repr(x)
-
-
-def _parse_number(text: str) -> float:
-    value = float(text)
-    if value.is_integer():
-        return int(value)
-    return value

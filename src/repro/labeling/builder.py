@@ -35,6 +35,9 @@ def build_labels(
     store_paths: bool = True,
     max_skyline: int | None = None,
     workers: int = 1,
+    checkpoint=None,
+    resume: bool = False,
+    budget=None,
 ) -> LabelStore:
     """Build the full 2-hop skyline labels from a tree decomposition.
 
@@ -54,6 +57,16 @@ def build_labels(
         (:func:`repro.labeling.parallel.build_labels_parallel`); the
         result is value-identical to the sequential build.  ``1``
         (default) keeps the sequential top-down sweep.
+    checkpoint:
+        A :class:`~repro.resilience.checkpoint.CheckpointStore` or
+        directory path.  When given, the build persists per-level
+        checkpoints and ``resume=True`` continues an interrupted build
+        from its last completed level (value-identical result; see
+        :func:`repro.resilience.checkpoint.build_labels_checkpointed`).
+    resume, budget:
+        Resume flag and optional
+        :class:`~repro.resilience.checkpoint.BuildBudget` watchdog for
+        the checkpointed path; ``budget`` requires ``checkpoint``.
 
     Returns
     -------
@@ -65,6 +78,33 @@ def build_labels(
         fork_available,
         label_rows_for,
     )
+
+    if checkpoint is not None:
+        from repro.resilience.checkpoint import build_labels_checkpointed
+
+        return build_labels_checkpointed(
+            tree,
+            checkpoint,
+            store_paths=store_paths,
+            max_skyline=max_skyline,
+            workers=workers,
+            resume=resume,
+            budget=budget,
+        )
+    if budget is not None:
+        from repro.exceptions import IndexBuildError
+
+        raise IndexBuildError(
+            "a build budget requires a checkpoint directory: the "
+            "watchdog checkpoints-then-raises so --resume can continue"
+        )
+    if resume:
+        from repro.exceptions import IndexBuildError
+
+        raise IndexBuildError(
+            "resume requires the checkpoint directory the interrupted "
+            "build was writing to"
+        )
 
     if workers >= 2 and fork_available():
         return build_labels_parallel(

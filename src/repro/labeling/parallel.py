@@ -104,6 +104,53 @@ def fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
 
+def level_rows(
+    tree: TreeDecomposition,
+    store: LabelStore,
+    level: list[int],
+    max_skyline: int | None,
+    workers: int,
+) -> tuple[list[tuple[int, list[tuple[int, SkylineSet]]]], int]:
+    """Label rows for one depth level: ``([(v, rows)], joins)``.
+
+    The single per-level kernel shared by :func:`build_labels_parallel`
+    and the checkpointed builder
+    (:func:`repro.resilience.checkpoint.build_labels_checkpointed`), so
+    the two cannot drift.  ``store`` must already hold every strictly
+    shallower level.  Levels smaller than :data:`MIN_PARALLEL_LEVEL`
+    (or ``workers < 2``, or platforms without ``fork``) are computed
+    inline; joins are only counted on the inline path (the process-pool
+    path has never reported them).
+    """
+    global _TREE, _STORE, _MAX_SKYLINE
+    level = [v for v in level if v != tree.root]
+    if not level:
+        return [], 0
+    if (
+        workers < 2
+        or len(level) < MIN_PARALLEL_LEVEL
+        or not fork_available()
+    ):
+        out = []
+        joins = 0
+        for v in level:
+            rows, vertex_joins = label_rows_for(tree, store, v, max_skyline)
+            out.append((v, rows))
+            joins += vertex_joins
+        return out, joins
+    # Fork a fresh pool so the children see the store as built up to
+    # (and excluding) this level.
+    context = multiprocessing.get_context("fork")
+    _TREE, _STORE, _MAX_SKYLINE = tree, store, max_skyline
+    try:
+        with context.Pool(processes=workers) as pool:
+            chunksize = max(1, len(level) // (workers * 4))
+            out = list(pool.map(_build_vertex, level, chunksize=chunksize))
+    finally:
+        _TREE = _STORE = _MAX_SKYLINE = None
+    return out, 0
+
+
 def build_labels_parallel(
     tree: TreeDecomposition,
     store_paths: bool = True,
@@ -117,7 +164,6 @@ def build_labels_parallel(
     pool; levels smaller than :data:`MIN_PARALLEL_LEVEL` are built
     inline.
     """
-    global _TREE, _STORE, _MAX_SKYLINE
     if workers < 2 or not fork_available():
         from repro.labeling.builder import build_labels
 
@@ -130,35 +176,17 @@ def build_labels_parallel(
     registry = get_registry()
     levels = depth_levels(tree)
     parallel_vertices = 0
-    context = multiprocessing.get_context("fork")
 
     with get_tracer().span("labels.parallel-sweep") as span:
         for level in levels:
-            level = [v for v in level if v != tree.root]
-            if not level:
-                continue
-            if len(level) < MIN_PARALLEL_LEVEL:
-                for v in level:
-                    rows, _joins = label_rows_for(
-                        tree, store, v, max_skyline
-                    )
-                    for u, acc in rows:
-                        store.set(v, u, acc)
-                continue
-            # Fork a fresh pool so the children see the store as built
-            # up to (and excluding) this level.
-            _TREE, _STORE, _MAX_SKYLINE = tree, store, max_skyline
-            try:
-                with context.Pool(processes=workers) as pool:
-                    chunksize = max(1, len(level) // (workers * 4))
-                    for v, rows in pool.map(
-                        _build_vertex, level, chunksize=chunksize
-                    ):
-                        for u, acc in rows:
-                            store.set(v, u, acc)
-            finally:
-                _TREE = _STORE = _MAX_SKYLINE = None
-            parallel_vertices += len(level)
+            rows_by_vertex, _joins = level_rows(
+                tree, store, level, max_skyline, workers
+            )
+            for v, rows in rows_by_vertex:
+                for u, acc in rows:
+                    store.set(v, u, acc)
+            if len(rows_by_vertex) >= MIN_PARALLEL_LEVEL:
+                parallel_vertices += len(rows_by_vertex)
         span.set("vertices", tree.num_vertices)
         span.set("levels", len(levels))
         span.set("parallel_vertices", parallel_vertices)

@@ -1,0 +1,373 @@
+"""Deep self-audit of a built QHL index.
+
+A QHL index is only as good as its invariants: the tree decomposition
+must satisfy Definition 7 and Properties 1-2, every skyline set must be
+canonical (cost strictly increasing, weight strictly decreasing — i.e.
+dominance-free), every vertex's label must cover exactly its ancestor
+chain, the LCA structure must agree with the raw parent pointers, and —
+the only *semantic* check — a sample of queries must agree with the
+exact constrained-Dijkstra baseline.
+
+:func:`audit_index` runs all of these and returns a machine-readable
+:class:`AuditReport`; the ``repro verify`` CLI command and the query
+service's opt-in ``require_audit`` gate are thin wrappers around it.
+Each class of corruption the storage layer cannot catch with a checksum
+(a bit flip *before* the checksum was computed, a buggy build, a
+hand-edited file) maps to a named check, so the corruption-matrix test
+in ``tests/service/`` can assert one check — and only the right one —
+trips per seeded defect.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.observability.metrics import get_registry
+from repro.observability.tracing import get_tracer
+
+#: Per-check cap on recorded problem strings (the counts are exact; only
+#: the examples are truncated).
+MAX_PROBLEMS = 20
+
+
+@dataclass
+class AuditCheck:
+    """Outcome of one named invariant check."""
+
+    name: str
+    checked: int = 0
+    problem_count: int = 0
+    problems: list[str] = field(default_factory=list)
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.problem_count == 0
+
+    def add(self, problem: str) -> None:
+        self.problem_count += 1
+        if len(self.problems) < MAX_PROBLEMS:
+            self.problems.append(problem)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "ok": self.ok,
+            "checked": self.checked,
+            "problem_count": self.problem_count,
+            "problems": list(self.problems),
+            "seconds": round(self.seconds, 6),
+        }
+
+
+@dataclass
+class AuditReport:
+    """Machine-readable result of :func:`audit_index`."""
+
+    checks: list[AuditCheck] = field(default_factory=list)
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return all(check.ok for check in self.checks)
+
+    def check(self, name: str) -> AuditCheck:
+        for check in self.checks:
+            if check.name == name:
+                return check
+        raise KeyError(name)
+
+    def failed_checks(self) -> list[str]:
+        return [check.name for check in self.checks if not check.ok]
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "seconds": round(self.seconds, 6),
+            "checks": [check.to_dict() for check in self.checks],
+        }
+
+    def summary(self) -> str:
+        """Human-readable multi-line summary (one line per check)."""
+        lines = []
+        for check in self.checks:
+            status = "ok" if check.ok else "FAIL"
+            line = (
+                f"{status:4s} {check.name:16s} "
+                f"checked={check.checked}"
+            )
+            if not check.ok:
+                line += f" problems={check.problem_count}"
+            lines.append(line)
+            for problem in check.problems[:3]:
+                lines.append(f"       - {problem}")
+            if check.problem_count > 3:
+                lines.append(
+                    f"       … and {check.problem_count - 3} more"
+                )
+        verdict = "PASS" if self.ok else "FAIL"
+        lines.append(f"audit {verdict} in {self.seconds:.2f}s")
+        return "\n".join(lines)
+
+
+def audit_index(
+    index,
+    queries: int = 8,
+    seed: int = 0,
+    deep_tree: bool | None = None,
+) -> AuditReport:
+    """Audit a :class:`~repro.core.engine.QHLIndex` end to end.
+
+    Runs six named checks:
+
+    ``tree-structure``
+        Definition 7 plus Properties 1-2 via
+        :mod:`repro.hierarchy.validation`.  The Definition-7 subtree
+        check is quadratic, so it is skipped above 2000 vertices unless
+        ``deep_tree=True`` (Properties 1-2 always run).
+    ``label-order``
+        Every stored skyline set has strictly increasing costs.
+    ``label-dominance``
+        Every stored skyline set has strictly decreasing weights (with
+        costs increasing this is exactly dominance-freeness), and every
+        entry's metrics are finite and non-negative.
+    ``label-coverage``
+        ``L(v)`` covers exactly the ancestor chain of ``X(v)`` — a
+        dropped hoplink or a truncated label table both surface here.
+    ``lca``
+        The Euler-tour LCA structure agrees with a naive parent-chain
+        walk on seeded random pairs.
+    ``spot-check``
+        ``queries`` seeded random CSP queries answered by the QHL
+        engine agree (feasibility and optimal weight) with the exact
+        constrained-Dijkstra baseline.
+
+    Pure function of ``(index, queries, seed)`` — a private
+    ``random.Random(seed)`` drives all sampling.  Never raises on a bad
+    index; defects land in the returned report (use
+    :class:`~repro.exceptions.AuditError` at the call site to escalate).
+    """
+    report = AuditReport()
+    started = time.perf_counter()
+    with get_tracer().span("audit.index") as span:
+        report.checks.append(_check_tree(index, deep_tree))
+        report.checks.append(_check_label_order(index))
+        report.checks.append(_check_label_dominance(index))
+        report.checks.append(_check_label_coverage(index))
+        report.checks.append(_check_lca(index, seed))
+        report.checks.append(_check_queries(index, queries, seed))
+        span.set("ok", report.ok)
+        span.set("failed", ",".join(report.failed_checks()))
+    report.seconds = time.perf_counter() - started
+
+    registry = get_registry()
+    if registry.enabled:
+        registry.gauge(
+            "audit_seconds", help="duration of the last index audit"
+        ).set(report.seconds)
+        registry.counter(
+            "audit_runs_total",
+            {"status": "pass" if report.ok else "fail"},
+            help="index audits by outcome",
+        ).inc()
+        for check in report.checks:
+            registry.counter(
+                "audit_checks_total",
+                {"check": check.name, "status": "pass" if check.ok else "fail"},
+                help="audit checks by name and outcome",
+            ).inc()
+            if check.problem_count:
+                registry.counter(
+                    "audit_problems_total",
+                    {"check": check.name},
+                    help="invariant violations found by audits",
+                ).inc(check.problem_count)
+    return report
+
+
+# ----------------------------------------------------------------------
+# Individual checks
+# ----------------------------------------------------------------------
+def _timed(check: AuditCheck, started: float) -> AuditCheck:
+    check.seconds = time.perf_counter() - started
+    return check
+
+
+def _check_tree(index, deep_tree: bool | None) -> AuditCheck:
+    from repro.hierarchy.validation import (
+        validate_definition7,
+        validate_property1,
+        validate_property2,
+    )
+
+    check = AuditCheck("tree-structure")
+    started = time.perf_counter()
+    tree = index.tree
+    run_deep = (
+        deep_tree
+        if deep_tree is not None
+        else tree.num_vertices <= 2000
+    )
+    try:
+        problems = list(validate_property1(tree))
+        problems += validate_property2(tree)
+        check.checked = 2
+        if run_deep:
+            problems += validate_definition7(index.network, tree)
+            check.checked = 3
+        for problem in problems:
+            check.add(problem)
+    except Exception as exc:  # corrupt structures can throw anywhere
+        check.add(f"tree validation raised {type(exc).__name__}: {exc}")
+    return _timed(check, started)
+
+
+def _check_label_order(index) -> AuditCheck:
+    check = AuditCheck("label-order")
+    started = time.perf_counter()
+    for v, u, entries in index.labels.items():
+        check.checked += 1
+        prev_cost = None
+        for i, entry in enumerate(entries):
+            cost = entry[1]
+            if prev_cost is not None and cost <= prev_cost:
+                check.add(
+                    f"P({v}, {u}) entry {i}: cost {cost!r} not strictly "
+                    f"above previous {prev_cost!r}"
+                )
+                break
+            prev_cost = cost
+    return _timed(check, started)
+
+
+def _check_label_dominance(index) -> AuditCheck:
+    check = AuditCheck("label-dominance")
+    started = time.perf_counter()
+    for v, u, entries in index.labels.items():
+        check.checked += 1
+        prev_weight = None
+        for i, entry in enumerate(entries):
+            weight, cost = entry[0], entry[1]
+            if not (
+                math.isfinite(weight)
+                and math.isfinite(cost)
+                and weight >= 0
+                and cost >= 0
+            ):
+                check.add(
+                    f"P({v}, {u}) entry {i}: non-finite or negative "
+                    f"metrics ({weight!r}, {cost!r})"
+                )
+                break
+            if prev_weight is not None and weight >= prev_weight:
+                check.add(
+                    f"P({v}, {u}) entry {i}: weight {weight!r} not "
+                    f"strictly below previous {prev_weight!r} "
+                    "(dominated entry)"
+                )
+                break
+            prev_weight = weight
+    return _timed(check, started)
+
+
+def _check_label_coverage(index) -> AuditCheck:
+    check = AuditCheck("label-coverage")
+    started = time.perf_counter()
+    tree = index.tree
+    labels = index.labels
+    for v in range(tree.num_vertices):
+        check.checked += 1
+        expected = set(tree.ancestors(v))
+        actual = set(labels.label(v).keys())
+        missing = expected - actual
+        extra = actual - expected
+        if missing:
+            sample = sorted(missing)[:3]
+            check.add(
+                f"L({v}) is missing {len(missing)} ancestor hub(s), "
+                f"e.g. {sample} (dropped hoplink or truncated table)"
+            )
+        if extra:
+            sample = sorted(extra)[:3]
+            check.add(
+                f"L({v}) has {len(extra)} non-ancestor hub(s), "
+                f"e.g. {sample}"
+            )
+    return _timed(check, started)
+
+
+def _check_lca(index, seed: int, pairs: int = 64) -> AuditCheck:
+    check = AuditCheck("lca")
+    started = time.perf_counter()
+    tree = index.tree
+    n = tree.num_vertices
+    rng = random.Random(seed)
+
+    def naive_lca(a: int, b: int) -> int:
+        while tree.depth[a] > tree.depth[b]:
+            a = tree.parent[a]
+        while tree.depth[b] > tree.depth[a]:
+            b = tree.parent[b]
+        while a != b:
+            a, b = tree.parent[a], tree.parent[b]
+        return a
+
+    for _ in range(min(pairs, n * n)):
+        a, b = rng.randrange(n), rng.randrange(n)
+        check.checked += 1
+        try:
+            got = index.lca.query(a, b)
+        except Exception as exc:
+            check.add(f"lca({a}, {b}) raised {type(exc).__name__}: {exc}")
+            continue
+        want = naive_lca(a, b)
+        if got != want:
+            check.add(f"lca({a}, {b}) = {got}, parent-chain walk says {want}")
+    return _timed(check, started)
+
+
+def _check_queries(index, queries: int, seed: int) -> AuditCheck:
+    from repro.baselines.dijkstra_csp import constrained_dijkstra
+    from repro.graph.algorithms import dijkstra, sample_connected_pair
+
+    check = AuditCheck("spot-check")
+    started = time.perf_counter()
+    if queries <= 0 or index.network.num_vertices < 2:
+        return _timed(check, started)
+    rng = random.Random(seed)
+    engine = index.qhl_engine()
+    for _ in range(queries):
+        s, t = sample_connected_pair(index.network, rng)
+        # Budget between d_c(s, t) and 1.6 * d_c(s, t): always feasible,
+        # and the spread exercises the interesting part of the skyline.
+        d_cost = dijkstra(index.network, s, metric="cost", targets=[t])[t]
+        budget = d_cost * (1.0 + 0.6 * rng.random())
+        check.checked += 1
+        expected = constrained_dijkstra(
+            index.network, s, t, budget, want_path=False
+        )
+        try:
+            got = engine.query(s, t, budget)
+        except Exception as exc:
+            check.add(
+                f"query({s}, {t}, {budget:.6g}) raised "
+                f"{type(exc).__name__}: {exc}"
+            )
+            continue
+        if got.feasible != expected.feasible:
+            check.add(
+                f"query({s}, {t}, {budget:.6g}): index says "
+                f"feasible={got.feasible}, baseline says "
+                f"{expected.feasible}"
+            )
+        elif got.feasible and not math.isclose(
+            got.weight, expected.weight, rel_tol=1e-9, abs_tol=1e-9
+        ):
+            check.add(
+                f"query({s}, {t}, {budget:.6g}): index weight "
+                f"{got.weight!r} != baseline {expected.weight!r}"
+            )
+    return _timed(check, started)

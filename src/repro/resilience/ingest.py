@@ -1,0 +1,619 @@
+"""Validating ingestion for road-network files.
+
+The original parsers in :mod:`repro.graph.io` trusted their input: a
+junk token crashed with a bare ``ValueError``, a zero-weight edge
+surfaced as an :class:`~repro.exceptions.InvalidGraphError` with no file
+position, and a disconnected network parsed fine only to kill the index
+build much later.  This module is the hardened layer those parsers now
+delegate to:
+
+* every malformed byte raises a typed
+  :class:`~repro.exceptions.GraphFormatError` carrying the file path and
+  the 1-based line/column of the offending token — never a bare
+  ``ValueError``/``IndexError``, never a silently wrong graph;
+* edge pathologies (self loops, non-positive or non-finite metrics,
+  duplicate edges, out-of-range endpoints) are governed by an explicit
+  :class:`ParsePolicy` — strict mode rejects, lenient mode drops and
+  counts;
+* disconnected inputs get a *documented* largest-connected-component
+  fallback (:attr:`ParsePolicy.lcc_fallback`) instead of undefined
+  behaviour downstream, with every dropped vertex/edge counted in the
+  :class:`IngestReport` and the metrics registry.
+
+Everything observable lands in the returned :class:`IngestReport` and,
+when a live registry is installed, in ``ingest_*`` metrics.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+from typing import Iterator, TextIO
+
+from repro.exceptions import DisconnectedGraphError, GraphFormatError
+from repro.graph.network import RoadNetwork
+from repro.observability.metrics import get_registry
+
+_TOKEN = re.compile(r"\S+")
+
+#: Cap on enumerated examples inside one error message.
+_MAX_EXAMPLES = 5
+
+
+@dataclass(frozen=True)
+class ParsePolicy:
+    """How the parser treats questionable input.
+
+    The default (:data:`STRICT`) preserves the historical contract of
+    :func:`repro.graph.io.read_csp_text` / ``read_dimacs_pair``: reject
+    self loops and non-positive metrics, keep parallel edges, demand a
+    connected result only when asked.
+
+    Attributes
+    ----------
+    strict:
+        ``True`` rejects unknown record types and malformed lines;
+        ``False`` skips them (counted in ``IngestReport.skipped_lines``).
+    duplicate_edges:
+        Policy for an edge repeating a previous ``(u, v, w, c)`` exactly
+        (endpoints normalised): ``"keep"`` stores it as a parallel edge,
+        ``"dedupe"`` drops the repeat, ``"reject"`` raises.  Parallel
+        edges with *different* metrics are always kept — distinct
+        trade-offs matter for skylines.
+    self_loops:
+        ``"reject"`` raises on ``u == v``; ``"drop"`` discards the edge.
+    bad_metrics:
+        Edges with non-positive or non-finite weight/cost:
+        ``"reject"`` raises; ``"drop"`` discards the edge.
+    lcc_fallback:
+        When the parsed network is disconnected, keep only the largest
+        connected component (vertices re-numbered densely, original ids
+        recorded in ``IngestReport.vertex_map``) instead of returning a
+        network no index can be built on.
+    require_connected:
+        Raise :class:`~repro.exceptions.DisconnectedGraphError` if the
+        *final* network (after any LCC fallback) is disconnected.
+    """
+
+    strict: bool = True
+    duplicate_edges: str = "keep"
+    self_loops: str = "reject"
+    bad_metrics: str = "reject"
+    lcc_fallback: bool = False
+    require_connected: bool = False
+
+    def __post_init__(self) -> None:
+        if self.duplicate_edges not in ("keep", "dedupe", "reject"):
+            raise ValueError(
+                f"duplicate_edges must be keep/dedupe/reject, "
+                f"got {self.duplicate_edges!r}"
+            )
+        for name in ("self_loops", "bad_metrics"):
+            value = getattr(self, name)
+            if value not in ("reject", "drop"):
+                raise ValueError(
+                    f"{name} must be reject/drop, got {value!r}"
+                )
+
+
+#: Historical behaviour: everything suspicious is an error.
+STRICT = ParsePolicy()
+
+#: Salvage what can be salvaged: drop junk lines, self loops, bad
+#: metrics and exact duplicates, fall back to the largest component.
+LENIENT = ParsePolicy(
+    strict=False,
+    duplicate_edges="dedupe",
+    self_loops="drop",
+    bad_metrics="drop",
+    lcc_fallback=True,
+)
+
+
+@dataclass
+class IngestReport:
+    """What ingestion did to one input (machine-readable)."""
+
+    path: str
+    format: str
+    lines: int = 0
+    skipped_lines: int = 0
+    edges_kept: int = 0
+    duplicate_edges_dropped: int = 0
+    self_loops_dropped: int = 0
+    bad_metric_edges_dropped: int = 0
+    components: int = 1
+    lcc_applied: bool = False
+    vertices_dropped: int = 0
+    edges_dropped_disconnected: int = 0
+    #: With LCC fallback: ``vertex_map[new_id] == original_id``.
+    vertex_map: list[int] | None = field(default=None, repr=False)
+
+    def to_dict(self) -> dict:
+        """Plain-data form (for ``--json`` style consumers)."""
+        out = {
+            k: v for k, v in self.__dict__.items() if k != "vertex_map"
+        }
+        out["remapped"] = self.vertex_map is not None
+        return out
+
+
+# ----------------------------------------------------------------------
+# Tokenising with positions
+# ----------------------------------------------------------------------
+def _tokens(raw: str) -> list[tuple[str, int]]:
+    """``(token, 1-based column)`` pairs of one line."""
+    return [(m.group(), m.start() + 1) for m in _TOKEN.finditer(raw)]
+
+
+def _parse_int(
+    token: str, col: int, what: str, path: str, lineno: int
+) -> int:
+    try:
+        return int(token)
+    except ValueError:
+        raise GraphFormatError(
+            f"{what} must be an integer, got {token!r}",
+            path=path, line=lineno, column=col,
+        ) from None
+
+
+def _parse_metric(
+    token: str, col: int, what: str, path: str, lineno: int
+) -> float:
+    try:
+        value = float(token)
+    except ValueError:
+        raise GraphFormatError(
+            f"{what} must be a number, got {token!r}",
+            path=path, line=lineno, column=col,
+        ) from None
+    if value.is_integer() and math.isfinite(value):
+        return int(value)
+    return value
+
+
+# ----------------------------------------------------------------------
+# Edge admission under a policy
+# ----------------------------------------------------------------------
+class _EdgeSink:
+    """Applies the :class:`ParsePolicy` edge rules, keeping counts."""
+
+    def __init__(
+        self,
+        num_vertices: int,
+        policy: ParsePolicy,
+        report: IngestReport,
+        path: str,
+    ):
+        self.num_vertices = num_vertices
+        self.policy = policy
+        self.report = report
+        self.path = path
+        self.edges: list[tuple[int, int, float, float]] = []
+        self._seen: set[tuple[int, int, float, float]] = set()
+
+    def add(
+        self, u: int, v: int, w: float, c: float, lineno: int, col: int
+    ) -> None:
+        """Admit one edge, or drop/raise per policy."""
+        policy, report = self.policy, self.report
+        for endpoint, name in ((u, "u"), (v, "v")):
+            if not 0 <= endpoint < self.num_vertices:
+                raise GraphFormatError(
+                    f"vertex {name}={endpoint} out of range "
+                    f"[0, {self.num_vertices - 1}]",
+                    path=self.path, line=lineno, column=col,
+                )
+        if u == v:
+            if policy.self_loops == "reject":
+                raise GraphFormatError(
+                    f"self loop at vertex {u}",
+                    path=self.path, line=lineno, column=col,
+                )
+            report.self_loops_dropped += 1
+            return
+        if not (
+            math.isfinite(w) and math.isfinite(c) and w > 0 and c > 0
+        ):
+            if policy.bad_metrics == "reject":
+                raise GraphFormatError(
+                    f"edge ({u}, {v}) must have finite positive metrics, "
+                    f"got weight={w}, cost={c}",
+                    path=self.path, line=lineno, column=col,
+                )
+            report.bad_metric_edges_dropped += 1
+            return
+        key = (min(u, v), max(u, v), w, c)
+        if policy.duplicate_edges != "keep" and key in self._seen:
+            if policy.duplicate_edges == "reject":
+                raise GraphFormatError(
+                    f"duplicate edge ({u}, {v}, w={w}, c={c})",
+                    path=self.path, line=lineno, column=col,
+                )
+            report.duplicate_edges_dropped += 1
+            return
+        self._seen.add(key)
+        self.edges.append((u, v, w, c))
+        report.edges_kept += 1
+
+
+# ----------------------------------------------------------------------
+# CSP text format
+# ----------------------------------------------------------------------
+def load_csp_network(
+    path: str, policy: ParsePolicy = STRICT
+) -> tuple[RoadNetwork, IngestReport]:
+    """Parse a ``csp`` text file under ``policy``.
+
+    Returns the network plus the :class:`IngestReport` of everything
+    that was dropped, deduplicated, or remapped on the way in.
+
+    Raises
+    ------
+    GraphFormatError
+        On any malformed content the policy does not allow dropping,
+        with path/line/column context.
+    DisconnectedGraphError
+        When ``policy.require_connected`` and the final network is not
+        connected.
+    """
+    report = IngestReport(path=path, format="csp")
+    try:
+        with open(path) as stream:
+            network = _parse_csp_stream(stream, path, policy, report)
+    except OSError as exc:
+        raise GraphFormatError(f"cannot read file: {exc}", path=path) from exc
+    network = _finish(network, policy, report)
+    _record_metrics(report)
+    return network, report
+
+
+def _parse_csp_stream(
+    stream: TextIO, path: str, policy: ParsePolicy, report: IngestReport
+) -> RoadNetwork:
+    sink: _EdgeSink | None = None
+    declared_edges = 0
+    stated_edges = 0
+    for lineno, raw in enumerate(stream, start=1):
+        report.lines += 1
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        tokens = _tokens(raw)
+        kind = tokens[0][0]
+        if kind == "csp":
+            if sink is not None:
+                raise GraphFormatError(
+                    "repeated 'csp' header",
+                    path=path, line=lineno, column=tokens[0][1],
+                )
+            if len(tokens) != 3:
+                raise GraphFormatError(
+                    f"header needs 'csp <n> <m>', got {line!r}",
+                    path=path, line=lineno, column=tokens[0][1],
+                )
+            n = _parse_int(*tokens[1], "vertex count", path, lineno)
+            declared_edges = _parse_int(
+                *tokens[2], "edge count", path, lineno
+            )
+            if n <= 0:
+                raise GraphFormatError(
+                    f"vertex count must be positive, got {n}",
+                    path=path, line=lineno, column=tokens[1][1],
+                )
+            if declared_edges < 0:
+                raise GraphFormatError(
+                    f"edge count must be non-negative, got {declared_edges}",
+                    path=path, line=lineno, column=tokens[2][1],
+                )
+            sink = _EdgeSink(n, policy, report, path)
+        elif kind == "e":
+            if sink is None:
+                raise GraphFormatError(
+                    "edge before 'csp' header",
+                    path=path, line=lineno, column=tokens[0][1],
+                )
+            if len(tokens) != 5:
+                raise GraphFormatError(
+                    f"edge needs 'e <u> <v> <weight> <cost>', got {line!r}",
+                    path=path, line=lineno, column=tokens[0][1],
+                )
+            u = _parse_int(*tokens[1], "vertex u", path, lineno)
+            v = _parse_int(*tokens[2], "vertex v", path, lineno)
+            w = _parse_metric(*tokens[3], "weight", path, lineno)
+            c = _parse_metric(*tokens[4], "cost", path, lineno)
+            stated_edges += 1
+            sink.add(u, v, w, c, lineno, tokens[0][1])
+        else:
+            if policy.strict:
+                raise GraphFormatError(
+                    f"unknown record type {kind!r}",
+                    path=path, line=lineno, column=tokens[0][1],
+                )
+            report.skipped_lines += 1
+    if sink is None:
+        raise GraphFormatError("missing 'csp' header line", path=path)
+    if stated_edges != declared_edges:
+        raise GraphFormatError(
+            f"header declares {declared_edges} edges, file has "
+            f"{stated_edges}",
+            path=path,
+        )
+    return RoadNetwork.from_edges(sink.num_vertices, sink.edges)
+
+
+# ----------------------------------------------------------------------
+# DIMACS .gr pairs
+# ----------------------------------------------------------------------
+def load_dimacs_network(
+    weight_path: str,
+    cost_path: str,
+    policy: ParsePolicy = STRICT,
+) -> tuple[RoadNetwork, IngestReport]:
+    """Parse a DIMACS ``(weight, cost)`` file pair under ``policy``.
+
+    The two files must describe the **same arc multiset** over the same
+    vertex count; arcs are matched positionally when the files list them
+    in the same order, and by ``(u, v)`` occurrence otherwise, so a
+    reordered-but-equal pair still loads.  A genuine edge-set mismatch
+    (an arc present in one file and absent in the other) is reported
+    explicitly, with up to five examples — never papered over into an
+    inconsistent network.
+    """
+    report = IngestReport(
+        path=f"{weight_path} + {cost_path}", format="dimacs"
+    )
+    n_w, arcs_w, m_w = _parse_dimacs_file(weight_path, policy, report)
+    n_c, arcs_c, m_c = _parse_dimacs_file(cost_path, policy, report)
+    if n_w != n_c:
+        raise GraphFormatError(
+            f"weight file declares {n_w} vertices but cost file "
+            f"declares {n_c}",
+            path=cost_path,
+        )
+    if policy.strict:
+        for path, declared, arcs in (
+            (weight_path, m_w, arcs_w),
+            (cost_path, m_c, arcs_c),
+        ):
+            if declared != len(arcs):
+                raise GraphFormatError(
+                    f"problem line declares {declared} arcs, file has "
+                    f"{len(arcs)}",
+                    path=path,
+                )
+    paired = _pair_arcs(arcs_w, arcs_c, weight_path, cost_path)
+
+    sink = _EdgeSink(n_w, policy, report, report.path)
+    # DIMACS road networks list each undirected edge as two opposite
+    # arcs; collapse exact opposite/duplicate arcs into one edge.
+    seen: set[tuple[int, int, float, float]] = set()
+    for (u, v, w, c, lineno, col) in paired:
+        key = (min(u, v), max(u, v), w, c)
+        if key in seen:
+            continue
+        seen.add(key)
+        sink.add(u, v, w, c, lineno, col)
+    network = RoadNetwork.from_edges(n_w, sink.edges)
+    network = _finish(network, policy, report)
+    _record_metrics(report)
+    return network, report
+
+
+def _parse_dimacs_file(
+    path: str, policy: ParsePolicy, report: IngestReport
+) -> tuple[int, list[tuple[int, int, float, int, int]], int]:
+    """One ``.gr`` file → ``(n, [(u, v, value, line, col)], declared_m)``."""
+    try:
+        with open(path) as stream:
+            return _parse_dimacs_stream(stream, path, policy, report)
+    except OSError as exc:
+        raise GraphFormatError(f"cannot read file: {exc}", path=path) from exc
+
+
+def _parse_dimacs_stream(
+    stream: TextIO, path: str, policy: ParsePolicy, report: IngestReport
+) -> tuple[int, list[tuple[int, int, float, int, int]], int]:
+    n = -1
+    declared_m = 0
+    arcs: list[tuple[int, int, float, int, int]] = []
+    for lineno, raw in enumerate(stream, start=1):
+        report.lines += 1
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        tokens = _tokens(raw)
+        kind = tokens[0][0]
+        if kind == "p":
+            if n >= 0:
+                raise GraphFormatError(
+                    "repeated problem line",
+                    path=path, line=lineno, column=tokens[0][1],
+                )
+            if len(tokens) != 4 or tokens[1][0] != "sp":
+                raise GraphFormatError(
+                    f"problem line needs 'p sp <n> <m>', got {line!r}",
+                    path=path, line=lineno, column=tokens[0][1],
+                )
+            n = _parse_int(*tokens[2], "vertex count", path, lineno)
+            declared_m = _parse_int(*tokens[3], "arc count", path, lineno)
+            if n <= 0:
+                raise GraphFormatError(
+                    f"vertex count must be positive, got {n}",
+                    path=path, line=lineno, column=tokens[2][1],
+                )
+        elif kind == "a":
+            if n < 0:
+                raise GraphFormatError(
+                    "arc before 'p sp' problem line",
+                    path=path, line=lineno, column=tokens[0][1],
+                )
+            if len(tokens) != 4:
+                raise GraphFormatError(
+                    f"arc needs 'a <u> <v> <value>', got {line!r}",
+                    path=path, line=lineno, column=tokens[0][1],
+                )
+            u = _parse_int(*tokens[1], "vertex u", path, lineno) - 1
+            v = _parse_int(*tokens[2], "vertex v", path, lineno) - 1
+            value = _parse_metric(*tokens[3], "metric", path, lineno)
+            arcs.append((u, v, value, lineno, tokens[0][1]))
+        else:
+            if policy.strict:
+                raise GraphFormatError(
+                    f"unknown record type {kind!r}",
+                    path=path, line=lineno, column=tokens[0][1],
+                )
+            report.skipped_lines += 1
+    if n < 0:
+        raise GraphFormatError("missing 'p sp' problem line", path=path)
+    return n, arcs, declared_m
+
+
+def _pair_arcs(
+    arcs_w: list[tuple[int, int, float, int, int]],
+    arcs_c: list[tuple[int, int, float, int, int]],
+    weight_path: str,
+    cost_path: str,
+) -> Iterator[tuple[int, int, float, float, int, int]]:
+    """Match the two files' arcs into ``(u, v, w, c, line, col)``.
+
+    Fast path: the files list the same ``(u, v)`` sequence and arcs pair
+    positionally.  Otherwise arcs are matched by the i-th occurrence of
+    each ``(u, v)`` endpoint pair, which tolerates reordered files; a
+    genuine multiset mismatch raises with explicit per-arc counts.
+    """
+    if len(arcs_w) != len(arcs_c):
+        raise GraphFormatError(
+            f"edge-set mismatch: weight file has {len(arcs_w)} arcs, "
+            f"cost file has {len(arcs_c)}",
+            path=cost_path,
+        )
+    if all(
+        (aw[0], aw[1]) == (ac[0], ac[1])
+        for aw, ac in zip(arcs_w, arcs_c)
+    ):
+        for aw, ac in zip(arcs_w, arcs_c):
+            yield (aw[0], aw[1], aw[2], ac[2], aw[3], aw[4])
+        return
+
+    # Reordered files: match occurrence-by-occurrence per (u, v) key.
+    by_key: dict[tuple[int, int], list[tuple[int, int, float, int, int]]]
+    by_key = {}
+    for arc in arcs_c:
+        by_key.setdefault((arc[0], arc[1]), []).append(arc)
+    unmatched_w: list[tuple[int, int]] = []
+    pairs: list[tuple[int, int, float, float, int, int]] = []
+    for arc in arcs_w:
+        bucket = by_key.get((arc[0], arc[1]))
+        if not bucket:
+            unmatched_w.append((arc[0], arc[1]))
+            continue
+        mate = bucket.pop(0)
+        pairs.append((arc[0], arc[1], arc[2], mate[2], arc[3], arc[4]))
+    unmatched_c = [key for key, bucket in by_key.items() for _ in bucket]
+    if unmatched_w or unmatched_c:
+        raise GraphFormatError(
+            "edge-set mismatch between weight and cost files: "
+            + _mismatch_examples(unmatched_w, unmatched_c),
+            path=cost_path,
+        )
+    yield from pairs
+
+
+def _mismatch_examples(
+    only_weight: list[tuple[int, int]], only_cost: list[tuple[int, int]]
+) -> str:
+    parts = []
+    for name, arcs in (
+        ("weight", only_weight), ("cost", only_cost)
+    ):
+        if arcs:
+            shown = ", ".join(
+                f"({u + 1}, {v + 1})" for u, v in arcs[:_MAX_EXAMPLES]
+            )
+            more = (
+                f" (+{len(arcs) - _MAX_EXAMPLES} more)"
+                if len(arcs) > _MAX_EXAMPLES
+                else ""
+            )
+            parts.append(
+                f"{len(arcs)} arc(s) only in the {name} file: "
+                f"{shown}{more}"
+            )
+    return "; ".join(parts)
+
+
+# ----------------------------------------------------------------------
+# Connectivity handling
+# ----------------------------------------------------------------------
+def _finish(
+    network: RoadNetwork, policy: ParsePolicy, report: IngestReport
+) -> RoadNetwork:
+    """Apply the connectivity policy to a freshly parsed network."""
+    from repro.graph.algorithms import connected_components
+
+    components = connected_components(network)
+    report.components = len(components)
+    if len(components) > 1 and policy.lcc_fallback:
+        keep = max(components, key=lambda comp: (len(comp), -min(comp)))
+        keep_sorted = sorted(keep)
+        remap = {old: new for new, old in enumerate(keep_sorted)}
+        edges = [
+            (remap[u], remap[v], w, c)
+            for u, v, w, c in network.edges()
+            if u in remap and v in remap
+        ]
+        report.lcc_applied = True
+        report.vertices_dropped = network.num_vertices - len(keep_sorted)
+        report.edges_dropped_disconnected = (
+            network.num_edges - len(edges)
+        )
+        report.vertex_map = keep_sorted
+        network = RoadNetwork.from_edges(len(keep_sorted), edges)
+    if policy.require_connected and not network.is_connected():
+        raise DisconnectedGraphError(
+            f"{report.path}: network has {report.components} connected "
+            "components (enable lcc_fallback to keep the largest)"
+        )
+    return network
+
+
+def _record_metrics(report: IngestReport) -> None:
+    registry = get_registry()
+    if not registry.enabled:
+        return
+    fmt = {"format": report.format}
+    registry.counter(
+        "ingest_files_total", fmt, help="network files ingested"
+    ).inc()
+    registry.counter(
+        "ingest_edges_total", {**fmt, "action": "kept"},
+        help="edges by ingestion outcome",
+    ).inc(report.edges_kept)
+    for action, count in (
+        ("duplicate-dropped", report.duplicate_edges_dropped),
+        ("self-loop-dropped", report.self_loops_dropped),
+        ("bad-metric-dropped", report.bad_metric_edges_dropped),
+        ("disconnected-dropped", report.edges_dropped_disconnected),
+    ):
+        if count:
+            registry.counter(
+                "ingest_edges_total", {**fmt, "action": action},
+                help="edges by ingestion outcome",
+            ).inc(count)
+    if report.skipped_lines:
+        registry.counter(
+            "ingest_skipped_lines_total", fmt,
+            help="unparseable lines skipped in lenient mode",
+        ).inc(report.skipped_lines)
+    if report.lcc_applied:
+        registry.counter(
+            "ingest_lcc_fallback_total", fmt,
+            help="disconnected inputs reduced to their largest component",
+        ).inc()
+        registry.counter(
+            "ingest_vertices_dropped_total", fmt,
+            help="vertices outside the kept largest component",
+        ).inc(report.vertices_dropped)

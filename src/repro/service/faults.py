@@ -24,6 +24,13 @@ Injection points (:data:`INJECTION_POINTS`):
     Fired by :class:`repro.service.ladder.QueryService` before
     delegating to a tier (``ctx["engine"]`` is the tier name) — the
     degradation ladder's primary chaos hook.
+``build-level``
+    Fired by :func:`repro.resilience.checkpoint.
+    build_labels_checkpointed` twice per depth level (``ctx["level"]``
+    is the level index, ``ctx["stage"]`` is ``"computed"`` — before the
+    level's checkpoint is written — or ``"checkpointed"`` — after) —
+    the kill-and-resume suite's hook for crashing a build at every
+    level boundary.
 ``clock``
     Not an exception point: setting :attr:`FaultInjector.clock` makes
     the service build deadlines on the injected clock, so tests can
@@ -46,6 +53,7 @@ INJECTION_POINTS: tuple[str, ...] = (
     "save-index",
     "label-fetch",
     "engine-query",
+    "build-level",
     "clock",
 )
 

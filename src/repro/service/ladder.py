@@ -78,6 +78,16 @@ class ServiceConfig:
     #: Skyline-frontier cache capacity for the QHL tier (pairs);
     #: ``0`` disables caching and keeps the plain QHL engine.
     cache_size: int = 0
+    #: Audit the index (structural invariants + seeded spot-checks
+    #: against constrained Dijkstra) before serving from it; an index
+    #: that fails is dropped and the service degrades to its index-free
+    #: tier, with the report kept in ``service.audit_report``.
+    require_audit: bool = False
+    #: Spot-check queries the audit gate runs (see
+    #: :func:`repro.resilience.audit.audit_index`).
+    audit_queries: int = 8
+    #: Seed for the audit gate's sampling.
+    audit_seed: int = 0
 
 
 class _Tier:
@@ -123,10 +133,16 @@ class QueryService:
         self.config = config or ServiceConfig()
         self._clock = clock if clock is not None else time.monotonic
         self.index_load_error: ReproError | None = None
+        #: The :class:`~repro.resilience.audit.AuditReport` of the
+        #: ``require_audit`` gate (``None`` when the gate is off or no
+        #: index was available to audit).
+        self.audit_report = None
         if index is None and index_path is not None:
             index = self._load_index(index_path)
         if network is None and index is not None:
             network = index.network
+        if index is not None and self.config.require_audit:
+            index = self._audit_gate(index)
         if network is None and index is None and not engines:
             if self.index_load_error is not None:
                 # Nothing to degrade to: surface the typed load error.
@@ -144,6 +160,8 @@ class QueryService:
             )
         ]
         if not self._tiers:
+            if self.index_load_error is not None:
+                raise self.index_load_error
             raise ValueError("QueryService ended up with no tiers")
 
     # ------------------------------------------------------------------
@@ -169,6 +187,41 @@ class QueryService:
                     help="index loads that failed and degraded the service",
                 ).inc()
             return None
+
+    def _audit_gate(self, index: QHLIndex) -> QHLIndex | None:
+        """Run the opt-in index audit; drop a failing index.
+
+        Degradation, not death: like a corrupt index file, an index
+        that fails its self-audit is treated as a rebuildable cache —
+        the service keeps running on the index-free tier, the typed
+        :class:`~repro.exceptions.AuditError` (with the full report)
+        lands in ``index_load_error``, and the report is kept in
+        ``audit_report`` either way.
+        """
+        from repro.exceptions import AuditError
+        from repro.resilience.audit import audit_index
+
+        report = audit_index(
+            index,
+            queries=self.config.audit_queries,
+            seed=self.config.audit_seed,
+        )
+        self.audit_report = report
+        if report.ok:
+            return index
+        self.index_load_error = AuditError(
+            "index failed its self-audit "
+            f"({', '.join(report.failed_checks())}); "
+            "serving index-free",
+            report=report,
+        )
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(
+                "service_index_audit_failures_total",
+                help="indexes rejected by the require_audit gate",
+            ).inc()
+        return None
 
     def _build_engines(self) -> list:
         engines = []

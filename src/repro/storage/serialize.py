@@ -130,6 +130,53 @@ def _dumps_payload(obj, what: str) -> bytes:
         ) from exc
 
 
+def save_envelope(path: str, magic: str, obj: dict) -> int:
+    """Write any plain dict through the atomic + checksummed envelope.
+
+    The generic primitive behind :func:`save_index` and the build
+    checkpoints (:mod:`repro.resilience.checkpoint`): pickle under the
+    capped recursion limit, wrap in a ``{magic, version, checksum,
+    payload}`` envelope, and land it with temp-file + fsync +
+    ``os.replace``.  Returns the file size in bytes.
+    """
+    payload = _dumps_payload(obj, f"{magic} payload")
+    envelope = {
+        "magic": magic,
+        "version": FORMAT_VERSION,
+        "checksum": _sha256(payload),
+        "payload": payload,
+    }
+    _atomic_write_bytes(
+        path, pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL)
+    )
+    return os.path.getsize(path)
+
+
+def load_envelope(
+    path: str, magic: str, verify_checksum: bool = True
+) -> dict:
+    """Read a dict written by :func:`save_envelope`.
+
+    Raises
+    ------
+    SerializationError
+        On missing files, foreign pickles, checksum mismatches, or
+        version mismatches — the same contract as :func:`load_index`.
+    """
+    if not os.path.exists(path):
+        raise SerializationError(f"file {path!r} does not exist")
+    if os.path.isdir(path):
+        raise SerializationError(f"{path!r} is a directory, not a file")
+    try:
+        with _raised_recursion_limit(), open(path, "rb") as f:
+            envelope = pickle.load(f)
+    except _PICKLE_ERRORS as exc:
+        raise SerializationError(
+            f"{path!r} is not a readable {magic} file: {exc}"
+        ) from exc
+    return _open_envelope(envelope, path, magic, verify_checksum, magic)
+
+
 def save_index(
     index: QHLIndex, path: str, keep_shortcuts: bool = False
 ) -> int:

@@ -1,0 +1,311 @@
+"""Fuzz/property tests for the validating ingestion layer.
+
+Contract under test (``repro.resilience.ingest``): *every* malformed
+input — truncated files, junk lines, mismatched counts, bad metrics,
+inconsistent DIMACS pairs — raises a typed
+:class:`~repro.exceptions.GraphFormatError` with path/line/column
+context.  Never a bare ``ValueError``/``IndexError``/``KeyError``, and
+never a silently wrong network.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import (
+    DisconnectedGraphError,
+    GraphFormatError,
+    InvalidGraphError,
+)
+from repro.graph import random_connected_network, write_csp_text
+from repro.graph.io import read_csp_text, read_dimacs_pair
+from repro.resilience.ingest import (
+    LENIENT,
+    STRICT,
+    ParsePolicy,
+    load_csp_network,
+    load_dimacs_network,
+)
+
+
+def csp_file(tmp_path, text: str, name: str = "net.csp") -> str:
+    path = tmp_path / name
+    path.write_text(text)
+    return str(path)
+
+
+def gr_pair(tmp_path, weight_text: str, cost_text: str) -> tuple[str, str]:
+    w = tmp_path / "net.w.gr"
+    c = tmp_path / "net.c.gr"
+    w.write_text(weight_text)
+    c.write_text(cost_text)
+    return str(w), str(c)
+
+
+GOOD_CSP = "csp 3 2\ne 0 1 2 3\ne 1 2 4 5\n"
+
+
+# ----------------------------------------------------------------------
+# CSP text: every malformation is a located, typed error
+# ----------------------------------------------------------------------
+class TestCSPFormatErrors:
+    @pytest.mark.parametrize(
+        "text,fragment",
+        [
+            ("", "missing 'csp' header"),
+            ("e 0 1 2 3\n", "before 'csp' header"),
+            ("csp 3\ne 0 1 2 3\n", "header needs"),
+            ("csp three 2\n", "must be an integer"),
+            ("csp 0 0\n", "must be positive"),
+            ("csp 3 -1\n", "must be non-negative"),
+            ("csp 3 2\ncsp 3 2\n", "repeated 'csp' header"),
+            # Truncated: header promises 2 edges, file ends after 1.
+            ("csp 3 2\ne 0 1 2 3\n", "declares 2 edges, file has 1"),
+            # Truncated mid-record: an edge line missing its metrics.
+            ("csp 3 2\ne 0 1 2 3\ne 1 2\n", "edge needs"),
+            ("csp 3 2\ne 0 1 2 3\ne 1 two 4 5\n", "must be an integer"),
+            ("csp 3 2\ne 0 1 2 3\ne 1 2 4 x\n", "must be a number"),
+            ("csp 3 1\ne 0 9 2 3\n", "out of range"),
+            ("csp 3 1\ne 1 1 2 3\n", "self loop"),
+            ("csp 3 1\ne 0 1 0 3\n", "finite positive metrics"),
+            ("csp 3 1\ne 0 1 -2 3\n", "finite positive metrics"),
+            ("csp 3 1\ne 0 1 2 -3\n", "finite positive metrics"),
+            ("csp 3 1\ne 0 1 nan 3\n", "finite positive metrics"),
+            ("csp 3 1\ne 0 1 inf 3\n", "finite positive metrics"),
+            ("csp 3 2\ne 0 1 2 3\njunk line here\n", "unknown record"),
+        ],
+    )
+    def test_malformed_input_raises_located_error(
+        self, tmp_path, text, fragment
+    ):
+        path = csp_file(tmp_path, text)
+        with pytest.raises(GraphFormatError) as excinfo:
+            load_csp_network(path)
+        assert fragment in str(excinfo.value)
+        assert excinfo.value.path == path
+
+    def test_error_carries_line_and_column(self, tmp_path):
+        path = csp_file(tmp_path, "csp 3 2\ne 0 1 2 3\ne 1 2 4 x\n")
+        with pytest.raises(GraphFormatError) as excinfo:
+            load_csp_network(path)
+        assert excinfo.value.line == 3
+        assert excinfo.value.column == 9
+        assert f"{path}, line 3, col 9" in str(excinfo.value)
+
+    def test_missing_file_is_format_error(self, tmp_path):
+        with pytest.raises(GraphFormatError, match="cannot read file"):
+            load_csp_network(str(tmp_path / "nope.csp"))
+
+    def test_format_error_is_invalid_graph_error(self, tmp_path):
+        # Callers catching the historical type keep working.
+        path = csp_file(tmp_path, "csp 3 1\ne 0 1 0 3\n")
+        with pytest.raises(InvalidGraphError):
+            read_csp_text(path)
+
+
+class TestCSPPolicies:
+    def test_lenient_skips_junk_and_drops_bad_edges(self, tmp_path):
+        path = csp_file(
+            tmp_path,
+            "csp 4 6\n"
+            "garbage that is not a record\n"
+            "e 0 1 2 3\n"
+            "e 1 1 2 3\n"      # self loop
+            "e 1 2 0 3\n"      # zero weight
+            "e 2 3 -1 3\n"     # negative weight
+            "e 0 1 2 3\n"      # exact duplicate
+            "e 2 3 4 5\n",
+        )
+        network, report = load_csp_network(path, policy=LENIENT)
+        assert report.skipped_lines == 1
+        assert report.self_loops_dropped == 1
+        assert report.bad_metric_edges_dropped == 2
+        assert report.duplicate_edges_dropped == 1
+        assert report.edges_kept == 2
+        # Dropping the bad 1-2 edge disconnected {0,1} from {2,3}; the
+        # lenient policy's LCC fallback then kept one component.
+        assert report.lcc_applied
+        assert network.num_vertices == 2
+        assert network.num_edges == 1
+
+    def test_duplicate_reject_policy(self, tmp_path):
+        path = csp_file(tmp_path, "csp 3 2\ne 0 1 2 3\ne 1 0 2 3\n")
+        policy = ParsePolicy(duplicate_edges="reject")
+        with pytest.raises(GraphFormatError, match="duplicate edge"):
+            load_csp_network(path, policy=policy)
+
+    def test_parallel_edges_with_distinct_metrics_always_kept(
+        self, tmp_path
+    ):
+        # Distinct trade-offs matter for skylines; only exact repeats
+        # count as duplicates.
+        path = csp_file(tmp_path, "csp 3 2\ne 0 1 2 3\ne 0 1 3 2\n")
+        network, report = load_csp_network(
+            path, policy=ParsePolicy(duplicate_edges="dedupe")
+        )
+        assert network.num_edges == 2
+        assert report.duplicate_edges_dropped == 0
+
+    def test_lcc_fallback_keeps_largest_component(self, tmp_path):
+        path = csp_file(
+            tmp_path,
+            "csp 6 4\n"
+            "e 0 1 1 1\ne 1 2 1 1\ne 2 3 1 1\n"  # component {0,1,2,3}
+            "e 4 5 1 1\n",                       # component {4,5}
+        )
+        policy = dataclasses.replace(STRICT, lcc_fallback=True)
+        network, report = load_csp_network(path, policy=policy)
+        assert network.num_vertices == 4
+        assert network.num_edges == 3
+        assert report.components == 2
+        assert report.lcc_applied
+        assert report.vertices_dropped == 2
+        assert report.edges_dropped_disconnected == 1
+        assert report.vertex_map == [0, 1, 2, 3]
+
+    def test_require_connected_raises_without_fallback(self, tmp_path):
+        path = csp_file(tmp_path, "csp 4 2\ne 0 1 1 1\ne 2 3 1 1\n")
+        policy = dataclasses.replace(STRICT, require_connected=True)
+        with pytest.raises(DisconnectedGraphError, match="2 connected"):
+            load_csp_network(path, policy=policy)
+
+    def test_bad_policy_values_rejected(self):
+        with pytest.raises(ValueError):
+            ParsePolicy(duplicate_edges="maybe")
+        with pytest.raises(ValueError):
+            ParsePolicy(self_loops="sometimes")
+
+
+# ----------------------------------------------------------------------
+# DIMACS pairs: mismatches are explicit, reordering is tolerated
+# ----------------------------------------------------------------------
+GOOD_W = "c weight\np sp 3 4\na 1 2 5\na 2 1 5\na 2 3 7\na 3 2 7\n"
+GOOD_C = "c cost\np sp 3 4\na 1 2 2\na 2 1 2\na 2 3 3\na 3 2 3\n"
+
+
+class TestDimacsErrors:
+    def test_good_pair_loads(self, tmp_path):
+        w, c = gr_pair(tmp_path, GOOD_W, GOOD_C)
+        network, report = load_dimacs_network(w, c)
+        assert network.num_vertices == 3
+        assert network.num_edges == 2
+        assert sorted(network.edges()) == [(0, 1, 5, 2), (1, 2, 7, 3)]
+        assert report.format == "dimacs"
+
+    def test_vertex_count_mismatch(self, tmp_path):
+        w, c = gr_pair(tmp_path, GOOD_W, GOOD_C.replace("p sp 3", "p sp 4"))
+        with pytest.raises(GraphFormatError, match="declares 4"):
+            load_dimacs_network(w, c)
+
+    def test_arc_count_mismatch_names_missing_arcs(self, tmp_path):
+        # Cost file lacks the (2, 3)/(3, 2) arcs entirely.
+        short_c = "p sp 3 2\na 1 2 2\na 2 1 2\n"
+        w, c = gr_pair(tmp_path, GOOD_W, short_c)
+        with pytest.raises(GraphFormatError, match="edge-set mismatch"):
+            load_dimacs_network(w, c)
+
+    def test_different_arcs_same_count_lists_examples(self, tmp_path):
+        # Same arc count, but the cost file replaced (2,3)/(3,2) with
+        # (1,3)/(3,1): a genuine edge-set mismatch, reported with the
+        # offending arcs from both files.
+        other_c = "p sp 3 4\na 1 2 2\na 2 1 2\na 1 3 3\na 3 1 3\n"
+        w, c = gr_pair(tmp_path, GOOD_W, other_c)
+        with pytest.raises(GraphFormatError) as excinfo:
+            load_dimacs_network(w, c)
+        message = str(excinfo.value)
+        assert "only in the weight file" in message
+        assert "(2, 3)" in message
+        assert "only in the cost file" in message
+        assert "(1, 3)" in message
+
+    def test_reordered_pair_still_loads(self, tmp_path):
+        # Same arc multiset, different order: matched by occurrence.
+        reordered_c = "p sp 3 4\na 2 3 3\na 3 2 3\na 1 2 2\na 2 1 2\n"
+        w, c = gr_pair(tmp_path, GOOD_W, reordered_c)
+        network, _report = load_dimacs_network(w, c)
+        assert sorted(network.edges()) == [(0, 1, 5, 2), (1, 2, 7, 3)]
+
+    def test_declared_arc_count_enforced_in_strict(self, tmp_path):
+        truncated_w = "p sp 3 4\na 1 2 5\na 2 1 5\n"
+        truncated_c = "p sp 3 4\na 1 2 2\na 2 1 2\n"
+        w, c = gr_pair(tmp_path, truncated_w, truncated_c)
+        with pytest.raises(GraphFormatError, match="declares 4 arcs"):
+            load_dimacs_network(w, c)
+
+    @pytest.mark.parametrize(
+        "bad_w,fragment",
+        [
+            ("a 1 2 5\n", "before 'p sp'"),
+            ("p sp 3\na 1 2 5\n", "problem line needs"),
+            ("p sp 3 4\na 1 2\n", "arc needs"),
+            ("p sp 3 4\na 1 two 5\n", "must be an integer"),
+            ("p sp 3 4\na 1 2 x\n", "must be a number"),
+            ("q sp 3 4\n", "unknown record"),
+        ],
+    )
+    def test_malformed_gr_file(self, tmp_path, bad_w, fragment):
+        w, c = gr_pair(tmp_path, bad_w, GOOD_C)
+        with pytest.raises(GraphFormatError, match=fragment):
+            load_dimacs_network(w, c)
+
+    def test_reader_wrapper_raises_typed_error(self, tmp_path):
+        w, c = gr_pair(tmp_path, GOOD_W, GOOD_C.replace("a 2 3 3\n", ""))
+        with pytest.raises(GraphFormatError):
+            read_dimacs_pair(w, c)
+
+
+# ----------------------------------------------------------------------
+# Properties: arbitrary junk never escapes the typed-error contract,
+# and well-formed files round-trip exactly
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None, derandomize=True)
+@given(text=st.text(max_size=300))
+def test_arbitrary_text_raises_only_typed_errors(tmp_path_factory, text):
+    path = tmp_path_factory.mktemp("fuzz") / "any.csp"
+    path.write_text(text)
+    try:
+        network, _report = load_csp_network(str(path))
+    except InvalidGraphError:
+        pass  # GraphFormatError or a structural rejection: both typed
+    else:
+        assert network.num_vertices > 0
+
+
+@settings(max_examples=40, deadline=None, derandomize=True)
+@given(
+    prefix=st.sampled_from(
+        [GOOD_CSP, GOOD_CSP.replace("csp 3 2", "csp 3 9")]
+    ),
+    cut=st.integers(min_value=0, max_value=len(GOOD_CSP)),
+)
+def test_truncated_files_raise_typed_errors(tmp_path_factory, prefix, cut):
+    """Any prefix of a valid file either parses or fails with a typed
+    error — truncation can never produce an unhandled exception."""
+    path = tmp_path_factory.mktemp("trunc") / "cut.csp"
+    path.write_text(prefix[:cut])
+    try:
+        load_csp_network(str(path))
+    except GraphFormatError:
+        pass
+
+
+@settings(max_examples=25, deadline=None, derandomize=True)
+@given(
+    num_vertices=st.integers(min_value=2, max_value=16),
+    extra_edges=st.integers(min_value=0, max_value=12),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_csp_round_trip_is_exact(
+    tmp_path_factory, num_vertices, extra_edges, seed
+):
+    network = random_connected_network(num_vertices, extra_edges, seed=seed)
+    path = tmp_path_factory.mktemp("rt") / "round.csp"
+    write_csp_text(network, str(path))
+    loaded, report = load_csp_network(str(path))
+    assert loaded.num_vertices == network.num_vertices
+    assert sorted(loaded.edges()) == sorted(network.edges())
+    assert report.edges_kept == network.num_edges
+    assert report.components == 1

@@ -1,0 +1,234 @@
+"""Checkpointed/resumable label builds (``repro.resilience.checkpoint``).
+
+The load-bearing claim: a build interrupted at *any* point and resumed
+produces labels byte-identical (on the canonical compact form) to an
+uninterrupted build — for the sequential and the level-parallel path.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.exceptions import BuildBudgetExceededError, IndexBuildError
+from repro.graph import grid_network, random_connected_network
+from repro.hierarchy.decomposition import build_tree_decomposition
+from repro.labeling.builder import build_labels
+from repro.labeling.parallel import depth_levels
+from repro.observability.metrics import MetricsRegistry, use_registry
+from repro.resilience.checkpoint import (
+    BuildBudget,
+    CheckpointStore,
+    build_labels_checkpointed,
+    tree_fingerprint,
+)
+from repro.storage.compact import pack_labels
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return build_tree_decomposition(grid_network(6, 6, seed=7))
+
+
+@pytest.fixture(scope="module")
+def fresh_bytes(tree):
+    return pack_labels(build_labels(tree))
+
+
+def level_files(directory: str) -> list[str]:
+    return sorted(
+        name for name in os.listdir(directory)
+        if name.startswith("level-")
+    )
+
+
+class TestCheckpointedBuild:
+    def test_fresh_checkpointed_build_matches_plain(
+        self, tree, fresh_bytes, tmp_path
+    ):
+        store = build_labels_checkpointed(tree, str(tmp_path))
+        assert pack_labels(store) == fresh_bytes
+
+    def test_writes_one_checkpoint_per_level(self, tree, tmp_path):
+        build_labels_checkpointed(tree, str(tmp_path))
+        assert len(level_files(str(tmp_path))) == len(depth_levels(tree))
+        assert os.path.exists(tmp_path / "manifest.ckpt")
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_resume_from_every_level_is_byte_identical(
+        self, tree, fresh_bytes, tmp_path, workers
+    ):
+        num_levels = len(depth_levels(tree))
+        for crash_level in range(num_levels):
+            directory = str(tmp_path / f"w{workers}-crash{crash_level}")
+            checkpoint = CheckpointStore(directory)
+            build_labels_checkpointed(tree, checkpoint, workers=workers)
+            # Simulate dying right after `crash_level` completed: later
+            # checkpoints never made it to disk.
+            for name in level_files(directory):
+                if int(name[6:12]) > crash_level:
+                    os.remove(os.path.join(directory, name))
+            resumed = build_labels_checkpointed(
+                tree, checkpoint, workers=workers, resume=True
+            )
+            assert pack_labels(resumed) == fresh_bytes, (
+                f"resume after level {crash_level} "
+                f"(workers={workers}) diverged"
+            )
+
+    def test_resume_on_empty_directory_builds_from_scratch(
+        self, tree, fresh_bytes, tmp_path
+    ):
+        store = build_labels_checkpointed(
+            tree, str(tmp_path / "empty"), resume=True
+        )
+        assert pack_labels(store) == fresh_bytes
+
+    def test_corrupt_level_checkpoint_is_recomputed(
+        self, tree, fresh_bytes, tmp_path
+    ):
+        directory = str(tmp_path)
+        build_labels_checkpointed(tree, directory)
+        files = level_files(directory)
+        victim = os.path.join(directory, files[len(files) // 2])
+        with open(victim, "r+b") as f:
+            f.seek(40)
+            f.write(b"\xff\xff\xff\xff")
+        resumed = build_labels_checkpointed(tree, directory, resume=True)
+        assert pack_labels(resumed) == fresh_bytes
+
+    def test_resumed_store_keeps_path_provenance(self, tree, tmp_path):
+        directory = str(tmp_path)
+        build_labels_checkpointed(tree, directory)
+        files = level_files(directory)
+        os.remove(os.path.join(directory, files[-1]))
+        resumed = build_labels_checkpointed(tree, directory, resume=True)
+        # Entries restored from checkpoints (not just recomputed ones)
+        # still carry provenance, so path retrieval works after resume.
+        assert all(
+            len(entry) > 2 and entry[2] is not None
+            for _v, _u, entries in resumed.items()
+            for entry in entries
+        )
+
+    def test_fingerprint_mismatch_rejects_stale_checkpoints(
+        self, tree, tmp_path
+    ):
+        directory = str(tmp_path)
+        build_labels_checkpointed(tree, directory)
+        other_tree = build_tree_decomposition(grid_network(6, 6, seed=8))
+        with pytest.raises(IndexBuildError, match="different network"):
+            build_labels_checkpointed(other_tree, directory, resume=True)
+
+    def test_fingerprint_covers_build_params(self, tree):
+        base = tree_fingerprint(tree, True, None)
+        assert tree_fingerprint(tree, False, None) != base
+        assert tree_fingerprint(tree, True, 4) != base
+        assert tree_fingerprint(tree, True, None) == base
+
+    def test_non_resume_clears_stale_checkpoints(self, tree, tmp_path):
+        directory = str(tmp_path)
+        checkpoint = CheckpointStore(directory)
+        build_labels_checkpointed(tree, checkpoint)
+        before = len(level_files(directory))
+        # A fresh (resume=False) run against the same directory starts
+        # over instead of trusting old files.
+        other_tree = build_tree_decomposition(grid_network(5, 5, seed=1))
+        build_labels_checkpointed(other_tree, checkpoint)
+        assert len(level_files(directory)) == len(depth_levels(other_tree))
+        assert len(level_files(directory)) < before
+
+    def test_builder_facade_routes_to_checkpointed_path(
+        self, tree, fresh_bytes, tmp_path
+    ):
+        store = build_labels(tree, checkpoint=str(tmp_path))
+        assert pack_labels(store) == fresh_bytes
+        assert level_files(str(tmp_path))
+
+    def test_budget_without_checkpoint_rejected(self, tree):
+        with pytest.raises(IndexBuildError, match="checkpoint"):
+            build_labels(tree, budget=BuildBudget(max_seconds=1))
+        with pytest.raises(IndexBuildError, match="checkpoint"):
+            build_labels(tree, resume=True)
+
+
+class TestBuildBudget:
+    def test_time_budget_checkpoints_then_raises(self, tree, tmp_path):
+        ticks = iter(range(0, 1000, 10))  # each check sees +10s
+        budget = BuildBudget(max_seconds=5, clock=lambda: next(ticks))
+        with pytest.raises(BuildBudgetExceededError) as excinfo:
+            build_labels_checkpointed(
+                tree, str(tmp_path), budget=budget
+            )
+        assert excinfo.value.level == 0
+        assert excinfo.value.elapsed_s == 10
+        assert "--resume" in str(excinfo.value)
+
+    def test_exhausted_build_resumes_to_identical_bytes(
+        self, tree, fresh_bytes, tmp_path
+    ):
+        # Give the watchdog enough budget for a few levels, crash, then
+        # finish with --resume semantics.
+        clock = {"now": 0.0}
+
+        def tick():
+            clock["now"] += 1.0
+            return clock["now"]
+
+        directory = str(tmp_path)
+        with pytest.raises(BuildBudgetExceededError) as excinfo:
+            build_labels_checkpointed(
+                tree, directory,
+                budget=BuildBudget(max_seconds=3, clock=tick),
+            )
+        assert excinfo.value.level > 0  # some levels did complete
+        resumed = build_labels_checkpointed(tree, directory, resume=True)
+        assert pack_labels(resumed) == fresh_bytes
+
+    def test_memory_budget_raises(self, tree, tmp_path, monkeypatch):
+        import repro.resilience.checkpoint as checkpoint_mod
+
+        monkeypatch.setattr(checkpoint_mod, "_rss_mb", lambda: 4096.0)
+        with pytest.raises(BuildBudgetExceededError) as excinfo:
+            build_labels_checkpointed(
+                tree, str(tmp_path),
+                budget=BuildBudget(max_rss_mb=1024),
+            )
+        assert excinfo.value.rss_mb == 4096.0
+
+    def test_no_limits_never_raises(self, tree, tmp_path):
+        build_labels_checkpointed(
+            tree, str(tmp_path), budget=BuildBudget()
+        )
+
+
+class TestCheckpointMetrics:
+    def test_restored_and_built_levels_are_counted(self, tree, tmp_path):
+        directory = str(tmp_path)
+        build_labels_checkpointed(tree, directory)
+        files = level_files(directory)
+        for name in files[2:]:
+            os.remove(os.path.join(directory, name))
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            build_labels_checkpointed(tree, directory, resume=True)
+        restored = registry.counter("build_resume_levels_restored_total")
+        built = registry.counter("build_checkpoint_levels_total")
+        assert restored.value == 2
+        assert built.value == len(files) - 2
+
+
+class TestRandomNetworks:
+    @pytest.mark.parametrize("seed", [0, 3, 11])
+    def test_resume_identity_on_random_graphs(self, seed, tmp_path):
+        network = random_connected_network(24, 20, seed=seed)
+        tree = build_tree_decomposition(network)
+        expected = pack_labels(build_labels(tree))
+        directory = str(tmp_path / f"s{seed}")
+        build_labels_checkpointed(tree, directory)
+        files = level_files(directory)
+        for name in files[max(1, len(files) // 2):]:
+            os.remove(os.path.join(directory, name))
+        resumed = build_labels_checkpointed(tree, directory, resume=True)
+        assert pack_labels(resumed) == expected

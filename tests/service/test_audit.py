@@ -1,0 +1,302 @@
+"""The deep index audit and its corruption matrix.
+
+Five seeded corruption classes, each mapped to the named check that
+must catch it:
+
+==============================  ======================
+corruption                      failing check
+==============================  ======================
+dominated skyline entry         ``label-dominance``
+swapped / non-increasing costs  ``label-order``
+dropped hoplink                 ``label-coverage``
+truncated label table           ``label-coverage``
+stale storage checksum          ``storage-checksum`` (``repro verify``)
+==============================  ======================
+
+Plus: the audit passes on every honestly built index, the wrong-values
+class (structurally valid, semantically wrong) falls to the
+spot-check, and the :class:`~repro.service.ladder.QueryService`
+``require_audit`` gate degrades instead of serving from a bad index.
+"""
+
+from __future__ import annotations
+
+import copy
+import pickle
+
+import pytest
+
+from repro.cli import main
+from repro.exceptions import AuditError, SerializationError
+from repro.observability.metrics import MetricsRegistry, use_registry
+from repro.resilience.audit import audit_index
+from repro.service import QueryService, ServiceConfig
+from repro.storage.serialize import load_index, save_index
+
+
+# ----------------------------------------------------------------------
+# Corruption helpers (each returns a deep-copied, seeded-bad index)
+# ----------------------------------------------------------------------
+def _rich_pair(index, min_entries=2):
+    """Some ``(v, u, entries)`` with at least ``min_entries`` entries."""
+    for v, u, entries in index.labels.items():
+        if len(entries) >= min_entries:
+            return v, u, entries
+    raise AssertionError("index has no skyline set large enough")
+
+
+def corrupt_dominated_entry(index):
+    """Append an entry dominated by the set's last entry (costs stay
+    sorted, so only dominance-freeness breaks)."""
+    bad = copy.deepcopy(index)
+    _v, _u, entries = _rich_pair(bad, min_entries=1)
+    last = entries[-1]
+    entries.append((last[0], last[1] + 1, None))
+    return bad
+
+
+def corrupt_cost_order(index):
+    """Swap the first two entries of one set: costs now decrease."""
+    bad = copy.deepcopy(index)
+    _v, _u, entries = _rich_pair(bad)
+    entries[0], entries[1] = entries[1], entries[0]
+    return bad
+
+
+def corrupt_dropped_hoplink(index):
+    """Delete one hub from one label: an ancestor loses its entry."""
+    bad = copy.deepcopy(index)
+    v, u, _entries = _rich_pair(bad, min_entries=1)
+    del bad.labels.label(v)[u]
+    return bad
+
+
+def corrupt_truncated_table(index):
+    """Wipe the whole label of the deepest vertices, as a torn write
+    to a label table would."""
+    bad = copy.deepcopy(index)
+    victims = sorted(
+        range(bad.tree.num_vertices),
+        key=lambda v: bad.tree.depth[v],
+        reverse=True,
+    )[:3]
+    for v in victims:
+        bad.labels.label(v).clear()
+    return bad
+
+
+def corrupt_label_values(index):
+    """Halve every weight: structurally pristine, semantically wrong."""
+    bad = copy.deepcopy(index)
+    for v, u, entries in list(bad.labels.items()):
+        bad.labels.set(
+            v, u, [(w * 0.5, c, None) for (w, c, *_rest) in entries]
+        )
+    return bad
+
+
+CORRUPTIONS = {
+    "dominated-entry": (corrupt_dominated_entry, "label-dominance"),
+    "swapped-cost-order": (corrupt_cost_order, "label-order"),
+    "dropped-hoplink": (corrupt_dropped_hoplink, "label-coverage"),
+    "truncated-table": (corrupt_truncated_table, "label-coverage"),
+}
+
+
+# ----------------------------------------------------------------------
+# audit_index() itself
+# ----------------------------------------------------------------------
+class TestAuditIndex:
+    def test_clean_index_passes_every_check(self, service_index):
+        report = audit_index(service_index, queries=6, seed=3)
+        assert report.ok
+        assert {check.name for check in report.checks} == {
+            "tree-structure",
+            "label-order",
+            "label-dominance",
+            "label-coverage",
+            "lca",
+            "spot-check",
+        }
+        assert all(check.checked > 0 for check in report.checks)
+
+    @pytest.mark.parametrize("name", sorted(CORRUPTIONS))
+    def test_each_corruption_trips_its_check(self, service_index, name):
+        mutate, expected_check = CORRUPTIONS[name]
+        bad = mutate(service_index)
+        report = audit_index(bad, queries=0, seed=0)
+        assert not report.ok
+        assert expected_check in report.failed_checks(), (
+            f"{name}: expected {expected_check} to fail, "
+            f"got {report.failed_checks()}"
+        )
+
+    def test_order_and_dominance_checks_are_distinct(self, service_index):
+        # An equal-cost entry with still-decreasing weights violates
+        # *only* the cost order; an appended dominated entry violates
+        # *only* dominance-freeness.
+        order_bad = copy.deepcopy(service_index)
+        _v, _u, entries = _rich_pair(order_bad)
+        entries[1] = (entries[1][0], entries[0][1], None)
+        report = audit_index(order_bad, queries=0)
+        assert "label-order" in report.failed_checks()
+        assert "label-dominance" not in report.failed_checks()
+
+        dom_bad = corrupt_dominated_entry(service_index)
+        report = audit_index(dom_bad, queries=0)
+        assert "label-dominance" in report.failed_checks()
+        assert "label-order" not in report.failed_checks()
+
+    def test_wrong_values_fall_to_the_spot_check(self, service_index):
+        bad = corrupt_label_values(service_index)
+        structural = audit_index(bad, queries=0)
+        assert structural.ok  # order/dominance/coverage all still hold
+        semantic = audit_index(bad, queries=8, seed=1)
+        assert semantic.failed_checks() == ["spot-check"]
+
+    def test_report_is_machine_readable(self, service_index):
+        bad = corrupt_dropped_hoplink(service_index)
+        data = audit_index(bad, queries=0).to_dict()
+        assert data["ok"] is False
+        by_name = {check["name"]: check for check in data["checks"]}
+        coverage = by_name["label-coverage"]
+        assert coverage["problem_count"] >= 1
+        assert "missing" in coverage["problems"][0]
+
+    def test_index_audit_facade(self, service_index):
+        assert service_index.audit(queries=2, seed=0).ok
+
+    def test_audit_metrics_land_in_registry(self, service_index):
+        registry = MetricsRegistry()
+        bad = corrupt_dominated_entry(service_index)
+        with use_registry(registry):
+            audit_index(service_index, queries=2, seed=0)
+            audit_index(bad, queries=0, seed=0)
+        assert registry.counter(
+            "audit_runs_total", {"status": "pass"}
+        ).value == 1
+        assert registry.counter(
+            "audit_runs_total", {"status": "fail"}
+        ).value == 1
+        assert registry.counter(
+            "audit_checks_total",
+            {"check": "label-dominance", "status": "fail"},
+        ).value == 1
+        assert registry.counter(
+            "audit_problems_total", {"check": "label-dominance"}
+        ).value >= 1
+        assert registry.gauge("audit_seconds").value >= 0
+
+
+# ----------------------------------------------------------------------
+# The CLI corruption matrix: `repro-qhl verify` flags all 5 classes
+# ----------------------------------------------------------------------
+class TestVerifyCommand:
+    def _saved(self, index, tmp_path, name):
+        path = str(tmp_path / name)
+        save_index(index, path)
+        return path
+
+    def test_clean_index_verifies(self, service_index, tmp_path, capsys):
+        path = self._saved(service_index, tmp_path, "clean.idx")
+        assert main(["verify", "--index", path, "--queries", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "audit PASS" in out
+        assert "storage-checksum" in out
+
+    @pytest.mark.parametrize("name", sorted(CORRUPTIONS))
+    def test_verify_flags_label_corruptions(
+        self, service_index, tmp_path, capsys, name
+    ):
+        mutate, expected_check = CORRUPTIONS[name]
+        path = self._saved(mutate(service_index), tmp_path, f"{name}.idx")
+        assert main(
+            ["verify", "--index", path, "--queries", "0"]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "audit FAIL" in out
+        assert f"FAIL {expected_check}" in out
+
+    def test_verify_flags_stale_checksum(
+        self, service_index, tmp_path, capsys
+    ):
+        path = self._saved(service_index, tmp_path, "stale.idx")
+        # Flip one payload byte but keep the recorded checksum: the
+        # classic stale-checksum / bit-rot corruption.
+        with open(path, "rb") as f:
+            envelope = pickle.load(f)
+        payload = bytearray(envelope["payload"])
+        payload[len(payload) // 2] ^= 0xFF
+        envelope["payload"] = bytes(payload)
+        with open(path, "wb") as f:
+            pickle.dump(envelope, f)
+        with pytest.raises(SerializationError):
+            load_index(path)
+        assert main(["verify", "--index", path]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL storage-checksum" in out
+
+    def test_verify_json_output(self, service_index, tmp_path, capsys):
+        import json
+
+        bad = corrupt_cost_order(service_index)
+        path = self._saved(bad, tmp_path, "bad.idx")
+        assert main(
+            ["verify", "--index", path, "--queries", "0", "--json"]
+        ) == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["ok"] is False
+        failed = [c["name"] for c in data["checks"] if not c["ok"]]
+        assert "label-order" in failed
+
+
+# ----------------------------------------------------------------------
+# The service's require_audit gate
+# ----------------------------------------------------------------------
+class TestRequireAuditGate:
+    def test_clean_index_serves_normally(self, service_index):
+        service = QueryService(
+            index=service_index,
+            config=ServiceConfig(require_audit=True, audit_queries=2),
+        )
+        assert service.tiers == ["QHL", "CSP-2Hop", "SkyDijkstra"]
+        assert service.audit_report is not None and service.audit_report.ok
+        assert service.query(0, 63, budget=400).engine == "QHL"
+
+    def test_bad_index_degrades_to_index_free_tier(self, service_index):
+        bad = corrupt_dominated_entry(service_index)
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            service = QueryService(
+                index=bad,
+                config=ServiceConfig(require_audit=True, audit_queries=0),
+            )
+        assert service.tiers == ["SkyDijkstra"]
+        assert isinstance(service.index_load_error, AuditError)
+        assert service.index_load_error.report is not None
+        assert not service.audit_report.ok
+        assert registry.counter(
+            "service_index_audit_failures_total"
+        ).value == 1
+        # Still answers queries, exactly, just slower.
+        result = service.query(0, 63, budget=400)
+        assert result.engine == "SkyDijkstra"
+        assert result.feasible
+
+    def test_bad_index_with_no_fallback_raises(self, service_index):
+        bad = corrupt_cost_order(service_index)
+        with pytest.raises(AuditError, match="self-audit"):
+            QueryService(
+                index=bad,
+                config=ServiceConfig(
+                    require_audit=True,
+                    audit_queries=0,
+                    tiers=("QHL", "CSP-2Hop"),
+                ),
+            )
+
+    def test_gate_off_by_default(self, service_index):
+        bad = corrupt_dominated_entry(service_index)
+        service = QueryService(index=bad)
+        assert service.audit_report is None
+        assert "QHL" in service.tiers

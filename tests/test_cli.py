@@ -233,3 +233,75 @@ class TestBuildOptions:
             "query", "--index", idx2, "--source", "0", "--target", "10",
             "--budget", "500",
         ]) == 0
+
+
+class TestBuildHardening:
+    def test_interrupted_build_resumes_via_cli(
+        self, workspace, tmp_path, capsys
+    ):
+        import os
+
+        net, idx = workspace
+        out = str(tmp_path / "resumed.idx")
+        ckpt = str(tmp_path / "ckpt")
+        # A zero time budget kills the build at the first level
+        # boundary (exit 2, typed error), leaving checkpoints behind.
+        code = main([
+            "build", "--network", net, "--out", out,
+            "--index-queries", "50",
+            "--checkpoint-dir", ckpt, "--max-build-seconds", "0",
+        ])
+        assert code == 2
+        assert "--resume" in capsys.readouterr().err
+        assert not os.path.exists(out)
+        # --resume finishes the build and clears the checkpoints.
+        assert main([
+            "build", "--network", net, "--out", out,
+            "--index-queries", "50",
+            "--checkpoint-dir", ckpt, "--resume",
+        ]) == 0
+        assert not any(
+            name.endswith(".ckpt") for name in os.listdir(ckpt)
+        )
+        # The resumed index answers queries like the uninterrupted one.
+        from repro.storage.serialize import load_index
+
+        resumed = load_index(out)
+        fresh = load_index(idx)
+        q = resumed.query(0, 140, budget=500)
+        assert q.weight == fresh.query(0, 140, budget=500).weight
+
+    def test_lenient_flag_salvages_messy_network(self, tmp_path, capsys):
+        messy = tmp_path / "messy.csp"
+        messy.write_text(
+            "csp 5 5\n"
+            "some junk line\n"
+            "e 0 1 1 1\ne 1 2 1 1\ne 2 3 1 1\n"
+            "e 3 3 1 1\n"   # self loop
+            "e 3 4 0 1\n",  # zero weight (disconnects vertex 4)
+        )
+        out = str(tmp_path / "messy.idx")
+        assert main([
+            "build", "--network", str(messy), "--out", out,
+            "--index-queries", "20",
+        ]) == 2
+        assert "error" in capsys.readouterr().err
+        assert main([
+            "build", "--network", str(messy), "--out", out,
+            "--index-queries", "20", "--lenient",
+        ]) == 0
+
+    def test_verify_metrics_out(self, workspace, tmp_path, capsys):
+        from repro.observability.export import parse_jsonl
+
+        _net, idx = workspace
+        metrics = tmp_path / "verify.jsonl"
+        assert main([
+            "verify", "--index", idx, "--queries", "2",
+            "--metrics-out", str(metrics),
+        ]) == 0
+        capsys.readouterr()
+        names = {r["name"] for r in parse_jsonl(metrics.read_text())}
+        assert "audit_runs_total" in names
+        assert "audit_checks_total" in names
+        assert "audit_seconds" in names
