@@ -178,6 +178,8 @@ class COLAEngine:
                 source, ps, deadline=deadline
             )
             for w, c, _prov in frontiers[target]:
+                if deadline is not None:
+                    deadline.check(stats)
                 if c <= budget and (best is None or (w, c) < best):
                     best = (w, c)
 

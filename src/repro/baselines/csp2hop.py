@@ -128,6 +128,13 @@ class CSP2HopEngine:
                     w1 = p1[0]
                     for p2 in p_ht:
                         stats.concatenations += 1
+                        # The Cartesian product is the unbounded part of
+                        # this baseline; check on the heap-loop cadence.
+                        if (
+                            deadline is not None
+                            and not stats.concatenations & 0xFF
+                        ):
+                            deadline.check(stats)
                         total_c = c1 + p2[1]
                         if total_c > budget:
                             continue

@@ -84,7 +84,7 @@ def constrained_dijkstra(
             path = _unwind(parent, v) if want_path else None
             stats.seconds = time.perf_counter() - started
             return QueryResult(query, weight=w, cost=c, path=path, stats=stats)
-        for nbr, ew, ec in network.neighbors(v):
+        for nbr, ew, ec in network.neighbors(v):  # lint: allow=QHL001 bounded by vertex degree; the heap loop above checks every 256 pops
             nw, nc = w + ew, c + ec
             if nc > budget or dominated(nbr, nw, nc):
                 continue

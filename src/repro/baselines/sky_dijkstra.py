@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import heapq
 import time
-from typing import TYPE_CHECKING, Callable, Sequence
+from typing import TYPE_CHECKING, Callable
 
 from repro.graph.network import RoadNetwork
 
@@ -93,7 +93,7 @@ def skyline_search(
             # smaller-or-equal cost and smaller-or-equal weight.
             continue
         frontier.append(entry)
-        for nbr, ew, ec in network.neighbors(v):
+        for nbr, ew, ec in network.neighbors(v):  # lint: allow=QHL001 bounded by vertex degree; the heap loop above checks every 256 pops
             if allowed is not None and nbr != source and not allowed(nbr):
                 continue
             nw, nc = w + ew, c + ec

@@ -9,6 +9,7 @@ Subcommands::
     verify     deep-audit a saved index (invariants + spot-checks)
     workload   generate the paper's Q1..Q5 query sets for a network
     bench      race QHL / CSP-2Hop (/ COLA) over a query-set file
+    lint       run the AST invariant linter (QHL001..QHL006)
 
 Example session::
 
@@ -571,6 +572,14 @@ def build_parser() -> argparse.ArgumentParser:
         "worker processes (0 = in-process)",
     )
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_lint = sub.add_parser(
+        "lint", help="run the AST invariant linter (QHL001..QHL006)"
+    )
+    from repro.lint.cli import add_lint_arguments, cmd_lint
+
+    add_lint_arguments(p_lint)
+    p_lint.set_defaults(func=cmd_lint)
 
     return parser
 

@@ -33,6 +33,7 @@ from repro.hierarchy.lca import LCAIndex
 from repro.hierarchy.tree import TreeDecomposition
 from repro.labeling.labels import LabelStore
 from repro.core.separators import initial_separators
+from repro.skyline.compare import pairs_equal
 from repro.skyline.entries import Entry
 from repro.skyline.set_ops import cartesian_entries
 from repro.types import CSPQuery
@@ -70,9 +71,8 @@ def compute_cub(
     j = 0
     m = len(p_second)
     for entry in p_prime:
-        pair = (entry[0], entry[1])
         while j < m:
-            if (p_second[j][0], p_second[j][1]) == pair:
+            if pairs_equal(p_second[j], entry):
                 break
             j += 1
         if j == m:
@@ -89,7 +89,7 @@ class PruningConditionIndex:
     pruned).
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._conditions: dict[tuple[int, int], dict[int, float]] = {}
         self.build_seconds = 0.0
         self.algorithm6_calls = 0

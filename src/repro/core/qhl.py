@@ -173,7 +173,7 @@ class QHLEngine:
             results[i] = result
         registry = get_registry()
         if registry.enabled:
-            for result in results:
+            for result in results:  # lint: allow=QHL001 metrics flush after the batch is answered; aborting here would drop finished results
                 observe_query(registry, self.name, result.stats)
         return results
 

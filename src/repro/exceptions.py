@@ -84,7 +84,7 @@ class AuditError(IndexBuildError):
     so callers can inspect exactly which invariant broke.
     """
 
-    def __init__(self, message: str, report=None):
+    def __init__(self, message: str, report: object = None):
         super().__init__(message)
         self.report = report
 
@@ -119,12 +119,22 @@ class DeadlineExceededError(ReproError):
         message: str,
         budget_ms: float | None = None,
         elapsed_ms: float | None = None,
-        stats=None,
+        stats: object = None,
     ):
         super().__init__(message)
         self.budget_ms = budget_ms
         self.elapsed_ms = elapsed_ms
         self.stats = stats
+
+
+class LintConfigError(ReproError):
+    """The static-analysis runner was misconfigured.
+
+    Raised for unknown rule ids, unreadable lint paths, malformed
+    baseline files, or a name registry that declares nothing — all
+    cases where the lint run must fail loudly (CI exit 2) instead of
+    passing vacuously.
+    """
 
 
 class ServiceUnavailableError(ReproError):

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import heapq
 import random
-from typing import Iterable, Literal, Sequence
+from typing import Iterable, Literal
 
 from repro.exceptions import DisconnectedGraphError, InvalidGraphError
 from repro.graph.network import RoadNetwork

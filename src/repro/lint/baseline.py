@@ -1,0 +1,132 @@
+"""Baseline suppression file: grandfathered findings with an expiry path.
+
+A baseline lets the linter land with strict rules *now* while existing
+violations are burned down incrementally: every entry suppresses
+exactly one finding (by stable fingerprint, see
+:mod:`repro.lint.findings`) and must carry a ``reason``.  The workflow:
+
+* **add** — ``repro-qhl lint --write-baseline`` snapshots all current
+  findings into the file (default reason ``"grandfathered"``; edit the
+  reasons before committing — review rejects unexplained entries);
+* **expire** — once the underlying code is fixed the entry no longer
+  matches anything and is reported *stale*; ``--strict-exit`` turns
+  stale entries into a failing run, and ``--write-baseline`` drops
+  them.  Baselines only shrink, never rot.
+
+The file format is JSON (``version`` + ``entries``); entries are kept
+sorted by path/rule for diff-friendly churn.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+from repro.exceptions import LintConfigError
+from repro.lint.findings import Finding
+
+FORMAT_VERSION = 1
+
+#: Default baseline location, relative to the lint root.
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+@dataclass
+class Baseline:
+    """The parsed baseline: fingerprint -> entry dict."""
+
+    path: str | None = None
+    entries: dict[str, dict[str, object]] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        if not os.path.exists(path):
+            return cls(path=path)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                raw = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise LintConfigError(
+                f"cannot read baseline {path!r}: {exc}"
+            ) from exc
+        if not isinstance(raw, dict) or "entries" not in raw:
+            raise LintConfigError(
+                f"baseline {path!r} is not a lint baseline file"
+            )
+        version = raw.get("version")
+        if version != FORMAT_VERSION:
+            raise LintConfigError(
+                f"baseline {path!r} has unsupported version {version!r}"
+            )
+        entries: dict[str, dict[str, object]] = {}
+        for entry in raw["entries"]:
+            if not isinstance(entry, dict) or "fingerprint" not in entry:
+                raise LintConfigError(
+                    f"baseline {path!r} holds a malformed entry: {entry!r}"
+                )
+            entries[str(entry["fingerprint"])] = entry
+        return cls(path=path, entries=entries)
+
+    # ------------------------------------------------------------------
+    def split(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], list[Finding], list[dict[str, object]]]:
+        """Partition findings into (new, baselined) plus stale entries.
+
+        Stale entries are baseline lines whose fingerprint matched no
+        current finding — the fixed-but-not-expired half of the
+        workflow.
+        """
+        new: list[Finding] = []
+        baselined: list[Finding] = []
+        matched: set[str] = set()
+        for finding in findings:
+            if finding.fingerprint in self.entries:
+                matched.add(finding.fingerprint)
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        stale = [
+            entry
+            for fingerprint, entry in self.entries.items()
+            if fingerprint not in matched
+        ]
+        return new, baselined, stale
+
+    # ------------------------------------------------------------------
+    def write(self, findings: list[Finding], path: str) -> int:
+        """Snapshot ``findings`` as the new baseline; returns the count.
+
+        Reasons of surviving entries are preserved; new entries get the
+        placeholder reason ``"grandfathered"`` for the author to edit.
+        """
+        entries = []
+        for finding in sorted(
+            findings, key=lambda f: (f.path, f.rule, f.line)
+        ):
+            previous = self.entries.get(finding.fingerprint, {})
+            entries.append(
+                {
+                    "fingerprint": finding.fingerprint,
+                    "rule": finding.rule,
+                    "path": finding.path,
+                    "line": finding.line,  # advisory; matching is by fingerprint
+                    "snippet": finding.snippet,
+                    "reason": previous.get("reason", "grandfathered"),
+                }
+            )
+        payload = {
+            "version": FORMAT_VERSION,
+            "comment": (
+                "Grandfathered lint findings. Every entry needs a real "
+                "reason; stale entries fail --strict-exit and are "
+                "dropped by --write-baseline."
+            ),
+            "entries": entries,
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+        return len(entries)

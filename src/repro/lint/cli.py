@@ -1,0 +1,159 @@
+"""The ``repro-qhl lint`` subcommand (also ``python -m repro.lint``).
+
+Exit codes (CI contract):
+
+* ``0`` — clean (baselined findings and inline pragmas do not fail);
+* ``1`` — findings present, or (with ``--strict-exit``) stale baseline
+  entries that should have been expired;
+* ``2`` — the linter itself could not run: unreadable paths, syntax
+  errors in linted files, malformed baseline/config.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.exceptions import LintConfigError, ReproError
+from repro.lint.baseline import DEFAULT_BASELINE, Baseline
+from repro.lint.config import load_config
+from repro.lint.report import render_json, render_text
+from repro.lint.runner import run_lint
+from repro.lint.rules import all_rules
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint flags to ``parser`` (shared with the main CLI)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        help="project root for relative paths, pyproject config and the "
+        "baseline (default: current directory)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable JSON report",
+    )
+    parser.add_argument(
+        "--strict-exit",
+        action="store_true",
+        help="also exit 1 when the baseline holds stale (already fixed) "
+        "entries — keeps the baseline shrink-only in CI",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help=f"baseline suppression file, relative to the root "
+        f"(default: {DEFAULT_BASELINE}; missing file = empty baseline)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file: report grandfathered findings too",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="snapshot all current findings into the baseline file "
+        "(dropping stale entries) and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also print baselined findings in the text report",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+
+
+def _rule_set(value: str | None) -> frozenset[str] | None:
+    if value is None:
+        return None
+    rules = frozenset(part.strip() for part in value.split(",") if part.strip())
+    known = set(all_rules())
+    unknown = rules - known
+    if unknown:
+        raise LintConfigError(
+            f"unknown rule id(s): {', '.join(sorted(unknown))}; "
+            f"known: {', '.join(sorted(known))}"
+        )
+    return rules
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule_id, rule_cls in all_rules().items():
+        lines.append(f"{rule_id}  {rule_cls.name}")
+        lines.append(f"    {rule_cls.rationale}")
+    return "\n".join(lines)
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """The subcommand body; returns the process exit code."""
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+    import os
+
+    root = os.path.abspath(args.root or os.getcwd())
+    config = load_config(
+        root, select=_rule_set(args.select), ignore=_rule_set(args.ignore)
+    )
+    baseline_path = (
+        args.baseline
+        if os.path.isabs(args.baseline)
+        else os.path.join(root, args.baseline)
+    )
+    baseline = None if args.no_baseline else Baseline.load(baseline_path)
+    result = run_lint(
+        args.paths, config=config, root=root, baseline=baseline
+    )
+
+    if args.write_baseline:
+        if result.errors:
+            print(render_text(result), file=sys.stderr)
+            return 2
+        snapshot = result.findings + result.baselined
+        writer = baseline or Baseline(path=baseline_path)
+        count = writer.write(snapshot, baseline_path)
+        print(f"wrote {count} baseline entries -> {baseline_path}")
+        return 0
+
+    output = render_json(result) if args.json else render_text(
+        result, verbose=args.verbose
+    )
+    print(output)
+    return result.exit_code(strict=args.strict_exit)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Standalone entry point (``python -m repro.lint``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-qhl lint",
+        description="AST invariant linter for the QHL codebase",
+    )
+    add_lint_arguments(parser)
+    args = parser.parse_args(argv)
+    try:
+        return cmd_lint(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

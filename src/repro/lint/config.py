@@ -1,0 +1,105 @@
+"""Lint configuration: rule selection and per-rule options.
+
+Configuration merges three layers, weakest first:
+
+1. each rule's ``default_options`` (in its class);
+2. the ``[tool.qhl-lint]`` table of ``pyproject.toml`` at the lint
+   root — ``select`` / ``ignore`` lists plus per-rule sub-tables, e.g.::
+
+       [tool.qhl-lint]
+       ignore = []
+
+       [tool.qhl-lint.QHL003]
+       packages = ["repro/core/", "repro/skyline/"]
+
+3. command-line ``--select`` / ``--ignore``.
+
+``tomllib`` ships with Python 3.11; on 3.10 the pyproject layer is
+skipped silently (the defaults are the shipped policy, so a 3.10 run
+is still correct for this repo — it just cannot be *re*-configured
+from pyproject).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.exceptions import LintConfigError
+
+
+@dataclass
+class LintConfig:
+    """Resolved configuration for one lint run."""
+
+    select: frozenset[str] | None = None  # None = all registered rules
+    ignore: frozenset[str] = frozenset()
+    rule_options: dict[str, dict[str, object]] = field(default_factory=dict)
+
+    def enabled(self, rule_id: str) -> bool:
+        if rule_id in self.ignore:
+            return False
+        return self.select is None or rule_id in self.select
+
+    def options_for(self, rule_id: str) -> dict[str, object]:
+        return self.rule_options.get(rule_id, {})
+
+
+def _as_rule_set(value: object, key: str) -> frozenset[str]:
+    if not isinstance(value, (list, tuple)) or not all(
+        isinstance(item, str) for item in value
+    ):
+        raise LintConfigError(
+            f"[tool.qhl-lint] {key} must be a list of rule ids"
+        )
+    return frozenset(value)
+
+
+def load_config(
+    root: str,
+    select: frozenset[str] | None = None,
+    ignore: frozenset[str] | None = None,
+) -> LintConfig:
+    """Build the effective config for ``root``.
+
+    ``select`` / ``ignore`` (from the CLI) override pyproject's.
+    """
+    config = LintConfig()
+    table = _pyproject_table(root)
+    if "select" in table:
+        config.select = _as_rule_set(table["select"], "select")
+    if "ignore" in table:
+        config.ignore = _as_rule_set(table["ignore"], "ignore")
+    for key, value in table.items():
+        if isinstance(value, dict):
+            options = {
+                name: tuple(option) if isinstance(option, list) else option
+                for name, option in value.items()
+            }
+            config.rule_options[key] = options
+    if select is not None:
+        config.select = select
+    if ignore is not None:
+        config.ignore = ignore
+    return config
+
+
+def _pyproject_table(root: str) -> dict[str, object]:
+    path = os.path.join(root, "pyproject.toml")
+    if not os.path.exists(path):
+        return {}
+    try:
+        import tomllib
+    except ImportError:  # pragma: no cover - Python 3.10
+        return {}
+    try:
+        with open(path, "rb") as handle:
+            data = tomllib.load(handle)
+    except (OSError, tomllib.TOMLDecodeError) as exc:
+        raise LintConfigError(
+            f"cannot read {path!r}: {exc}"
+        ) from exc
+    table = data.get("tool", {}).get("qhl-lint", {})
+    if not isinstance(table, dict):
+        raise LintConfigError("[tool.qhl-lint] must be a table")
+    return table

@@ -1,0 +1,92 @@
+"""Per-module lint context: parsed AST, source lines, suppressions.
+
+Inline suppressions use the comment pragma::
+
+    risky_call()  # lint: allow=QHL003 backoff jitter is intentional
+
+The pragma must sit on the *reported* line of the finding (for loops
+and ``except`` clauses, the line of the ``for``/``while``/``except``
+keyword) and should carry a justification after the rule list — the
+repo convention is that a naked ``allow=`` does suppress, but review
+rejects it.  Multiple rules are comma-separated
+(``# lint: allow=QHL001,QHL006``).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+_PRAGMA = re.compile(r"lint:\s*allow=([A-Z0-9,\s]+?)(?:\s+\S|$)")
+
+
+def parse_suppressions(source: str) -> dict[int, set[str]]:
+    """Map line number -> rule ids allowed on that line.
+
+    Comments are found with :mod:`tokenize`, not a regex over raw
+    lines, so a ``#`` inside a string literal never reads as a pragma.
+    """
+    allowed: dict[int, set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _PRAGMA.search(token.string)
+            if match is None:
+                continue
+            rules = {
+                rule.strip()
+                for rule in match.group(1).split(",")
+                if rule.strip()
+            }
+            if rules:
+                allowed.setdefault(token.start[0], set()).update(rules)
+    except tokenize.TokenError:  # pragma: no cover - ast.parse catches first
+        pass
+    return allowed
+
+
+@dataclass
+class Module:
+    """One parsed source file, as the rules see it."""
+
+    path: str  # absolute
+    rel: str  # relative to the lint root, POSIX separators
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+    suppressions: dict[int, set[str]] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, path: str, rel: str, source: str) -> "Module":
+        tree = ast.parse(source, filename=path)
+        return cls(
+            path=path,
+            rel=rel,
+            source=source,
+            tree=tree,
+            lines=source.splitlines(),
+            suppressions=parse_suppressions(source),
+        )
+
+    @property
+    def package_rel(self) -> str:
+        """The path inside the package tree, with any ``src/`` prefix
+        stripped — what package-scoped rule options match against
+        (e.g. ``repro/skyline/set_ops.py``)."""
+        rel = self.rel
+        if rel.startswith("src/"):
+            rel = rel[len("src/"):]
+        return rel
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def suppressed(self, lineno: int, rule: str) -> bool:
+        return rule in self.suppressions.get(lineno, ())

@@ -1,0 +1,106 @@
+"""Findings: what a lint rule reports.
+
+A :class:`Finding` pins one rule violation to a file/line/column and
+carries a stable *fingerprint* for the baseline workflow: the
+fingerprint hashes the rule id, the file path, the normalised source
+line, and an occurrence counter — **not** the line number — so findings
+survive unrelated edits that shift code up or down, and a baseline file
+does not churn on every refactor.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str  # repo-relative, POSIX separators
+    line: int
+    col: int
+    message: str
+    snippet: str = ""
+    fingerprint: str = ""
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint,
+        }
+
+
+def _normalise(snippet: str) -> str:
+    """Whitespace-insensitive form of a source line for fingerprinting."""
+    return " ".join(snippet.split())
+
+
+def assign_fingerprints(findings: list[Finding]) -> None:
+    """Fill in stable fingerprints, disambiguating identical lines.
+
+    Two findings of the same rule on byte-identical source lines in the
+    same file get occurrence indices 0, 1, ... in file order, so e.g.
+    two copies of the same unchecked loop each have their own baseline
+    identity.
+    """
+    counts: dict[tuple[str, str, str], int] = {}
+    ordered = sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))
+    for finding in ordered:
+        key = (finding.rule, finding.path, _normalise(finding.snippet))
+        index = counts.get(key, 0)
+        counts[key] = index + 1
+        digest = hashlib.sha256(
+            "\x1f".join((key[0], key[1], key[2], str(index))).encode()
+        ).hexdigest()
+        finding.fingerprint = digest[:16]
+
+
+@dataclass
+class LintError:
+    """A file the linter could not process (syntax error, bad encoding)."""
+
+    path: str
+    message: str
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run, pre-split by suppression status."""
+
+    findings: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    inline_suppressed: list[Finding] = field(default_factory=list)
+    stale_baseline: list[dict[str, object]] = field(default_factory=list)
+    errors: list[LintError] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings and not self.errors
+
+    def exit_code(self, strict: bool = False) -> int:
+        """CI exit code: 0 clean, 1 findings, 2 unprocessable input.
+
+        ``strict`` additionally fails the run (exit 1) when the
+        baseline holds stale entries — the expire half of the baseline
+        workflow: once a grandfathered finding is fixed, its entry must
+        be removed (``--write-baseline``) or CI goes red.
+        """
+        if self.errors:
+            return 2
+        if self.findings:
+            return 1
+        if strict and self.stale_baseline:
+            return 1
+        return 0

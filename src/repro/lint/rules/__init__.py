@@ -1,0 +1,27 @@
+"""The rule registry: importing this package registers every rule."""
+
+from repro.lint.rules.base import (
+    Project,
+    Rule,
+    all_rules,
+    declared_names,
+    load_declared_names,
+    register,
+)
+from repro.lint.rules import (  # noqa: F401  (import = registration)
+    deadline,
+    determinism,
+    exceptions,
+    fault_points,
+    floats,
+    metrics,
+)
+
+__all__ = [
+    "Project",
+    "Rule",
+    "all_rules",
+    "declared_names",
+    "load_declared_names",
+    "register",
+]

@@ -1,0 +1,143 @@
+"""QHL001: every loop in a deadline-taking function must checkpoint.
+
+The PR-2 serving invariant: a :class:`~repro.service.deadline.Deadline`
+threaded into an engine is only worth anything if the engine's loops
+actually look at it — a single missed loop turns a 50 ms budget into an
+unbounded stall on a pathological query.  The invariant was previously
+enforced by reviewer memory across ``core/``, ``baselines/`` and
+``perf/``; this rule machine-checks it.
+
+A loop body satisfies the rule when, anywhere in its subtree, it
+
+* calls ``<deadline>.check(...)`` or ``<deadline>.expired()`` on the
+  function's deadline parameter (masked variants like
+  ``if pops & MASK == 0: deadline.check(stats)`` count — the call just
+  has to be reachable inside the iteration), or
+* forwards the deadline to a callee (positionally or as
+  ``deadline=...``) — cooperative delegation: the callee's own loops
+  are checked when *it* is linted.
+
+Loops over literal tuple/list/set displays (``for v_end in (s, t):``)
+are exempt: their trip count is a small syntactic constant.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.lint.context import Module
+from repro.lint.findings import Finding
+from repro.lint.rules.base import Rule, register
+
+_FUNCTIONS = (ast.FunctionDef, ast.AsyncFunctionDef)
+_LOOPS = (ast.For, ast.AsyncFor, ast.While)
+
+
+def _deadline_params(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+    param_names: tuple[str, ...],
+    annotation_names: tuple[str, ...],
+) -> set[str]:
+    """Parameter names of ``node`` that carry a deadline."""
+    params: set[str] = set()
+    args = node.args
+    for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+        if arg.arg in param_names:
+            params.add(arg.arg)
+            continue
+        annotation = arg.annotation
+        if annotation is not None:
+            text = ast.dump(annotation)
+            if any(name in text for name in annotation_names):
+                params.add(arg.arg)
+    return params
+
+
+def _is_literal_iterable(node: ast.AST) -> bool:
+    return isinstance(node, (ast.Tuple, ast.List, ast.Set)) and all(
+        not isinstance(element, ast.Starred) for element in node.elts
+    )
+
+
+def _walk_same_function(node: ast.AST) -> Iterator[ast.AST]:
+    """``ast.walk`` that does not descend into nested function defs."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        yield child
+        if not isinstance(child, _FUNCTIONS):
+            stack.extend(ast.iter_child_nodes(child))
+
+
+def _loop_checkpoints(loop: ast.stmt, params: set[str]) -> bool:
+    """Whether the loop's subtree checks or forwards a deadline."""
+    for node in _walk_same_function(loop):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in ("check", "expired")
+            and isinstance(func.value, ast.Name)
+            and func.value.id in params
+        ):
+            return True
+        for arg in node.args:
+            if isinstance(arg, ast.Name) and arg.id in params:
+                return True
+        for keyword in node.keywords:
+            if keyword.arg in params or (
+                isinstance(keyword.value, ast.Name)
+                and keyword.value.id in params
+            ):
+                return True
+    return False
+
+
+@register
+class DeadlineCheckpointRule(Rule):
+    id = "QHL001"
+    name = "deadline-checkpoint"
+    rationale = (
+        "Deadlines are cooperative: a loop that never calls "
+        "Deadline.check() (or forwards the deadline) can overrun any "
+        "budget, defeating the PR-2 serving guarantee."
+    )
+    default_options = {
+        # Parameters treated as deadlines: by name, or by annotation
+        # mentioning one of these type names.
+        "param_names": ("deadline", "batch_deadline"),
+        "annotation_names": ("Deadline",),
+        # Package prefixes this rule runs on; empty = whole tree.
+        "packages": (),
+    }
+
+    def check_module(self, module: Module) -> Iterable[Finding]:
+        if not self.applies_to(module):
+            return
+        param_names = tuple(self.options["param_names"])
+        annotation_names = tuple(self.options["annotation_names"])
+        for node in ast.walk(module.tree):
+            if not isinstance(node, _FUNCTIONS):
+                continue
+            params = _deadline_params(node, param_names, annotation_names)
+            if not params:
+                continue
+            for child in _walk_same_function(node):
+                if not isinstance(child, _LOOPS):
+                    continue
+                if isinstance(child, (ast.For, ast.AsyncFor)) and (
+                    _is_literal_iterable(child.iter)
+                ):
+                    continue
+                if _loop_checkpoints(child, params):
+                    continue
+                yield self.finding(
+                    module,
+                    child,
+                    f"loop in deadline-taking function "
+                    f"{node.name}() never checks or forwards "
+                    f"{'/'.join(sorted(params))} — an expired budget "
+                    f"cannot interrupt it",
+                )

@@ -1,0 +1,113 @@
+"""The lint driver: collect files, run rules, apply suppressions."""
+
+from __future__ import annotations
+
+import os
+
+from repro.exceptions import LintConfigError
+from repro.lint.baseline import Baseline
+from repro.lint.config import LintConfig
+from repro.lint.context import Module
+from repro.lint.findings import (
+    Finding,
+    LintError,
+    LintResult,
+    assign_fingerprints,
+)
+from repro.lint.rules import Project, all_rules
+
+
+def collect_files(paths: list[str], root: str) -> list[str]:
+    """Python files under ``paths`` (absolute), sorted for determinism."""
+    files: set[str] = set()
+    for path in paths:
+        absolute = path if os.path.isabs(path) else os.path.join(root, path)
+        if os.path.isfile(absolute):
+            files.add(os.path.abspath(absolute))
+        elif os.path.isdir(absolute):
+            for dirpath, dirnames, filenames in os.walk(absolute):
+                dirnames[:] = [
+                    d for d in dirnames
+                    if d != "__pycache__" and not d.startswith(".")
+                ]
+                for filename in filenames:
+                    if filename.endswith(".py"):
+                        files.add(
+                            os.path.abspath(os.path.join(dirpath, filename))
+                        )
+        else:
+            raise LintConfigError(f"no such file or directory: {path!r}")
+    return sorted(files)
+
+
+def _relative(path: str, root: str) -> str:
+    try:
+        rel = os.path.relpath(path, root)
+    except ValueError:  # pragma: no cover - different drive on Windows
+        rel = path
+    return rel.replace(os.sep, "/")
+
+
+def run_lint(
+    paths: list[str],
+    config: LintConfig | None = None,
+    root: str | None = None,
+    baseline: Baseline | None = None,
+) -> LintResult:
+    """Lint ``paths`` and return the partitioned result.
+
+    Pipeline: parse every file -> per-module rule passes -> project
+    passes (registry cross-checks) -> inline-pragma suppression ->
+    fingerprinting -> baseline split.
+    """
+    root = os.path.abspath(root or os.getcwd())
+    config = config or LintConfig()
+    result = LintResult()
+
+    project = Project(root=root)
+    for path in collect_files(paths, root):
+        rel = _relative(path, root)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            project.modules.append(Module.parse(path, rel, source))
+        except (OSError, SyntaxError, ValueError) as exc:
+            result.errors.append(LintError(path=rel, message=str(exc)))
+    result.files_checked = len(project.modules)
+
+    rules = [
+        rule_cls(config.options_for(rule_id))
+        for rule_id, rule_cls in all_rules().items()
+        if config.enabled(rule_id)
+    ]
+
+    raw: list[Finding] = []
+    for module in project.modules:
+        for rule in rules:
+            raw.extend(rule.check_module(module))
+    for rule in rules:
+        raw.extend(rule.finish(project))
+
+    modules_by_rel = {module.rel: module for module in project.modules}
+    kept: list[Finding] = []
+    for finding in raw:
+        module = modules_by_rel.get(finding.path)
+        if module is not None and module.suppressed(
+            finding.line, finding.rule
+        ):
+            result.inline_suppressed.append(finding)
+        else:
+            kept.append(finding)
+
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    assign_fingerprints(kept)
+    assign_fingerprints(result.inline_suppressed)
+
+    if baseline is not None:
+        new, baselined, stale = baseline.split(kept)
+        result.findings = new
+        result.baselined = baselined
+        result.stale_baseline = stale
+    else:
+        result.findings = kept
+    return result

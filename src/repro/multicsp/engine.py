@@ -9,8 +9,6 @@ constructions and do not.
 
 from __future__ import annotations
 
-import random
-import time
 from typing import Sequence
 
 from repro.core.separators import initial_separators
@@ -23,7 +21,6 @@ from repro.multicsp.index import (
 )
 from repro.multicsp.network import MultiMetricNetwork
 from repro.skyline.multi import MultiEntry, m_best_under
-from repro.types import CSPQuery, QueryResult, QueryStats
 
 
 class MultiCSPEngine:

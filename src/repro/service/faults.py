@@ -150,7 +150,7 @@ class NullInjector:
     clock = None
 
     def fail(self, point, exc=OSError, times=1, after=0, match=None) -> None:
-        raise RuntimeError(
+        raise NotImplementedError(
             "cannot register faults on the null injector; install one "
             "with use_injector(FaultInjector())"
         )

@@ -348,7 +348,7 @@ class QueryService:
                 raise
             except QueryError:
                 raise
-            except Exception as exc:  # ReproError or unexpected crash
+            except Exception as exc:  # lint: allow=QHL002 the ladder's contract is to absorb any tier crash and fall through; the cause is kept in last_error
                 last_error = exc
                 tier.breaker.record_failure()
                 self._record_fallback(

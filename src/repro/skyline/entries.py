@@ -23,11 +23,11 @@ provenance (``prov=None``) halves memory for pure benchmark runs.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.exceptions import ReproError
 
-Entry = tuple[float, float, object]
+Entry = tuple[float, float, Any]
 """``(weight, cost, provenance)`` — provenance may be ``None``."""
 
 EDGE = "edge"

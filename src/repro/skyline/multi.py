@@ -56,7 +56,7 @@ def m_join(
 
     ``budgets`` optionally drops concatenations violating any budget.
     """
-    products = []
+    products: list[MultiEntry] = []
     for lw, lcosts in a:
         for rw, rcosts in b:
             costs = tuple(lc + rc for lc, rc in zip(lcosts, rcosts))

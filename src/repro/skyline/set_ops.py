@@ -16,12 +16,13 @@ from __future__ import annotations
 import bisect
 from typing import Iterable, Sequence
 
+from repro.skyline.compare import costs_equal
 from repro.skyline.entries import Entry, join_entry
 
 SkylineSet = list[Entry]
 
 
-def dominates(a: tuple, b: tuple) -> bool:
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
     """Whether path pair ``a`` dominates ``b`` (Definition 4).
 
     ``a ≺ b`` iff a is at least as good on both metrics and strictly
@@ -50,13 +51,13 @@ def skyline_of(entries: Iterable[Entry]) -> SkylineSet:
     improves on everything cheaper — the classic 2-D Pareto sweep.
     """
     result: SkylineSet = []
-    best_weight = None
-    last_cost = None
+    best_weight: float | None = None
+    last_cost: float | None = None
     for entry in sorted(entries, key=lambda e: (e[1], e[0])):
         w, c = entry[0], entry[1]
         if best_weight is not None and w >= best_weight:
             continue
-        if last_cost is not None and c == last_cost:
+        if last_cost is not None and costs_equal(c, last_cost):
             # Same cost, smaller weight: replace the previous entry.
             result[-1] = entry
         else:
@@ -90,13 +91,13 @@ def merge(a: Sequence[Entry], b: Sequence[Entry]) -> SkylineSet:
     merged.extend(b[j:])
 
     result: SkylineSet = []
-    best_weight = None
-    last_cost = None
+    best_weight: float | None = None
+    last_cost: float | None = None
     for entry in merged:
         w, c = entry[0], entry[1]
         if best_weight is not None and w >= best_weight:
             continue
-        if last_cost is not None and c == last_cost:
+        if last_cost is not None and costs_equal(c, last_cost):
             result[-1] = entry
         else:
             result.append(entry)

@@ -34,11 +34,11 @@ class CompactLabels:
     """
 
     num_vertices: int
-    set_offsets: array  # 'q', len = num_vertices + 1
-    hubs: array         # 'q', one per stored set
-    entry_offsets: array  # 'q', len = num_sets + 1
-    weights: array      # 'd', one per entry
-    costs: array        # 'd', one per entry
+    set_offsets: array[int]  # 'q', len = num_vertices + 1
+    hubs: array[int]         # 'q', one per stored set
+    entry_offsets: array[int]  # 'q', len = num_sets + 1
+    weights: array[float]    # 'd', one per entry
+    costs: array[float]      # 'd', one per entry
 
     def size_bytes(self) -> int:
         """Actual in-memory payload size of the arrays."""

@@ -30,8 +30,10 @@ import contextlib
 import hashlib
 import os
 import pickle
+import random
 import sys
 import time
+from typing import Any, Callable, Mapping
 
 from repro.core.engine import QHLIndex
 from repro.exceptions import SerializationError
@@ -60,11 +62,11 @@ _PICKLE_ERRORS = (
 
 
 class _raised_recursion_limit:
-    def __enter__(self):
+    def __enter__(self) -> None:
         self._old = sys.getrecursionlimit()
         sys.setrecursionlimit(max(self._old, _RECURSION_LIMIT))
 
-    def __exit__(self, *exc_info):
+    def __exit__(self, *exc_info: object) -> None:
         sys.setrecursionlimit(self._old)
 
 
@@ -72,7 +74,7 @@ def _sha256(data: bytes) -> str:
     return hashlib.sha256(data).hexdigest()
 
 
-def _fire_fault(point: str, **ctx) -> None:
+def _fire_fault(point: str, **ctx: object) -> None:
     """Fire a fault-injection point (inert unless a harness is active)."""
     from repro.service.faults import get_injector
 
@@ -116,7 +118,7 @@ def _atomic_write_bytes(path: str, data: bytes) -> None:
             os.close(dir_fd)
 
 
-def _dumps_payload(obj, what: str) -> bytes:
+def _dumps_payload(obj: object, what: str) -> bytes:
     """Pickle ``obj`` under the raised (capped) recursion limit."""
     try:
         with _raised_recursion_limit():
@@ -130,7 +132,7 @@ def _dumps_payload(obj, what: str) -> bytes:
         ) from exc
 
 
-def save_envelope(path: str, magic: str, obj: dict) -> int:
+def save_envelope(path: str, magic: str, obj: Mapping[str, object]) -> int:
     """Write any plain dict through the atomic + checksummed envelope.
 
     The generic primitive behind :func:`save_index` and the build
@@ -154,7 +156,7 @@ def save_envelope(path: str, magic: str, obj: dict) -> int:
 
 def load_envelope(
     path: str, magic: str, verify_checksum: bool = True
-) -> dict:
+) -> dict[str, Any]:
     """Read a dict written by :func:`save_envelope`.
 
     Raises
@@ -254,8 +256,12 @@ def save_compact_index(index: QHLIndex, path: str) -> int:
 
 
 def _open_envelope(
-    envelope, path: str, magic: str, verify_checksum: bool, kind: str
-) -> dict:
+    envelope: object,
+    path: str,
+    magic: str,
+    verify_checksum: bool,
+    kind: str,
+) -> dict[str, Any]:
     """Validate an envelope and return the inner payload dict.
 
     Handles both format versions: v1 keeps the fields inline (no
@@ -381,8 +387,8 @@ def load_index_with_retry(
     jitter: float = 0.25,
     verify_checksum: bool = True,
     compact: bool = False,
-    sleep=time.sleep,
-    rng=None,
+    sleep: Callable[[float], object] = time.sleep,
+    rng: random.Random | None = None,
 ) -> QHLIndex:
     """:func:`load_index` with bounded exponential backoff on ``OSError``.
 
@@ -397,9 +403,7 @@ def load_index_with_retry(
     if attempts < 1:
         raise ValueError("attempts must be >= 1")
     if rng is None:
-        import random
-
-        rng = random.Random()
+        rng = random.Random()  # lint: allow=QHL003 backoff jitter is the one place nondeterminism is wanted; tests inject rng
     loader = load_compact_index if compact else load_index
     last: OSError | None = None
     for attempt in range(attempts):

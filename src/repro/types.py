@@ -73,6 +73,6 @@ class QueryResult:
 
     def pair(self) -> tuple[float, float] | None:
         """The ``(weight, cost)`` pair, or ``None`` when infeasible."""
-        if self.weight is None:
+        if self.weight is None or self.cost is None:
             return None
         return (self.weight, self.cost)

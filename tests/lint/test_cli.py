@@ -1,0 +1,224 @@
+"""CLI contract tests: exit codes, JSON report, rule listing, and the
+baseline add/expire workflow."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lint.cli import main
+
+
+@pytest.fixture(autouse=True)
+def _registries(harness):
+    # A full CLI run executes QHL004/QHL005, which insist their name
+    # registries exist.  Park minimal ones outside src/ so the disk
+    # fallback finds them without them entering the scanned module set.
+    harness.write(
+        "repro/observability/names.py",
+        'METRICS = {"qhl_test_total": ("counter", (), "fixture")}\n',
+    )
+    harness.write(
+        "repro/service/faults.py",
+        'INJECTION_POINTS = ("index-load",)\n',
+    )
+
+
+_CLEAN = """
+def helper(items):
+    return sorted(items)
+"""
+
+_DIRTY = """
+import random
+
+rng = random.Random()
+"""
+
+
+def _lint(harness, *extra: str) -> int:
+    return main(["src", "--root", str(harness.root), *extra])
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, harness, capsys):
+        harness.write("src/repro/core/sample.py", _CLEAN)
+        assert _lint(harness) == 0
+        out = capsys.readouterr().out
+        assert "checked 1 files, 0 finding(s)" in out
+
+    def test_findings_exit_one(self, harness, capsys):
+        harness.write("src/repro/core/sample.py", _DIRTY)
+        assert _lint(harness) == 1
+        out = capsys.readouterr().out
+        assert "QHL003" in out
+        assert "1 finding(s)" in out
+
+    def test_syntax_error_exits_two(self, harness, capsys):
+        harness.write("src/repro/core/sample.py", "def broken(:\n")
+        assert _lint(harness) == 2
+        out = capsys.readouterr().out
+        assert "error" in out.lower()
+
+    def test_unknown_rule_exits_two(self, harness, capsys):
+        harness.write("src/repro/core/sample.py", _CLEAN)
+        assert _lint(harness, "--select", "QHL099") == 2
+        err = capsys.readouterr().err
+        assert "unknown rule id" in err
+
+    def test_missing_path_exits_two(self, harness, capsys):
+        assert main(["no/such/dir", "--root", str(harness.root)]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+
+    def test_select_scopes_the_run(self, harness, capsys):
+        harness.write("src/repro/core/sample.py", _DIRTY)
+        assert _lint(harness, "--select", "QHL001") == 0
+        capsys.readouterr()
+
+
+class TestJsonReport:
+    def test_payload_shape(self, harness, capsys):
+        harness.write("src/repro/core/sample.py", _DIRTY)
+        assert _lint(harness, "--json") == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert payload["files_checked"] == 1
+        assert payload["baselined"] == []
+        assert payload["stale_baseline"] == []
+        assert payload["errors"] == []
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "QHL003"
+        assert finding["path"] == "src/repro/core/sample.py"
+        assert finding["line"] == 4
+        assert finding["fingerprint"]
+
+    def test_inline_suppressions_reported(self, harness, capsys):
+        harness.write(
+            "src/repro/core/sample.py",
+            """
+            import random
+
+            rng = random.Random()  # lint: allow=QHL003 fixture jitter
+            """,
+        )
+        assert _lint(harness, "--json") == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"] == []
+        (suppressed,) = payload["inline_suppressed"]
+        assert suppressed["rule"] == "QHL003"
+
+
+class TestListRules:
+    def test_catalog_lists_all_six(self, harness, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in (
+            "QHL001",
+            "QHL002",
+            "QHL003",
+            "QHL004",
+            "QHL005",
+            "QHL006",
+        ):
+            assert rule_id in out
+
+
+class TestBaselineWorkflow:
+    def test_add_then_expire(self, harness, capsys):
+        harness.write("src/repro/core/sample.py", _DIRTY)
+
+        # 1. Grandfather the finding.
+        assert _lint(harness, "--write-baseline") == 0
+        assert "wrote 1 baseline entries" in capsys.readouterr().out
+        baseline_file = harness.root / "lint-baseline.json"
+        payload = json.loads(baseline_file.read_text(encoding="utf-8"))
+        assert payload["version"] == 1
+        (entry,) = payload["entries"]
+        assert entry["rule"] == "QHL003"
+        assert entry["reason"] == "grandfathered"
+
+        # 2. Baselined finding no longer fails the gate...
+        assert _lint(harness, "--strict-exit") == 0
+        out = capsys.readouterr().out
+        assert "1 baselined" in out
+
+        # ...but --no-baseline still reports it.
+        assert _lint(harness, "--no-baseline") == 1
+        capsys.readouterr()
+
+        # 3. Fix the code: the entry is now stale.  Plain run still
+        # passes; the CI gate demands the baseline shrink.
+        harness.write("src/repro/core/sample.py", _CLEAN)
+        assert _lint(harness) == 0
+        assert "1 stale baseline" in capsys.readouterr().out
+        assert _lint(harness, "--strict-exit") == 1
+        capsys.readouterr()
+
+        # 4. Refresh: stale entries are dropped and the gate is green.
+        assert _lint(harness, "--write-baseline") == 0
+        assert "wrote 0 baseline entries" in capsys.readouterr().out
+        assert _lint(harness, "--strict-exit") == 0
+        capsys.readouterr()
+
+    def test_write_baseline_preserves_reasons(self, harness, capsys):
+        harness.write("src/repro/core/sample.py", _DIRTY)
+        assert _lint(harness, "--write-baseline") == 0
+        baseline_file = harness.root / "lint-baseline.json"
+        payload = json.loads(baseline_file.read_text(encoding="utf-8"))
+        payload["entries"][0]["reason"] = "jitter audit pending (#42)"
+        baseline_file.write_text(json.dumps(payload), encoding="utf-8")
+
+        assert _lint(harness, "--write-baseline") == 0
+        payload = json.loads(baseline_file.read_text(encoding="utf-8"))
+        assert payload["entries"][0]["reason"] == "jitter audit pending (#42)"
+        capsys.readouterr()
+
+    def test_malformed_baseline_exits_two(self, harness, capsys):
+        harness.write("src/repro/core/sample.py", _CLEAN)
+        (harness.root / "lint-baseline.json").write_text(
+            "{not json", encoding="utf-8"
+        )
+        assert _lint(harness) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_write_baseline_refuses_on_errors(self, harness, capsys):
+        harness.write("src/repro/core/sample.py", "def broken(:\n")
+        assert _lint(harness, "--write-baseline") == 2
+        capsys.readouterr()
+
+
+class TestFingerprintStability:
+    def test_fingerprint_survives_line_moves(self, harness, capsys):
+        harness.write("src/repro/core/sample.py", _DIRTY)
+        assert _lint(harness, "--json") == 1
+        first = json.loads(capsys.readouterr().out)["findings"][0]
+
+        harness.write(
+            "src/repro/core/sample.py",
+            """
+            import random
+
+            PADDING = "pushes the violation down a few lines"
+
+
+            rng = random.Random()
+            """,
+        )
+        assert _lint(harness, "--json") == 1
+        second = json.loads(capsys.readouterr().out)["findings"][0]
+        assert second["line"] != first["line"]
+        assert second["fingerprint"] == first["fingerprint"]
+
+
+@pytest.mark.parametrize("flag", ["--json", None])
+def test_main_cli_exposes_lint_subcommand(harness, capsys, flag):
+    from repro.cli import main as repro_main
+
+    harness.write("src/repro/core/sample.py", _CLEAN)
+    argv = ["lint", "src", "--root", str(harness.root)]
+    if flag:
+        argv.append(flag)
+    assert repro_main(argv) == 0
+    capsys.readouterr()

@@ -1,0 +1,55 @@
+"""docs/observability.md must stay in sync with the metric-name
+registry (`repro.observability.names.METRIC_NAMES`) — the same registry
+lint rule QHL004 checks the code against."""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+from repro.observability.names import METRIC_NAMES
+
+DOC = pathlib.Path(__file__).resolve().parents[2] / "docs" / "observability.md"
+
+_TOKEN = re.compile(r"`((?:qhl|service|ingest|audit|build)_[a-z0-9_]*\*?)`")
+
+
+def _documented() -> tuple[set[str], set[str]]:
+    """Backticked metric tokens in the doc: (concrete names, wildcard prefixes)."""
+    text = DOC.read_text(encoding="utf-8")
+    concrete: set[str] = set()
+    wildcards: set[str] = set()
+    for token in _TOKEN.findall(text):
+        if token.endswith("*"):
+            wildcards.add(token[:-1])
+        else:
+            concrete.add(token)
+    return concrete, wildcards
+
+
+def test_doc_mentions_only_registered_metrics():
+    concrete, wildcards = _documented()
+    assert concrete, "doc parser found no metric names — regex rot?"
+    phantom = concrete - set(METRIC_NAMES)
+    assert not phantom, (
+        f"docs/observability.md documents metrics the registry does not "
+        f"declare: {sorted(phantom)}"
+    )
+    for prefix in wildcards:
+        assert any(name.startswith(prefix) for name in METRIC_NAMES), (
+            f"wildcard `{prefix}*` in the doc matches no registered metric"
+        )
+
+
+def test_every_registered_metric_is_documented():
+    concrete, wildcards = _documented()
+    undocumented = {
+        name
+        for name in METRIC_NAMES
+        if name not in concrete
+        and not any(name.startswith(p) for p in wildcards)
+    }
+    assert not undocumented, (
+        f"metrics declared in repro.observability.names but missing from "
+        f"docs/observability.md: {sorted(undocumented)}"
+    )

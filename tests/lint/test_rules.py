@@ -1,0 +1,582 @@
+"""Per-rule fixture tests: each rule fires on a seeded violation and
+stays quiet on the corrected form."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import LintConfigError
+
+
+def _rules(findings):
+    return [f.rule for f in findings]
+
+
+# ----------------------------------------------------------------------
+# QHL001 deadline-checkpoint
+
+
+class TestDeadlineCheckpoint:
+    def test_fires_on_unchecked_loop(self, harness):
+        harness.write(
+            "src/repro/core/sample.py",
+            """
+            def query(items, deadline):
+                total = 0
+                for item in items:
+                    total += item
+                return total
+            """,
+        )
+        findings = harness.findings("QHL001")
+        assert _rules(findings) == ["QHL001"]
+        assert "query()" in findings[0].message
+
+    def test_quiet_when_loop_checks(self, harness):
+        harness.write(
+            "src/repro/core/sample.py",
+            """
+            def query(items, deadline):
+                total = 0
+                for item in items:
+                    if deadline is not None:
+                        deadline.check()
+                    total += item
+                return total
+            """,
+        )
+        assert harness.findings("QHL001") == []
+
+    def test_masked_check_counts(self, harness):
+        harness.write(
+            "src/repro/core/sample.py",
+            """
+            def search(heap, deadline):
+                pops = 0
+                while heap:
+                    pops += 1
+                    if not pops & 0xFF:
+                        deadline.check()
+                    heap.pop()
+            """,
+        )
+        assert harness.findings("QHL001") == []
+
+    def test_forwarding_counts_as_checkpoint(self, harness):
+        harness.write(
+            "src/repro/core/sample.py",
+            """
+            def batch(queries, deadline):
+                out = []
+                for q in queries:
+                    out.append(answer(q, deadline=deadline))
+                return out
+            """,
+        )
+        assert harness.findings("QHL001") == []
+
+    def test_literal_tuple_loop_exempt(self, harness):
+        harness.write(
+            "src/repro/core/sample.py",
+            """
+            def ends(s, t, deadline):
+                for v_end in (s, t):
+                    record(v_end)
+                deadline.check()
+            """,
+        )
+        assert harness.findings("QHL001") == []
+
+    def test_annotation_marks_parameter(self, harness):
+        harness.write(
+            "src/repro/core/sample.py",
+            """
+            def run(items, budget: "Deadline | None" = None):
+                for item in items:
+                    use(item)
+            """,
+        )
+        assert _rules(harness.findings("QHL001")) == ["QHL001"]
+
+    def test_function_without_deadline_ignored(self, harness):
+        harness.write(
+            "src/repro/core/sample.py",
+            """
+            def plain(items):
+                for item in items:
+                    use(item)
+            """,
+        )
+        assert harness.findings("QHL001") == []
+
+
+# ----------------------------------------------------------------------
+# QHL002 exception-taxonomy
+
+
+class TestExceptionTaxonomy:
+    def test_fires_on_foreign_builtin_raise(self, harness):
+        harness.write(
+            "src/repro/core/sample.py",
+            """
+            def load():
+                raise RuntimeError("boom")
+            """,
+        )
+        findings = harness.findings("QHL002")
+        assert _rules(findings) == ["QHL002"]
+        assert "RuntimeError" in findings[0].message
+
+    def test_quiet_on_repro_error_subclass(self, harness):
+        harness.write(
+            "src/repro/core/sample.py",
+            """
+            from repro.exceptions import ReproError
+
+            class LocalError(ReproError):
+                pass
+
+            def load():
+                raise LocalError("boom")
+            """,
+        )
+        assert harness.findings("QHL002") == []
+
+    def test_subclass_recognised_across_modules(self, harness):
+        harness.write(
+            "src/repro/exceptions.py",
+            """
+            class ReproError(Exception):
+                pass
+
+            class QueryError(ReproError):
+                pass
+            """,
+        )
+        harness.write(
+            "src/repro/core/sample.py",
+            """
+            def load():
+                raise QueryError("bad vertex")
+            """,
+        )
+        assert harness.findings("QHL002") == []
+
+    def test_quiet_on_sanctioned_builtin(self, harness):
+        harness.write(
+            "src/repro/core/sample.py",
+            """
+            def pick(n):
+                if n < 0:
+                    raise ValueError("n must be >= 0")
+            """,
+        )
+        assert harness.findings("QHL002") == []
+
+    def test_fires_on_swallowing_broad_except(self, harness):
+        harness.write(
+            "src/repro/core/sample.py",
+            """
+            def guarded():
+                try:
+                    risky()
+                except Exception:
+                    return None
+            """,
+        )
+        findings = harness.findings("QHL002")
+        assert _rules(findings) == ["QHL002"]
+        assert "swallows" in findings[0].message
+
+    def test_fires_on_bare_except(self, harness):
+        harness.write(
+            "src/repro/core/sample.py",
+            """
+            def guarded():
+                try:
+                    risky()
+                except:
+                    pass
+            """,
+        )
+        assert _rules(harness.findings("QHL002")) == ["QHL002"]
+
+    def test_quiet_when_broad_except_reraises(self, harness):
+        harness.write(
+            "src/repro/core/sample.py",
+            """
+            from repro.exceptions import ReproError
+
+            def guarded():
+                try:
+                    risky()
+                except Exception as exc:
+                    raise ReproError("wrapped") from exc
+            """,
+        )
+        assert harness.findings("QHL002") == []
+
+    def test_quiet_on_narrow_except(self, harness):
+        harness.write(
+            "src/repro/core/sample.py",
+            """
+            def guarded():
+                try:
+                    risky()
+                except ValueError:
+                    return None
+            """,
+        )
+        assert harness.findings("QHL002") == []
+
+
+# ----------------------------------------------------------------------
+# QHL003 determinism
+
+
+class TestDeterminism:
+    def test_fires_on_wall_clock(self, harness):
+        harness.write(
+            "src/repro/skyline/sample.py",
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+        )
+        findings = harness.findings("QHL003")
+        assert _rules(findings) == ["QHL003"]
+        assert "time.time()" in findings[0].message
+
+    def test_fires_on_global_rng(self, harness):
+        harness.write(
+            "src/repro/core/sample.py",
+            """
+            import random
+
+            def jitter():
+                return random.random()
+            """,
+        )
+        assert _rules(harness.findings("QHL003")) == ["QHL003"]
+
+    def test_fires_on_unseeded_instance(self, harness):
+        harness.write(
+            "src/repro/labeling/sample.py",
+            """
+            import random
+
+            rng = random.Random()
+            """,
+        )
+        findings = harness.findings("QHL003")
+        assert _rules(findings) == ["QHL003"]
+        assert "unseeded" in findings[0].message
+
+    def test_quiet_on_seeded_instance_and_perf_counter(self, harness):
+        harness.write(
+            "src/repro/core/sample.py",
+            """
+            import random
+            import time
+
+            def build(seed):
+                rng = random.Random(seed)
+                started = time.perf_counter()
+                return rng.random(), time.perf_counter() - started
+            """,
+        )
+        assert harness.findings("QHL003") == []
+
+    def test_impure_packages_exempt(self, harness):
+        harness.write(
+            "src/repro/service/sample.py",
+            """
+            import random
+
+            def jitter():
+                return random.random()
+            """,
+        )
+        assert harness.findings("QHL003") == []
+
+
+# ----------------------------------------------------------------------
+# QHL004 metric-name registry
+
+_REGISTRY = """
+METRICS = {
+    "qhl_test_seconds": ("histogram", (), "test latency"),
+    "qhl_test_total": ("counter", (), "test counter"),
+}
+"""
+
+
+class TestMetricNameRegistry:
+    def test_fires_on_undeclared_emission(self, harness):
+        harness.write("src/repro/observability/names.py", _REGISTRY)
+        harness.write(
+            "src/repro/core/sample.py",
+            """
+            def observe(registry):
+                registry.counter("qhl_test_total").inc()
+                registry.histogram("qhl_test_seconds").observe(1.0)
+                registry.counter("qhl_bogus_total").inc()
+            """,
+        )
+        findings = harness.findings("QHL004")
+        assert _rules(findings) == ["QHL004"]
+        assert "qhl_bogus_total" in findings[0].message
+
+    def test_fires_on_dead_registry_entry(self, harness):
+        harness.write("src/repro/observability/names.py", _REGISTRY)
+        harness.write(
+            "src/repro/core/sample.py",
+            """
+            def observe(registry):
+                registry.counter("qhl_test_total").inc()
+            """,
+        )
+        findings = harness.findings("QHL004")
+        assert _rules(findings) == ["QHL004"]
+        assert "qhl_test_seconds" in findings[0].message
+        assert "never" in findings[0].message
+
+    def test_quiet_when_registry_and_code_agree(self, harness):
+        harness.write("src/repro/observability/names.py", _REGISTRY)
+        harness.write(
+            "src/repro/core/sample.py",
+            """
+            def observe(registry):
+                registry.counter("qhl_test_total").inc()
+                registry.histogram("qhl_test_seconds").observe(1.0)
+            """,
+        )
+        assert harness.findings("QHL004") == []
+
+    def test_bare_literal_credits_usage(self, harness):
+        # The tuple-of-names idiom: names fed to factories through a
+        # loop variable still count as emissions.
+        harness.write("src/repro/observability/names.py", _REGISTRY)
+        harness.write(
+            "src/repro/core/sample.py",
+            """
+            NAMES = ("qhl_test_total", "qhl_test_seconds")
+
+            def observe(registry):
+                for name in NAMES:
+                    registry.counter(name).inc()
+            """,
+        )
+        assert harness.findings("QHL004") == []
+
+    def test_unused_direction_skipped_on_partial_lint(self, harness):
+        # Linting one file (registry not in the path set) must not
+        # flag every metric that file happens not to emit.
+        harness.write("src/repro/observability/names.py", _REGISTRY)
+        harness.write(
+            "src/repro/core/sample.py",
+            """
+            def observe(registry):
+                registry.counter("qhl_test_total").inc()
+            """,
+        )
+        findings = harness.findings(
+            "QHL004", paths=["src/repro/core/sample.py"]
+        )
+        assert findings == []
+
+    def test_missing_registry_fails_loudly(self, harness):
+        harness.write(
+            "src/repro/core/sample.py",
+            """
+            def observe(registry):
+                registry.counter("qhl_test_total").inc()
+            """,
+        )
+        with pytest.raises(LintConfigError):
+            harness.run("QHL004")
+
+
+# ----------------------------------------------------------------------
+# QHL005 fault-point registry
+
+_FAULTS = """
+INJECTION_POINTS = (
+    "index-load",
+    "save-index",
+)
+"""
+
+
+class TestFaultPointRegistry:
+    def test_fires_on_unregistered_point(self, harness):
+        harness.write("src/repro/service/faults.py", _FAULTS)
+        harness.write(
+            "src/repro/storage/sample.py",
+            """
+            def load(injector):
+                injector.fire("lable-fetch")
+            """,
+        )
+        findings = harness.findings("QHL005")
+        assert _rules(findings) == ["QHL005"]
+        assert "lable-fetch" in findings[0].message
+
+    def test_quiet_on_registered_point(self, harness):
+        harness.write("src/repro/service/faults.py", _FAULTS)
+        harness.write(
+            "src/repro/storage/sample.py",
+            """
+            def load(injector):
+                injector.fire("index-load")
+                _fire_fault("save-index", stage="write")
+            """,
+        )
+        assert harness.findings("QHL005") == []
+
+    def test_helper_call_checked(self, harness):
+        harness.write("src/repro/service/faults.py", _FAULTS)
+        harness.write(
+            "src/repro/storage/sample.py",
+            """
+            def save():
+                _fire_fault("save-idnex")
+            """,
+        )
+        assert _rules(harness.findings("QHL005")) == ["QHL005"]
+
+
+# ----------------------------------------------------------------------
+# QHL006 float-equality
+
+
+class TestFloatEquality:
+    def test_fires_on_named_weight_cost_equality(self, harness):
+        harness.write(
+            "src/repro/skyline/sample.py",
+            """
+            def same(last_cost, c):
+                return c == last_cost
+            """,
+        )
+        findings = harness.findings("QHL006")
+        assert _rules(findings) == ["QHL006"]
+        assert "repro.skyline.compare" in findings[0].message
+
+    def test_fires_on_pair_projection(self, harness):
+        harness.write(
+            "src/repro/core/sample.py",
+            """
+            def member(entry, other):
+                return (entry[0], entry[1]) == (other[0], other[1])
+            """,
+        )
+        assert _rules(harness.findings("QHL006")) == ["QHL006"]
+
+    def test_quiet_on_sanctioned_helper(self, harness):
+        harness.write(
+            "src/repro/skyline/sample.py",
+            """
+            from repro.skyline.compare import costs_equal
+
+            def same(last_cost, c):
+                return costs_equal(c, last_cost)
+            """,
+        )
+        assert harness.findings("QHL006") == []
+
+    def test_ordering_comparisons_stay_legal(self, harness):
+        harness.write(
+            "src/repro/skyline/sample.py",
+            """
+            def dominated(weight, best_weight):
+                return weight >= best_weight
+            """,
+        )
+        assert harness.findings("QHL006") == []
+
+    def test_sanctioned_module_exempt(self, harness):
+        harness.write(
+            "src/repro/skyline/compare.py",
+            """
+            def costs_equal(a, b):
+                return a == b
+
+            def pairs_equal(a_cost, b_cost):
+                return a_cost == b_cost
+            """,
+        )
+        assert harness.findings("QHL006") == []
+
+    def test_other_packages_exempt(self, harness):
+        harness.write(
+            "src/repro/service/sample.py",
+            """
+            def same(cost, budget_cost):
+                return cost == budget_cost
+            """,
+        )
+        assert harness.findings("QHL006") == []
+
+
+# ----------------------------------------------------------------------
+# Inline suppression pragma
+
+
+class TestInlineSuppression:
+    def test_pragma_moves_finding_to_suppressed(self, harness):
+        harness.write(
+            "src/repro/core/sample.py",
+            """
+            import random
+
+            rng = random.Random()  # lint: allow=QHL003 jitter is intentional
+            """,
+        )
+        result = harness.run("QHL003")
+        assert result.findings == []
+        assert _rules(result.inline_suppressed) == ["QHL003"]
+
+    def test_pragma_is_rule_specific(self, harness):
+        harness.write(
+            "src/repro/core/sample.py",
+            """
+            import random
+
+            rng = random.Random()  # lint: allow=QHL001 wrong rule
+            """,
+        )
+        result = harness.run("QHL003")
+        assert _rules(result.findings) == ["QHL003"]
+
+    def test_pragma_in_string_is_not_a_pragma(self, harness):
+        harness.write(
+            "src/repro/core/sample.py",
+            """
+            import random
+
+            NOTE = "# lint: allow=QHL003"
+            rng = random.Random()
+            """,
+        )
+        result = harness.run("QHL003")
+        assert _rules(result.findings) == ["QHL003"]
+
+    def test_multi_rule_pragma(self, harness):
+        harness.write(
+            "src/repro/skyline/sample.py",
+            """
+            import time
+
+            def stamp(cost, last_cost):
+                return time.time() if cost == last_cost else 0  # lint: allow=QHL003,QHL006 fixture
+            """,
+        )
+        result = harness.run("QHL003", "QHL006")
+        assert result.findings == []
+        assert sorted(_rules(result.inline_suppressed)) == [
+            "QHL003",
+            "QHL006",
+        ]

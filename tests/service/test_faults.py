@@ -71,7 +71,7 @@ class TestInjectorMechanics:
     def test_null_injector_cannot_hold_rules(self):
         from repro.service import NULL_INJECTOR
 
-        with pytest.raises(RuntimeError):
+        with pytest.raises(NotImplementedError):
             NULL_INJECTOR.fail("engine-query")
         NULL_INJECTOR.fire("engine-query")  # inert
 
