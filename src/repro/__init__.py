@@ -46,6 +46,7 @@ from repro.exceptions import (
     ReproError,
     SerializationError,
     ServiceUnavailableError,
+    WorkerCrashError,
 )
 from repro.graph import (
     RoadNetwork,
@@ -61,8 +62,10 @@ from repro.graph import (
     write_dimacs_pair,
 )
 from repro.observability import (
+    FlightRecorder,
     MetricsRegistry,
     SpanTracer,
+    use_flight_recorder,
     use_registry,
     use_tracer,
 )
@@ -115,6 +118,7 @@ __all__ = [
     "DisconnectedGraphError",
     "DynamicQHLIndex",
     "FaultInjector",
+    "FlightRecorder",
     "ForestQHLIndex",
     "GraphFormatError",
     "IndexBuildError",
@@ -140,6 +144,7 @@ __all__ = [
     "ServiceUnavailableError",
     "SkylineCache",
     "SpanTracer",
+    "WorkerCrashError",
     "audit_index",
     "constrained_dijkstra",
     "dense_core_network",
@@ -161,6 +166,7 @@ __all__ = [
     "save_index",
     "skyline_between",
     "traffic_signal_network",
+    "use_flight_recorder",
     "use_injector",
     "use_registry",
     "use_tracer",

@@ -10,6 +10,7 @@ Subcommands::
     workload   generate the paper's Q1..Q5 query sets for a network
     bench      race QHL / CSP-2Hop (/ COLA) over a query-set file
     lint       run the AST invariant linter (QHL001..QHL006)
+    flight     inspect a flight-recorder dump (dump / tail, --json)
 
 Example session::
 
@@ -40,6 +41,13 @@ watchdog); ``verify`` deep-audits a saved index — storage checksum,
 skyline canonicality, hoplink coverage, tree/LCA structure, plus
 seeded spot-checks against constrained Dijkstra — and exits 1 if any
 check fails.
+
+Observability flags (see ``docs/observability.md``): ``query`` and
+``bench`` accept ``--flight-out PATH`` (record every query into a
+bounded flight-recorder ring and dump it as JSON-lines at exit),
+``--flight-size N`` (ring capacity) and ``--slow-ms X`` (slow-query
+threshold); ``repro-qhl flight dump|tail --file PATH`` pretty-prints a
+dump (``--json`` for machine-readable output).
 
 Performance flags (see ``docs/performance.md``): ``build --workers N``
 builds labels level-parallel across N processes; ``bench --cache-size
@@ -88,6 +96,59 @@ def _metrics_scope(path: str | None):
     except OSError as exc:
         raise ReproError(f"cannot write metrics to {path}: {exc}") from exc
     print(f"wrote {count} metrics -> {path}")
+
+
+@contextlib.contextmanager
+def _flight_scope(args: argparse.Namespace):
+    """Run the body under a live flight recorder, dumping it at exit.
+
+    A no-op (the inert null recorder stays active) when
+    ``--flight-out`` was not given, mirroring :func:`_metrics_scope`.
+    """
+    path = getattr(args, "flight_out", None)
+    if not path:
+        yield
+        return
+    from repro.observability.flight import (
+        FlightRecorder,
+        use_flight_recorder,
+    )
+
+    recorder = FlightRecorder(
+        capacity=getattr(args, "flight_size", None) or 256,
+        slow_ms=getattr(args, "slow_ms", None),
+    )
+    with use_flight_recorder(recorder):
+        yield
+    try:
+        count = recorder.dump(path, reason="cli")
+    except OSError as exc:
+        raise ReproError(
+            f"cannot write flight records to {path}: {exc}"
+        ) from exc
+    print(f"wrote {count} flight records -> {path}")
+
+
+def _add_flight_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--flight-*`` option group (query and bench)."""
+    parser.add_argument(
+        "--flight-out",
+        help="record every query into a flight-recorder ring and dump "
+        "it as JSON-lines to this path (inspect with `repro-qhl "
+        "flight`)",
+    )
+    parser.add_argument(
+        "--flight-size",
+        type=int,
+        default=256,
+        help="flight-recorder ring capacity (with --flight-out)",
+    )
+    parser.add_argument(
+        "--slow-ms",
+        type=float,
+        help="flight-recorder slow-query threshold in milliseconds; "
+        "slow queries are flagged and kept in the slow/fail side log",
+    )
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -185,7 +246,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         if args.deadline_ms is not None
         else None
     )
-    with _metrics_scope(args.metrics_out):
+    with _metrics_scope(args.metrics_out), _flight_scope(args):
         if args.fallback:
             network = (
                 read_csp_text(args.network) if args.network else None
@@ -225,6 +286,22 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 result = run(args.path)
         else:
             result = run(args.path)
+        if not args.fallback:
+            # The QueryService path flight-records internally; the
+            # plain-index path records here.
+            from repro.observability.flight import get_flight_recorder
+
+            recorder = get_flight_recorder()
+            if recorder.enabled:
+                recorder.record(
+                    engine=result.engine or "qhl",
+                    source=args.source,
+                    target=args.target,
+                    budget=args.budget,
+                    outcome="ok" if result.feasible else "infeasible",
+                    seconds=result.stats.seconds,
+                    stats=result.stats,
+                )
         if result.feasible:
             via = f" via {result.engine}" if result.engine else ""
             print(
@@ -305,7 +382,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     network = read_csp_text(args.network)
     sets = read_query_sets(args.queries)
-    with _metrics_scope(args.metrics_out):
+    with _metrics_scope(args.metrics_out), _flight_scope(args):
         with Timer() as timer:
             index = QHLIndex.build(
                 network,
@@ -350,6 +427,47 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                     f"(hit rate {stats.hit_rate:.1%}), "
                     f"{stats.evictions} evictions"
                 )
+    return 0
+
+
+def _cmd_flight(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.observability.flight import load_flight
+
+    try:
+        records = load_flight(args.file)
+    except OSError as exc:
+        raise ReproError(f"cannot read flight dump: {exc}") from exc
+    except ValueError as exc:
+        raise ReproError(
+            f"malformed flight dump {args.file}: {exc}"
+        ) from exc
+    if args.slow:
+        records = [r for r in records if r.slow or r.failed]
+    if args.mode == "tail":
+        records = records[-args.n:] if args.n > 0 else []
+    if args.json:
+        for record in records:
+            print(json.dumps(record.to_dict(), sort_keys=True))
+        return 0
+    if not records:
+        print("no flight records")
+        return 0
+    print(
+        f"{'seq':>5}  {'engine':<10}  {'query':<16}  {'outcome':<22}  "
+        f"{'time':>10}  {'flags':<5}  trace"
+    )
+    for r in records:
+        flags = ("S" if r.slow else "") + ("F" if r.failed else "")
+        query = f"{r.source}->{r.target}@{r.budget:g}"
+        line = (
+            f"{r.seq:>5}  {r.engine:<10}  {query:<16}  {r.outcome:<22}  "
+            f"{r.seconds * 1e3:>7.3f} ms  {flags:<5}  {r.trace_id or '-'}"
+        )
+        if r.error:
+            line += f"  {r.error}"
+        print(line)
     return 0
 
 
@@ -510,6 +628,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="dump query/service metrics (fallbacks, deadline hits) as "
         "JSON-lines to this path",
     )
+    _add_flight_arguments(p_query)
     p_query.set_defaults(func=_cmd_query)
 
     p_stats = sub.add_parser("stats", help="print index statistics")
@@ -571,7 +690,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --batch, fan each query set out across this many "
         "worker processes (0 = in-process)",
     )
+    _add_flight_arguments(p_bench)
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_flight = sub.add_parser(
+        "flight", help="inspect a flight-recorder JSON-lines dump"
+    )
+    p_flight.add_argument(
+        "mode",
+        choices=("dump", "tail"),
+        help="dump prints every record; tail prints the last -n",
+    )
+    p_flight.add_argument(
+        "--file",
+        required=True,
+        help="flight dump written by --flight-out or the QueryService "
+        "dump-on-failure hook",
+    )
+    p_flight.add_argument(
+        "-n",
+        type=int,
+        default=10,
+        help="records to show in tail mode (default 10)",
+    )
+    p_flight.add_argument(
+        "--json",
+        action="store_true",
+        help="print records as JSON-lines instead of a table",
+    )
+    p_flight.add_argument(
+        "--slow",
+        action="store_true",
+        help="show only slow or failed records",
+    )
+    p_flight.set_defaults(func=_cmd_flight)
 
     p_lint = sub.add_parser(
         "lint", help="run the AST invariant linter (QHL001..QHL006)"

@@ -137,6 +137,15 @@ class LintConfigError(ReproError):
     """
 
 
+class WorkerCrashError(ReproError):
+    """A pooled worker process died before answering (SIGKILL, OOM).
+
+    Surfaces per affected query in a batch's failure rows: the crash
+    costs only the dead worker's chunk, every other chunk's answers are
+    kept, and the stitched trace marks the worker's span truncated.
+    """
+
+
 class ServiceUnavailableError(ReproError):
     """Every tier of the degradation ladder failed (or is circuit-open).
 

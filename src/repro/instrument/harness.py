@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, Protocol
 
 from repro.exceptions import ReproError
+from repro.observability.flight import get_flight_recorder
 from repro.observability.metrics import Histogram, get_registry
 from repro.service.deadline import Deadline
 from repro.types import CSPQuery, QueryResult
@@ -44,12 +45,19 @@ class QueryEngine(Protocol):
 
 @dataclass(frozen=True)
 class QueryFailure:
-    """One query that raised instead of answering."""
+    """One query that raised instead of answering.
+
+    ``trace_id`` and ``flight_seq`` join the row to its batch trace and
+    flight-recorder record (``None`` when observability was off), so a
+    failure in a report is greppable back to its forensic evidence.
+    """
 
     index: int
     query: CSPQuery
     error: str
     message: str
+    trace_id: str | None = None
+    flight_seq: int | None = None
 
 
 @dataclass
@@ -216,11 +224,33 @@ def run_workload(
                     deadline=deadline,
                 )
         except ReproError as exc:
-            total += time.perf_counter() - started
+            elapsed = time.perf_counter() - started
+            total += elapsed
             count += 1
             failed += 1
+            # A QueryService engine has already flight-recorded this
+            # failure itself; reuse its record instead of writing a
+            # duplicate.  Plain engines get one from the harness.
+            entry = getattr(engine, "_last_flight", None)
+            if entry is None:
+                recorder = get_flight_recorder()
+                if recorder.enabled:
+                    entry = recorder.record(
+                        engine=engine.name,
+                        source=query.source,
+                        target=query.target,
+                        budget=query.budget,
+                        outcome=type(exc).__name__,
+                        seconds=elapsed,
+                        error=str(exc),
+                    )
+            flight_seq = entry.seq if entry is not None else None
+            trace_id = entry.trace_id if entry is not None else None
             failures.append(
-                QueryFailure(i, query, type(exc).__name__, str(exc))
+                QueryFailure(
+                    i, query, type(exc).__name__, str(exc),
+                    trace_id=trace_id, flight_seq=flight_seq,
+                )
             )
             if registry.enabled:
                 registry.counter(
@@ -237,6 +267,19 @@ def run_workload(
         total += elapsed
         latency.observe(elapsed)
         count += 1
+        recorder = get_flight_recorder()
+        if recorder.enabled and getattr(engine, "flight", None) is None:
+            # Engines with their own ring (QueryService) already
+            # recorded this query; everything else gets a row here.
+            recorder.record(
+                engine=engine.name,
+                source=query.source,
+                target=query.target,
+                budget=query.budget,
+                outcome="ok" if result.feasible else "infeasible",
+                seconds=elapsed,
+                stats=result.stats,
+            )
         hoplinks += result.stats.hoplinks
         concatenations += result.stats.concatenations
         lookups += result.stats.label_lookups
@@ -304,7 +347,10 @@ def _run_workload_batched(
         if result.feasible:
             feasible += 1
     failures = [
-        QueryFailure(f.index, f.query, f.error, f.message)
+        QueryFailure(
+            f.index, f.query, f.error, f.message,
+            trace_id=f.trace_id, flight_seq=f.flight_seq,
+        )
         for f in batch_report.failures
     ]
     count += len(failures)  # failed queries still count as attempted

@@ -33,6 +33,11 @@ import time
 from repro.hierarchy.tree import TreeDecomposition
 from repro.labeling.labels import LabelStore
 from repro.observability.metrics import get_registry
+from repro.observability.propagation import (
+    TraceContext,
+    WorkerSpool,
+    stitch,
+)
 from repro.observability.tracing import get_tracer
 from repro.skyline.set_ops import SkylineSet, join, merge, truncate
 
@@ -45,6 +50,7 @@ MIN_PARALLEL_LEVEL = 8
 _TREE: TreeDecomposition | None = None
 _STORE: LabelStore | None = None
 _MAX_SKYLINE: int | None = None
+_SPOOL: WorkerSpool | None = None
 
 
 def label_rows_for(
@@ -87,6 +93,52 @@ def _build_vertex(v: int) -> tuple[int, list[tuple[int, SkylineSet]]]:
     return v, rows
 
 
+def _init_level_worker() -> None:
+    """Pool initializer: announce this worker on the level's spool."""
+    if _SPOOL is not None:
+        _SPOOL.announce()
+
+
+def _build_chunk(
+    vertices: list[int],
+) -> list[tuple[int, list[tuple[int, SkylineSet]]]]:
+    """Worker task: a contiguous run of one level's vertices.
+
+    With a spool attached (observability live in the parent), the chunk
+    runs under a fresh worker-local tracer/registry: per-vertex build
+    latency lands in ``qhl_label_vertex_seconds`` and join counts in
+    ``qhl_label_joins_total``, both merged into the parent registry at
+    stitch time — the pool path used to report neither.
+    """
+    spool = _SPOOL
+    if spool is None:
+        return [_build_vertex(v) for v in vertices]
+    with spool.observe("labels.worker-chunk") as root:
+        registry = get_registry()
+        out = []
+        joins = 0
+        for v in vertices:
+            vertex_started = time.perf_counter()
+            rows, vertex_joins = label_rows_for(
+                _TREE, _STORE, v, _MAX_SKYLINE
+            )
+            if registry.enabled:
+                registry.histogram(
+                    "qhl_label_vertex_seconds",
+                    help="per-vertex label construction time",
+                ).observe(time.perf_counter() - vertex_started)
+            joins += vertex_joins
+            out.append((v, rows))
+        if registry.enabled and joins:
+            registry.counter(
+                "qhl_label_joins_total",
+                help="skyline joins during label construction",
+            ).inc(joins)
+        root.set("vertices", len(vertices))
+        root.set("joins", joins)
+        return out
+
+
 def depth_levels(tree: TreeDecomposition) -> list[list[int]]:
     """Tree vertices grouped by depth, root level first.
 
@@ -119,10 +171,12 @@ def level_rows(
     the two cannot drift.  ``store`` must already hold every strictly
     shallower level.  Levels smaller than :data:`MIN_PARALLEL_LEVEL`
     (or ``workers < 2``, or platforms without ``fork``) are computed
-    inline; joins are only counted on the inline path (the process-pool
-    path has never reported them).
+    inline.  The returned join count covers only the inline path; on
+    the process-pool path joins flow back through the worker spool as
+    ``qhl_label_joins_total`` metric deltas instead (when observability
+    is live).
     """
-    global _TREE, _STORE, _MAX_SKYLINE
+    global _TREE, _STORE, _MAX_SKYLINE, _SPOOL
     level = [v for v in level if v != tree.root]
     if not level:
         return [], 0
@@ -141,13 +195,43 @@ def level_rows(
     # Fork a fresh pool so the children see the store as built up to
     # (and excluding) this level.
     context = multiprocessing.get_context("fork")
-    _TREE, _STORE, _MAX_SKYLINE = tree, store, max_skyline
+    tracer = get_tracer()
+    registry = get_registry()
+    spool = None
+    if tracer.enabled or registry.enabled:
+        spool = WorkerSpool.create(
+            TraceContext.new("labels.level-fanout"),
+            want_spans=tracer.enabled,
+            want_metrics=registry.enabled,
+        )
+    chunk_size = max(1, len(level) // (workers * 4))
+    chunks = [
+        level[i:i + chunk_size] for i in range(0, len(level), chunk_size)
+    ]
+    _TREE, _STORE, _MAX_SKYLINE, _SPOOL = tree, store, max_skyline, spool
+    pool = context.Pool(processes=workers, initializer=_init_level_worker)
     try:
-        with context.Pool(processes=workers) as pool:
-            chunksize = max(1, len(level) // (workers * 4))
-            out = list(pool.map(_build_vertex, level, chunksize=chunksize))
+        with tracer.span("labels.level-fanout") as parent:
+            parent.set("workers", workers)
+            parent.set("vertices", len(level))
+            chunk_outs = pool.map(_build_chunk, chunks)
+            # close + join — not the Pool context manager, whose
+            # terminate() SIGTERMs workers before their finalizers can
+            # flush the spool end markers stitch() relies on.
+            pool.close()
+            pool.join()
+            if spool is not None:
+                stitch(spool, parent=parent)
+    except BaseException:
+        pool.terminate()
+        pool.join()
+        raise
     finally:
+        if spool is not None:
+            spool.cleanup()
         _TREE = _STORE = _MAX_SKYLINE = None
+        _SPOOL = None
+    out = [pair for chunk_out in chunk_outs for pair in chunk_out]
     return out, 0
 
 

@@ -4,19 +4,37 @@ The always-available instrumentation layer the ROADMAP's production
 goal needs: engines and builders report into a swappable
 :class:`MetricsRegistry` and :class:`SpanTracer`, both of which default
 to no-ops so the query hot path pays (almost) nothing until a caller
-opts in.  See ``docs/observability.md`` for the full tour.
+opts in.  PR 6 extends the layer across process boundaries
+(:mod:`~repro.observability.propagation`) and adds the query flight
+recorder (:mod:`~repro.observability.flight`).  See
+``docs/observability.md`` for the full tour.
 """
 
 from repro.observability.export import (
+    merge_record,
+    merge_records,
+    metric_from_dict,
     metric_to_dict,
     parse_jsonl,
+    registry_from_records,
     render_table,
     render_trace,
     snapshot,
+    span_from_dict,
     span_to_dict,
     to_jsonl,
     to_prometheus,
     write_jsonl,
+)
+from repro.observability.flight import (
+    NULL_FLIGHT_RECORDER,
+    FlightRecord,
+    FlightRecorder,
+    NullFlightRecorder,
+    get_flight_recorder,
+    load_flight,
+    set_flight_recorder,
+    use_flight_recorder,
 )
 from repro.observability.metrics import (
     DEFAULT_LATENCY_BUCKETS,
@@ -31,6 +49,13 @@ from repro.observability.metrics import (
     set_registry,
     use_registry,
 )
+from repro.observability.propagation import (
+    StitchResult,
+    TraceContext,
+    WorkerSpool,
+    new_trace_id,
+    stitch,
+)
 from repro.observability.tracing import (
     NULL_TRACER,
     NullTracer,
@@ -44,29 +69,47 @@ from repro.observability.tracing import (
 
 __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
+    "NULL_FLIGHT_RECORDER",
     "NULL_REGISTRY",
     "NULL_TRACER",
     "Counter",
+    "FlightRecord",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "NullFlightRecorder",
     "NullRegistry",
     "NullTracer",
     "Span",
     "SpanTracer",
+    "StitchResult",
+    "TraceContext",
+    "WorkerSpool",
+    "get_flight_recorder",
     "get_registry",
     "get_tracer",
+    "load_flight",
+    "merge_record",
+    "merge_records",
+    "metric_from_dict",
     "metric_to_dict",
+    "new_trace_id",
     "observe_query",
     "parse_jsonl",
+    "registry_from_records",
     "render_table",
     "render_trace",
+    "set_flight_recorder",
     "set_registry",
     "set_tracer",
     "snapshot",
+    "span_from_dict",
     "span_to_dict",
+    "stitch",
     "to_jsonl",
     "to_prometheus",
+    "use_flight_recorder",
     "use_registry",
     "use_tracer",
     "walk",

@@ -10,6 +10,15 @@ Three consumers, three formats:
   scrape endpoint needs nothing beyond serving this string.
 * :func:`render_table` and :func:`render_trace` — human-readable views
   for terminals: a metric table and an indented span tree.
+
+Snapshots are also the wire format between processes: a worker
+serialises its registry with :func:`snapshot` and the parent folds the
+records back in with :func:`merge_records` (counters add, gauges take
+the incoming value, histograms add bucket-wise), so a fan-out run ends
+with one registry covering both sides of the fork.
+:func:`metric_from_dict` / :func:`registry_from_records` rebuild live
+metrics from records, and :func:`span_from_dict` is the inverse of
+:func:`span_to_dict` for trace stitching.
 """
 
 from __future__ import annotations
@@ -17,7 +26,13 @@ from __future__ import annotations
 import json
 from typing import Iterable
 
-from repro.observability.metrics import Histogram, Metric
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    Metric,
+    MetricsRegistry,
+)
 from repro.observability.tracing import Span
 
 PERCENTILES = (50, 90, 95, 99)
@@ -32,6 +47,7 @@ def metric_to_dict(metric: Metric) -> dict:
         "type": metric.kind,
         "name": metric.name,
         "labels": dict(metric.labels),
+        "help": metric.help,
     }
     if isinstance(metric, Histogram):
         record["count"] = metric.count
@@ -78,6 +94,106 @@ def parse_jsonl(text: str | Iterable[str]) -> list[dict]:
     """Parse JSON-lines text (or an iterable of lines) back to dicts."""
     lines = text.splitlines() if isinstance(text, str) else text
     return [json.loads(line) for line in lines if line.strip()]
+
+
+# ----------------------------------------------------------------------
+# Reconstruction and merging (the cross-process half of a snapshot)
+# ----------------------------------------------------------------------
+def _histogram_shape(record: dict) -> tuple[tuple[float, ...], list[int]]:
+    """Bucket bounds (without ``+Inf``) and per-bucket counts."""
+    buckets = record["buckets"]
+    bounds = tuple(float(entry["le"]) for entry in buckets[:-1])
+    counts = [int(entry["count"]) for entry in buckets]
+    return bounds, counts
+
+
+def metric_from_dict(record: dict) -> Metric:
+    """Rebuild a live metric from a :func:`metric_to_dict` record."""
+    kind = record["type"]
+    name = record["name"]
+    labels = record.get("labels") or {}
+    help_text = record.get("help", "")
+    if kind in ("counter", "gauge"):
+        cls = Counter if kind == "counter" else Gauge
+        metric = cls(name, labels, help_text)
+        metric.value = float(record["value"])
+        return metric
+    if kind == "histogram":
+        bounds, counts = _histogram_shape(record)
+        hist = Histogram(name, labels, help_text, buckets=bounds)
+        hist.counts = counts
+        hist.count = int(record["count"])
+        hist.sum = float(record["sum"])
+        if record.get("min") is not None:
+            hist.min = float(record["min"])
+        if record.get("max") is not None:
+            hist.max = float(record["max"])
+        return hist
+    raise ValueError(f"unknown metric type {kind!r} for {name!r}")
+
+
+def merge_record(registry, record: dict) -> Metric:
+    """Fold one snapshot record into ``registry`` (get-or-create + add).
+
+    Counters accumulate, gauges take the incoming value (last writer
+    wins, matching worker-then-parent ordering), histograms accumulate
+    bucket-wise and widen ``min``/``max``.  Histogram bucket bounds
+    must match the already-registered metric.
+    """
+    kind = record["type"]
+    name = record["name"]
+    labels = record.get("labels") or {}
+    help_text = record.get("help", "")
+    if kind == "counter":
+        counter = registry.counter(name, labels, help=help_text)
+        counter.inc(float(record["value"]))
+        return counter
+    if kind == "gauge":
+        gauge = registry.gauge(name, labels, help=help_text)
+        gauge.set(float(record["value"]))
+        return gauge
+    if kind == "histogram":
+        bounds, counts = _histogram_shape(record)
+        hist = registry.histogram(name, labels, help=help_text,
+                                  buckets=bounds)
+        if hist.bounds != bounds:
+            raise ValueError(
+                f"histogram {name!r} bucket bounds mismatch: "
+                f"{hist.bounds} != {bounds}"
+            )
+        for i, count in enumerate(counts):
+            hist.counts[i] += count
+        hist.count += int(record["count"])
+        hist.sum += float(record["sum"])
+        if record.get("min") is not None:
+            hist.min = min(hist.min, float(record["min"]))
+        if record.get("max") is not None:
+            hist.max = max(hist.max, float(record["max"]))
+        return hist
+    raise ValueError(f"unknown metric type {kind!r} for {name!r}")
+
+
+def merge_records(registry, records: Iterable[dict]) -> int:
+    """Merge snapshot records into ``registry``; returns how many.
+
+    A no-op (returning 0) on a disabled registry, so callers can merge
+    unconditionally.
+    """
+    if not registry.enabled:
+        return 0
+    merged = 0
+    for record in records:
+        merge_record(registry, record)
+        merged += 1
+    return merged
+
+
+def registry_from_records(records: Iterable[dict]) -> MetricsRegistry:
+    """A fresh registry rebuilt from snapshot records."""
+    registry = MetricsRegistry()
+    for record in records:
+        registry.attach(metric_from_dict(record))
+    return registry
 
 
 # ----------------------------------------------------------------------
@@ -179,6 +295,24 @@ def span_to_dict(span: Span) -> dict:
         "counters": dict(span.counters),
         "children": [span_to_dict(child) for child in span.children],
     }
+
+
+def span_from_dict(data: dict) -> Span:
+    """Rebuild a :class:`Span` tree from :func:`span_to_dict` output.
+
+    The rebuilt spans carry no tracer (they are finished records, not
+    open regions); ``started`` is not preserved across processes.
+    """
+    span = Span(str(data.get("name", "")))
+    span.duration = float(data.get("duration_s", 0.0))
+    span.counters = {
+        str(key): float(value)
+        for key, value in (data.get("counters") or {}).items()
+    }
+    span.children = [
+        span_from_dict(child) for child in data.get("children") or []
+    ]
+    return span
 
 
 def render_trace(span: Span) -> str:

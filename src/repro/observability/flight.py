@@ -1,0 +1,278 @@
+"""Query flight recorder: a bounded ring buffer of per-query records.
+
+The black box of the serving layer.  Every query that passes through an
+instrumented call site leaves one :class:`FlightRecord` — trace id,
+engine/ladder tier actually used, cache hit/miss, deadline margin, op
+counters, and the outcome (``ok``, ``infeasible``, or the
+:class:`~repro.exceptions.ReproError` taxonomy class that killed it).
+The buffer is a fixed-capacity ring, so a long-running service keeps
+the *most recent* window; slow and failed queries are additionally kept
+in a separate log so they survive longer than the main ring under
+heavy traffic.
+
+Like the metrics registry and the span tracer, the module-level default
+is inert (:data:`NULL_FLIGHT_RECORDER`): hot paths check
+``recorder.enabled`` once and skip all bookkeeping, keeping the
+disabled overhead within the ≤2% budget the regression harness
+(``benchmarks/regress.py --overhead``) measures.  Install a live
+recorder with :func:`set_flight_recorder` or, scoped,
+:func:`use_flight_recorder`.
+
+Records serialise to JSON-lines (:meth:`FlightRecorder.dump` /
+:func:`load_flight`), which is what the ``repro-qhl flight`` CLI and
+the ``QueryService`` dump-on-failure hook read and write.
+"""
+
+from __future__ import annotations
+
+import collections
+import contextlib
+import itertools
+import json
+from dataclasses import asdict, dataclass, fields
+from typing import Iterator
+
+from repro.observability.metrics import get_registry
+
+#: Outcomes that mean "the engine answered" (feasible or provably not).
+ANSWERED_OUTCOMES = ("ok", "infeasible")
+
+
+@dataclass(frozen=True)
+class FlightRecord:
+    """One query's forensic record."""
+
+    seq: int
+    engine: str
+    source: int
+    target: int
+    budget: float
+    outcome: str
+    seconds: float
+    trace_id: str | None = None
+    cache_hit: bool | None = None
+    deadline_margin_ms: float | None = None
+    hoplinks: int = 0
+    concatenations: int = 0
+    label_lookups: int = 0
+    slow: bool = False
+    error: str = ""
+
+    @property
+    def failed(self) -> bool:
+        return self.outcome not in ANSWERED_OUTCOMES
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FlightRecord":
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+class FlightRecorder:
+    """Fixed-capacity ring of :class:`FlightRecord` plus a slow/fail log.
+
+    ``slow_ms`` is the slow-query threshold; ``None`` disables slow
+    classification (failures still land in the side log).
+    """
+
+    enabled = True
+
+    def __init__(
+        self, capacity: int = 256, slow_ms: float | None = None
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.slow_ms = slow_ms
+        self._records: collections.deque[FlightRecord] = collections.deque(
+            maxlen=capacity
+        )
+        self._slow: collections.deque[FlightRecord] = collections.deque(
+            maxlen=capacity
+        )
+        self._seq = itertools.count(1)
+        self.total = 0
+        self.dropped = 0
+
+    def record(
+        self,
+        *,
+        engine: str,
+        source: int,
+        target: int,
+        budget: float,
+        outcome: str,
+        seconds: float,
+        trace_id: str | None = None,
+        cache_hit: bool | None = None,
+        deadline_margin_ms: float | None = None,
+        stats=None,
+        error: str = "",
+    ) -> FlightRecord:
+        """Append one record; returns it (with its assigned ``seq``).
+
+        ``stats`` is an optional :class:`~repro.types.QueryStats` whose
+        op counters are copied in; failed queries usually have none.
+        """
+        slow = (
+            self.slow_ms is not None and seconds * 1000.0 >= self.slow_ms
+        )
+        entry = FlightRecord(
+            seq=next(self._seq),
+            engine=engine,
+            source=source,
+            target=target,
+            budget=budget,
+            outcome=outcome,
+            seconds=seconds,
+            trace_id=trace_id,
+            cache_hit=cache_hit,
+            deadline_margin_ms=deadline_margin_ms,
+            hoplinks=getattr(stats, "hoplinks", 0),
+            concatenations=getattr(stats, "concatenations", 0),
+            label_lookups=getattr(stats, "label_lookups", 0),
+            slow=slow,
+            error=error,
+        )
+        if len(self._records) == self.capacity:
+            self.dropped += 1
+        self._records.append(entry)
+        self.total += 1
+        if slow or entry.failed:
+            self._slow.append(entry)
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(
+                "service_flight_records_total",
+                {"outcome": outcome},
+                help="flight-recorder records by query outcome",
+            ).inc()
+            if slow:
+                registry.counter(
+                    "service_flight_slow_total",
+                    help="queries over the flight-recorder slow threshold",
+                ).inc()
+        return entry
+
+    # -- access --------------------------------------------------------
+    def records(self) -> list[FlightRecord]:
+        """The ring's contents, oldest first."""
+        return list(self._records)
+
+    def slow_records(self) -> list[FlightRecord]:
+        """The slow/failed side log, oldest first."""
+        return list(self._slow)
+
+    def tail(self, n: int = 10) -> list[FlightRecord]:
+        """The most recent ``n`` records, oldest first."""
+        if n <= 0:
+            return []
+        return list(self._records)[-n:]
+
+    def last(self) -> FlightRecord | None:
+        return self._records[-1] if self._records else None
+
+    def clear(self) -> None:
+        self._records.clear()
+        self._slow.clear()
+
+    # -- persistence ---------------------------------------------------
+    def dump(self, path, reason: str = "manual") -> int:
+        """Write the ring as JSON-lines to ``path``; returns the count.
+
+        ``reason`` labels the ``service_flight_dumps_total`` counter —
+        ``manual`` for operator dumps, ``breaker-open`` /
+        ``service-unavailable`` for the automatic forensic dumps.
+        """
+        entries = self.records()
+        with open(path, "w", encoding="utf-8") as handle:
+            for entry in entries:
+                handle.write(
+                    json.dumps(entry.to_dict(), sort_keys=True) + "\n"
+                )
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(
+                "service_flight_dumps_total",
+                {"reason": reason},
+                help="flight-recorder dumps by trigger",
+            ).inc()
+        return len(entries)
+
+
+def load_flight(path) -> list[FlightRecord]:
+    """Read a :meth:`FlightRecorder.dump` file back into records."""
+    entries: list[FlightRecord] = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            if line.strip():
+                entries.append(FlightRecord.from_dict(json.loads(line)))
+    return entries
+
+
+class NullFlightRecorder:
+    """The disabled default: every method is a cheap no-op."""
+
+    enabled = False
+    capacity = 0
+    slow_ms = None
+    total = 0
+    dropped = 0
+
+    def record(self, **kwargs) -> None:
+        return None
+
+    def records(self) -> list:
+        return []
+
+    def slow_records(self) -> list:
+        return []
+
+    def tail(self, n: int = 10) -> list:
+        return []
+
+    def last(self) -> None:
+        return None
+
+    def clear(self) -> None:
+        pass
+
+    def dump(self, path, reason: str = "manual") -> int:
+        return 0
+
+
+NULL_FLIGHT_RECORDER = NullFlightRecorder()
+
+_active_recorder: FlightRecorder | NullFlightRecorder = (
+    NULL_FLIGHT_RECORDER
+)
+
+
+def get_flight_recorder() -> FlightRecorder | NullFlightRecorder:
+    """The process-wide active recorder (the no-op one by default)."""
+    return _active_recorder
+
+
+def set_flight_recorder(
+    recorder: FlightRecorder | NullFlightRecorder,
+) -> FlightRecorder | NullFlightRecorder:
+    """Install ``recorder`` as active; returns the previous one."""
+    global _active_recorder
+    previous = _active_recorder
+    _active_recorder = recorder
+    return previous
+
+
+@contextlib.contextmanager
+def use_flight_recorder(
+    recorder: FlightRecorder | NullFlightRecorder,
+) -> Iterator[FlightRecorder | NullFlightRecorder]:
+    """Scoped :func:`set_flight_recorder`; restores the previous one."""
+    previous = set_flight_recorder(recorder)
+    try:
+        yield recorder
+    finally:
+        set_flight_recorder(previous)

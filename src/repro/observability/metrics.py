@@ -147,8 +147,13 @@ class Histogram:
     def percentile(self, q: float) -> float:
         """The q-th percentile (``0 <= q <= 100``); 0.0 when empty.
 
-        Linear interpolation inside the bucket holding the target rank;
-        the overflow bucket interpolates toward the observed ``max``.
+        Linear interpolation inside the bucket holding the target rank.
+        The interpolation range is the *intersection* of the bucket and
+        the observed ``[min, max]`` — not the raw bucket edges — so a
+        one-sample histogram reports that sample exactly, a tiny-N
+        histogram cannot report an estimate outside the data it saw,
+        and the overflow bucket interpolates toward the observed
+        ``max`` instead of infinity.
         """
         if not 0 <= q <= 100:
             raise ValueError(f"percentile must be in [0, 100], got {q}")
@@ -165,6 +170,12 @@ class Histogram:
                 upper = (
                     self.bounds[i] if i < len(self.bounds) else self.max
                 )
+                # Observations in this bucket all lie inside the
+                # observed range; shrink the edges before interpolating.
+                lower = max(lower, self.min)
+                upper = min(upper, self.max)
+                if upper < lower:
+                    upper = lower
                 fraction = (rank - (cumulative - bucket_count)) / bucket_count
                 estimate = lower + (upper - lower) * fraction
                 return min(max(estimate, self.min), self.max)

@@ -102,6 +102,17 @@ METRICS: dict[str, MetricSpec] = {
         "counter", (), "skyline cache LRU evictions"),
     "qhl_cache_entries": MetricSpec(
         "gauge", (), "skyline frontiers currently cached"),
+    # -- cross-process tracing (PR 6) ----------------------------------
+    "qhl_trace_stitched_total": MetricSpec(
+        "counter", (),
+        "worker spool records stitched into parent traces"),
+    "qhl_trace_truncated_total": MetricSpec(
+        "counter", (), "worker spans synthesised for crashed workers"),
+    "qhl_trace_workers": MetricSpec(
+        "gauge", (), "distinct worker pids in the last stitched trace"),
+    "qhl_batch_deadline_exceeded_total": MetricSpec(
+        "counter", ("engine",),
+        "batch queries that ran out of per-query budget"),
     # -- serving layer (PR 2) ------------------------------------------
     "service_queries_total": MetricSpec(
         "counter", ("tier",), "queries answered per ladder tier"),
@@ -115,6 +126,15 @@ METRICS: dict[str, MetricSpec] = {
         "counter", (), "index loads that failed and degraded the service"),
     "service_index_audit_failures_total": MetricSpec(
         "counter", (), "indexes rejected by the require_audit gate"),
+    # -- flight recorder (PR 6) ----------------------------------------
+    "service_flight_records_total": MetricSpec(
+        "counter", ("outcome",),
+        "flight-recorder records by query outcome"),
+    "service_flight_slow_total": MetricSpec(
+        "counter", (),
+        "queries over the flight-recorder slow threshold"),
+    "service_flight_dumps_total": MetricSpec(
+        "counter", ("reason",), "flight-recorder dumps by trigger"),
     # -- validating ingestion (PR 4) -----------------------------------
     "ingest_files_total": MetricSpec(
         "counter", ("format",), "network files ingested"),

@@ -18,17 +18,38 @@ The pool uses the ``fork`` start method so workers inherit the engine
 platforms without ``fork`` the batch silently runs sequentially.
 Results always come back in the *input* order, bit-identical to a
 sequential run (each query's answer is independent of batch order).
+
+Every batch runs under one trace id.  When observability is live, the
+pool path hands each worker a :class:`~repro.observability.propagation.
+WorkerSpool`; workers record their chunk spans and metric deltas into
+it, and the parent stitches everything into its own trace tree and
+registry after the pool drains — so ``--trace`` shows worker-side
+phases and worker-side cache/deadline counters land in the parent
+registry instead of vanishing with the fork.  A worker that dies
+mid-chunk (SIGKILL, OOM — surfacing as ``BrokenProcessPool``) costs
+only its own chunk: the affected queries fail with
+``WorkerCrashError``, every other chunk's answers are kept, and the
+stitched trace marks the dead worker's span ``worker.truncated``.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
 import multiprocessing
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from repro.exceptions import ReproError
+from repro.exceptions import DeadlineExceededError, ReproError
+from repro.observability.flight import get_flight_recorder
 from repro.observability.metrics import get_registry
+from repro.observability.propagation import (
+    TraceContext,
+    WorkerSpool,
+    new_trace_id,
+    stitch,
+)
+from repro.observability.tracing import NULL_SPAN, get_tracer
 from repro.perf.cache import normalize_pair
 from repro.types import CSPQuery, QueryResult
 
@@ -37,12 +58,19 @@ QueryLike = CSPQuery | tuple[int, int, float]
 
 @dataclass(frozen=True)
 class BatchFailure:
-    """One batch query that raised instead of answering."""
+    """One batch query that raised instead of answering.
+
+    ``trace_id`` joins the failure to its batch trace; ``flight_seq``
+    points at the flight-recorder record written for it (``None`` when
+    no recorder was active).
+    """
 
     index: int
     query: CSPQuery
     error: str
     message: str
+    trace_id: str | None = None
+    flight_seq: int | None = None
 
 
 @dataclass
@@ -57,6 +85,7 @@ class BatchReport:
     results: list[QueryResult | None]
     failures: list[BatchFailure] = field(default_factory=list)
     skipped: int = 0
+    trace_id: str | None = None
 
     @property
     def answered(self) -> int:
@@ -88,6 +117,49 @@ def sorted_batch_order(queries: Sequence[QueryLike]) -> list[int]:
 # ----------------------------------------------------------------------
 # Sequential execution
 # ----------------------------------------------------------------------
+def _note_deadline_exceeded(engine_name: str) -> None:
+    """Count a batch query that ran out of its per-query budget."""
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter(
+            "qhl_batch_deadline_exceeded_total",
+            {"engine": engine_name},
+            help="batch queries that ran out of per-query budget",
+        ).inc()
+
+
+def _note_failure(
+    failures: list[BatchFailure],
+    trace_id: str | None,
+    engine_name: str,
+    index: int,
+    query: CSPQuery,
+    error: str,
+    message: str,
+) -> None:
+    """Append a failure row, flight-recording it when a recorder is on."""
+    recorder = get_flight_recorder()
+    flight_seq = None
+    if recorder.enabled:
+        entry = recorder.record(
+            engine=engine_name,
+            source=query.source,
+            target=query.target,
+            budget=query.budget,
+            outcome=error,
+            seconds=0.0,
+            trace_id=trace_id,
+            error=message,
+        )
+        flight_seq = entry.seq
+    failures.append(
+        BatchFailure(
+            index, query, error, message,
+            trace_id=trace_id, flight_seq=flight_seq,
+        )
+    )
+
+
 def _run_indices(
     engine,
     queries: Sequence[QueryLike],
@@ -95,8 +167,10 @@ def _run_indices(
     want_path: bool,
     deadline_ms: float | None,
     batch_deadline,
+    trace_id: str | None = None,
 ) -> BatchReport:
     """Run the given queries in the given order, collecting failures."""
+    engine_name = getattr(engine, "name", "?")
     results: list[QueryResult | None] = [None] * len(queries)
     failures: list[BatchFailure] = []
     skipped = 0
@@ -111,12 +185,16 @@ def _run_indices(
                 s, t, c, want_path=want_path, deadline=deadline
             )
         except ReproError as exc:
-            failures.append(
-                BatchFailure(
-                    i, CSPQuery(s, t, c), type(exc).__name__, str(exc)
-                )
+            if isinstance(exc, DeadlineExceededError):
+                _note_deadline_exceeded(engine_name)
+            _note_failure(
+                failures, trace_id, engine_name, i, CSPQuery(s, t, c),
+                type(exc).__name__, str(exc),
             )
-    return BatchReport(results=results, failures=failures, skipped=skipped)
+    return BatchReport(
+        results=results, failures=failures, skipped=skipped,
+        trace_id=trace_id,
+    )
 
 
 def _fresh_deadline(deadline_ms: float | None, batch_deadline):
@@ -132,21 +210,26 @@ def _fresh_deadline(deadline_ms: float | None, batch_deadline):
 # Process-pool execution
 # ----------------------------------------------------------------------
 _WORKER_ENGINE = None
+_WORKER_SPOOL: WorkerSpool | None = None
 
 
-def _init_worker(engine) -> None:
-    """Pool initializer: pin this worker's private engine handle."""
-    global _WORKER_ENGINE
-    _WORKER_ENGINE = engine
+def _init_worker(engine, spool: WorkerSpool | None) -> None:
+    """Pool initializer: pin this worker's engine and trace spool.
 
-
-def _run_chunk(payload):
-    """Run one contiguous chunk of the sorted order in a worker.
-
-    The payload carries plain triples (never entries), so only small
-    tuples cross the process boundary; the engine came in via fork.
+    Announcing on the spool here (not lazily at the first chunk) means
+    every spawned worker appears in the stitched trace, including ones
+    that never win a chunk — they show up as ``worker.idle``.
     """
-    indices, triples, want_path, deadline_ms = payload
+    global _WORKER_ENGINE, _WORKER_SPOOL
+    _WORKER_ENGINE = engine
+    _WORKER_SPOOL = spool
+    if spool is not None:
+        spool.announce()
+
+
+def _chunk_body(indices, triples, want_path, deadline_ms, span):
+    """The per-chunk query loop, shared by the spooled and bare paths."""
+    engine_name = getattr(_WORKER_ENGINE, "name", "?")
     out = []
     for i, (s, t, c) in zip(indices, triples):
         deadline = _fresh_deadline(deadline_ms, None)
@@ -155,10 +238,33 @@ def _run_chunk(payload):
                 s, t, c, want_path=want_path, deadline=deadline
             )
         except ReproError as exc:
+            if isinstance(exc, DeadlineExceededError):
+                _note_deadline_exceeded(engine_name)
+                span.add("deadline_exceeded", 1)
             out.append((i, None, (type(exc).__name__, str(exc))))
         else:
             out.append((i, result, None))
+    span.set("queries", len(out))
     return out
+
+
+def _run_chunk(payload):
+    """Run one contiguous chunk of the sorted order in a worker.
+
+    The payload carries plain triples (never engines), so only small
+    tuples cross the process boundary; the engine came in via fork.
+    With a spool attached, the chunk runs under a fresh worker-local
+    tracer/registry whose contents are flushed as one spool record for
+    the parent to stitch.
+    """
+    indices, triples, want_path, deadline_ms = payload
+    spool = _WORKER_SPOOL
+    if spool is None:
+        return _chunk_body(
+            indices, triples, want_path, deadline_ms, NULL_SPAN
+        )
+    with spool.observe("batch.worker-chunk") as root:
+        return _chunk_body(indices, triples, want_path, deadline_ms, root)
 
 
 def _fork_context():
@@ -176,6 +282,7 @@ def execute_batch(
     deadline_ms: float | None = None,
     batch_deadline_ms: float | None = None,
     workers: int = 0,
+    trace_id: str | None = None,
 ) -> BatchReport:
     """Run a whole workload through ``engine``.
 
@@ -202,13 +309,19 @@ def execute_batch(
         (so repeated pairs stay on one worker's cache) run on
         per-worker engine handles inherited by fork.  Platforms
         without the ``fork`` start method fall back to sequential.
+    trace_id:
+        Joins this batch to an existing trace; minted fresh when
+        omitted.  The id lands on the report and every failure row.
     """
     if workers >= 2 and batch_deadline_ms is not None:
         raise ValueError(
             "batch_deadline_ms cannot be combined with workers: a "
             "shared wall-clock budget does not cross process boundaries"
         )
+    if trace_id is None:
+        trace_id = new_trace_id()
     registry = get_registry()
+    tracer = get_tracer()
     if registry.enabled:
         registry.counter(
             "qhl_batch_queries_total",
@@ -229,9 +342,12 @@ def execute_batch(
                 "qhl_batch_workers",
                 help="process-pool size of the last batch run",
             ).set(1)
-        return _run_indices(
-            engine, queries, order, want_path, deadline_ms, batch_deadline
-        )
+        with tracer.span("batch.run") as span:
+            span.set("queries", len(queries))
+            return _run_indices(
+                engine, queries, order, want_path, deadline_ms,
+                batch_deadline, trace_id=trace_id,
+            )
 
     if registry.enabled:
         registry.gauge(
@@ -239,34 +355,77 @@ def execute_batch(
             help="process-pool size of the last batch run",
         ).set(workers)
     chunks = _contiguous_chunks(order, workers)
+    spool = None
+    if tracer.enabled or registry.enabled:
+        spool = WorkerSpool.create(
+            TraceContext(trace_id, "batch.fan-out"),
+            want_spans=tracer.enabled,
+            want_metrics=registry.enabled,
+        )
+    engine_name = getattr(engine, "name", "?")
     results: list[QueryResult | None] = [None] * len(queries)
     failures: list[BatchFailure] = []
-    with concurrent.futures.ProcessPoolExecutor(
-        max_workers=workers,
-        mp_context=context,
-        initializer=_init_worker,
-        initargs=(engine,),
-    ) as pool:
-        payloads = [
-            (
-                chunk,
-                [tuple(queries[i])[:3] for i in chunk],
-                want_path,
-                deadline_ms,
-            )
-            for chunk in chunks
-        ]
-        for chunk_out in pool.map(_run_chunk, payloads):
+    chunk_outs: list[list | None] = []
+    try:
+        with tracer.span("batch.fan-out") as parent:
+            parent.set("workers", workers)
+            parent.set("queries", len(queries))
+            parent.set("chunks", len(chunks))
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=context,
+                initializer=_init_worker,
+                initargs=(engine, spool),
+            ) as pool:
+                futures = [
+                    pool.submit(
+                        _run_chunk,
+                        (
+                            chunk,
+                            [tuple(queries[i])[:3] for i in chunk],
+                            want_path,
+                            deadline_ms,
+                        ),
+                    )
+                    for chunk in chunks
+                ]
+                for future in futures:
+                    try:
+                        chunk_outs.append(future.result())
+                    except BrokenProcessPool:
+                        chunk_outs.append(None)
+            # The executor has shut down (or broken): clean workers
+            # have flushed their end markers, so stitching is safe and
+            # anything announced-but-unended is genuinely dead.
+            if spool is not None:
+                stitch(spool, parent=parent)
+        for chunk, chunk_out in zip(chunks, chunk_outs):
+            if chunk_out is None:
+                for i in chunk:
+                    s, t, c = tuple(queries[i])[:3]
+                    _note_failure(
+                        failures, trace_id, engine_name, i,
+                        CSPQuery(s, t, c), "WorkerCrashError",
+                        "worker process died before answering "
+                        "(process pool broken)",
+                    )
+                continue
             for i, result, failure in chunk_out:
                 if failure is not None:
                     s, t, c = tuple(queries[i])[:3]
-                    failures.append(
-                        BatchFailure(i, CSPQuery(s, t, c), *failure)
+                    _note_failure(
+                        failures, trace_id, engine_name, i,
+                        CSPQuery(s, t, c), *failure,
                     )
                 else:
                     results[i] = result
+    finally:
+        if spool is not None:
+            spool.cleanup()
     failures.sort(key=lambda f: f.index)
-    return BatchReport(results=results, failures=failures)
+    return BatchReport(
+        results=results, failures=failures, trace_id=trace_id
+    )
 
 
 def _contiguous_chunks(order: list[int], workers: int) -> list[list[int]]:

@@ -22,6 +22,14 @@ Observability (PR-1 registry, when one is installed):
 * ``service_breaker_transitions_total{tier,state}`` — breaker flips,
 * ``service_index_load_failures_total`` — degraded-from-birth starts.
 
+PR-6 adds the query flight recorder: every query leaves one
+:class:`~repro.observability.flight.FlightRecord` (trace id, tier
+used, cache hit/miss, deadline margin, op counters, outcome) in the
+service's bounded ring (``ServiceConfig.flight_records``), and breaker
+trips / fully failed ladders automatically dump the ring to
+``ServiceConfig.flight_dump_dir`` so a production incident leaves
+forensic evidence behind.
+
 Deadlines are *not* tier failures: a query that exhausts its budget on
 the fastest tier would only get slower below, so
 :class:`~repro.exceptions.DeadlineExceededError` propagates to the
@@ -30,6 +38,8 @@ caller immediately.
 
 from __future__ import annotations
 
+import itertools
+import os
 import time
 from dataclasses import dataclass
 from typing import Callable, Sequence
@@ -44,7 +54,12 @@ from repro.exceptions import (
     ServiceUnavailableError,
 )
 from repro.graph.network import RoadNetwork
+from repro.observability.flight import (
+    FlightRecorder,
+    get_flight_recorder,
+)
 from repro.observability.metrics import get_registry
+from repro.observability.propagation import new_trace_id
 from repro.service.breaker import CircuitBreaker
 from repro.service.deadline import Deadline
 from repro.service.faults import get_injector
@@ -88,6 +103,16 @@ class ServiceConfig:
     audit_queries: int = 8
     #: Seed for the audit gate's sampling.
     audit_seed: int = 0
+    #: Flight-recorder ring capacity for this service; ``0`` gives the
+    #: service no recorder of its own — it then reports into whatever
+    #: recorder is globally installed (the inert one by default).
+    flight_records: int = 256
+    #: Slow-query threshold in milliseconds for the flight recorder's
+    #: slow/failed side log (``None`` = no slow classification).
+    flight_slow_ms: float | None = None
+    #: Directory for automatic flight dumps on breaker-open and
+    #: service-unavailable; ``None`` disables the automatic dumps.
+    flight_dump_dir: str | None = None
 
 
 class _Tier:
@@ -133,6 +158,20 @@ class QueryService:
         self.config = config or ServiceConfig()
         self._clock = clock if clock is not None else time.monotonic
         self.index_load_error: ReproError | None = None
+        #: The service's own flight recorder (``None`` when
+        #: ``flight_records == 0``; the global recorder is used then).
+        self.flight: FlightRecorder | None = (
+            FlightRecorder(
+                self.config.flight_records,
+                slow_ms=self.config.flight_slow_ms,
+            )
+            if self.config.flight_records > 0
+            else None
+        )
+        #: Path of the most recent automatic flight dump, if any.
+        self.last_flight_dump: str | None = None
+        self._dump_seq = itertools.count(1)
+        self._last_flight = None
         #: The :class:`~repro.resilience.audit.AuditReport` of the
         #: ``require_audit`` gate (``None`` when the gate is off or no
         #: index was available to audit).
@@ -255,6 +294,10 @@ class QueryService:
                     {"tier": _tier, "state": state},
                     help="circuit breaker state transitions",
                 ).inc()
+            if state == "open":
+                # A tripped breaker is exactly when forensic evidence
+                # matters: dump the flight ring before it rolls over.
+                self._auto_dump(self._recorder(), f"breaker-open-{_tier}")
 
         return CircuitBreaker(
             failure_threshold=self.config.breaker_failure_threshold,
@@ -264,6 +307,32 @@ class QueryService:
             clock=self._clock,
             on_transition=on_transition,
         )
+
+    # ------------------------------------------------------------------
+    def _recorder(self):
+        """The flight recorder this service reports into."""
+        return self.flight if self.flight is not None else (
+            get_flight_recorder()
+        )
+
+    def _auto_dump(self, recorder, reason: str) -> None:
+        """Dump the flight ring to ``flight_dump_dir`` (best-effort)."""
+        directory = self.config.flight_dump_dir
+        if directory is None or not recorder.enabled:
+            return
+        if not recorder.records():
+            return
+        name = (
+            f"flight-{os.getpid()}-{next(self._dump_seq):04d}-"
+            f"{reason}.jsonl"
+        )
+        path = os.path.join(directory, name)
+        try:
+            os.makedirs(directory, exist_ok=True)
+            recorder.dump(path, reason=reason)
+        except OSError:
+            return
+        self.last_flight_dump = path
 
     # ------------------------------------------------------------------
     @property
@@ -305,11 +374,50 @@ class QueryService:
         ServiceUnavailableError
             Every tier failed or had an open breaker.
         """
+        recorder = self._recorder()
+        flight_on = recorder.enabled
+        trace_id = new_trace_id() if flight_on else None
+        started = time.perf_counter() if flight_on else 0.0
+        self._last_flight = None
+
+        def note(
+            engine: str,
+            outcome: str,
+            result: QueryResult | None = None,
+            error: BaseException | None = None,
+            cache_hit: bool | None = None,
+        ) -> None:
+            stats = getattr(result, "stats", None)
+            if stats is None and error is not None:
+                stats = getattr(error, "stats", None)
+            margin = (
+                deadline.remaining() * 1000.0
+                if deadline is not None else None
+            )
+            self._last_flight = recorder.record(
+                engine=engine,
+                source=source,
+                target=target,
+                budget=budget,
+                outcome=outcome,
+                seconds=time.perf_counter() - started,
+                trace_id=trace_id,
+                cache_hit=cache_hit,
+                deadline_margin_ms=margin,
+                stats=stats,
+                error=str(error) if error is not None else "",
+            )
+
         num_vertices = (
             self.network.num_vertices if self.network is not None else None
         )
         if num_vertices is not None:
-            CSPQuery(source, target, budget).validated(num_vertices)
+            try:
+                CSPQuery(source, target, budget).validated(num_vertices)
+            except QueryError as exc:
+                if flight_on:
+                    note("none", type(exc).__name__, error=exc)
+                raise
         if deadline is None:
             ms = deadline_ms if deadline_ms is not None else (
                 self.config.deadline_ms
@@ -330,6 +438,10 @@ class QueryService:
                     registry, tier.name, next_name, "breaker-open"
                 )
                 continue
+            cache = (
+                getattr(tier.engine, "cache", None) if flight_on else None
+            )
+            hits_before = getattr(cache, "hits", 0)
             try:
                 if injector.enabled:
                     injector.fire("engine-query", engine=tier.name)
@@ -337,7 +449,7 @@ class QueryService:
                     source, target, budget,
                     want_path=want_path, deadline=deadline,
                 )
-            except DeadlineExceededError:
+            except DeadlineExceededError as exc:
                 # Not a tier fault: the query is out of time everywhere.
                 if registry.enabled:
                     registry.counter(
@@ -345,8 +457,12 @@ class QueryService:
                         {"engine": tier.name},
                         help="queries that exhausted their time budget",
                     ).inc()
+                if flight_on:
+                    note(tier.name, type(exc).__name__, error=exc)
                 raise
-            except QueryError:
+            except QueryError as exc:
+                if flight_on:
+                    note(tier.name, type(exc).__name__, error=exc)
                 raise
             except Exception as exc:  # lint: allow=QHL002 the ladder's contract is to absorb any tier crash and fall through; the cause is kept in last_error
                 last_error = exc
@@ -363,12 +479,26 @@ class QueryService:
                     {"tier": tier.name},
                     help="queries answered, by ladder tier",
                 ).inc()
+            if flight_on:
+                note(
+                    tier.name,
+                    "ok" if result.feasible else "infeasible",
+                    result=result,
+                    cache_hit=(
+                        cache.hits > hits_before
+                        if cache is not None else None
+                    ),
+                )
             return result
-        raise ServiceUnavailableError(
+        error = ServiceUnavailableError(
             f"no tier could answer query ({source}, {target}, {budget}); "
             f"tried {', '.join(self.tiers)}; last error: {last_error}",
             last_error=last_error,
         )
+        if flight_on:
+            note("none", type(error).__name__, error=error)
+            self._auto_dump(recorder, "service-unavailable")
+        raise error
 
     # ------------------------------------------------------------------
     def query_batch(
@@ -421,9 +551,19 @@ class QueryService:
                     s, t, c, want_path=want_path, deadline=per_query
                 )
             except ReproError as exc:
+                # Join the failure row to the flight record query()
+                # just wrote for it (None when no recorder is active).
+                entry = self._last_flight
                 failures.append(
                     BatchFailure(
-                        i, CSPQuery(s, t, c), type(exc).__name__, str(exc)
+                        i, CSPQuery(s, t, c), type(exc).__name__,
+                        str(exc),
+                        trace_id=(
+                            entry.trace_id if entry is not None else None
+                        ),
+                        flight_seq=(
+                            entry.seq if entry is not None else None
+                        ),
                     )
                 )
         failures.sort(key=lambda f: f.index)

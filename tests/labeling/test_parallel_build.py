@@ -135,3 +135,56 @@ class TestFallbacks:
         sequential = build_labels(tree)
         fallback = parallel_mod.build_labels_parallel(tree, workers=4)
         assert_stores_equal(tree, sequential, fallback)
+
+
+@needs_fork
+class TestBuildTracing:
+    """Worker-side observability on the pool path (PR-6 stitching)."""
+
+    def _traced_build(self):
+        import os
+
+        from repro.observability.metrics import (
+            MetricsRegistry,
+            use_registry,
+        )
+        from repro.observability.tracing import SpanTracer, use_tracer
+
+        # 10x10: deep enough that several levels clear
+        # MIN_PARALLEL_LEVEL and actually fan out.
+        network = grid_network(10, 10, seed=4)
+        tree = build_tree_decomposition(network)
+        tracer = SpanTracer()
+        registry = MetricsRegistry()
+        with use_tracer(tracer), use_registry(registry):
+            store = build_labels_parallel(tree, workers=2)
+        return tree, store, tracer, registry, os.getpid()
+
+    def test_worker_metrics_reach_parent_registry(self):
+        _tree, _store, _tracer, registry, _pid = self._traced_build()
+        vertex_seconds = registry.histogram("qhl_label_vertex_seconds")
+        assert vertex_seconds.count > 0
+        assert registry.counter("qhl_label_joins_total").value > 0
+        assert registry.counter("qhl_trace_stitched_total").value >= 1
+
+    def test_fanout_spans_carry_worker_pids(self):
+        _tree, _store, tracer, _registry, parent_pid = self._traced_build()
+        sweep = tracer.last()
+        assert sweep.name == "labels.parallel-sweep"
+        fanouts = [
+            c for c in sweep.children if c.name == "labels.level-fanout"
+        ]
+        assert fanouts, "no level ever fanned out on the 10x10 grid"
+        worker_pids = {
+            int(chunk.counters["pid"])
+            for fanout in fanouts
+            for chunk in fanout.children
+            if chunk.name == "labels.worker-chunk"
+        }
+        assert worker_pids
+        assert parent_pid not in worker_pids
+
+    def test_observed_build_is_value_identical(self):
+        tree, store, _tracer, _registry, _pid = self._traced_build()
+        sequential = build_labels(tree)
+        assert_stores_equal(tree, sequential, store)

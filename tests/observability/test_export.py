@@ -137,3 +137,74 @@ class TestRenderings:
         assert "hoplinks=3" in lines[0]
         assert any("├─ lca" in line for line in lines)
         assert any("└─ concatenation" in line for line in lines)
+
+
+class TestRoundTripAndMerge:
+    """JSON-lines -> registry -> Prometheus parity, and merging —
+    the wire format worker spools use to ship metric deltas."""
+
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.counter("hits_total", {"engine": "QHL"}).inc(4)
+        registry.gauge("entries").set(12)
+        h = registry.histogram("lat_seconds", buckets=(0.01, 0.1))
+        for value in (0.005, 0.05, 0.5):
+            h.observe(value)
+        return registry
+
+    def test_jsonl_to_registry_prometheus_parity(self):
+        from repro.observability.export import registry_from_records
+
+        original = self._registry()
+        records = parse_jsonl(to_jsonl(original))
+        rebuilt = registry_from_records(records)
+        assert to_prometheus(rebuilt) == to_prometheus(original)
+        assert snapshot(rebuilt) == snapshot(original)
+
+    def test_merge_into_empty_registry_equals_source(self):
+        from repro.observability.export import merge_records
+
+        original = self._registry()
+        target = MetricsRegistry()
+        merged = merge_records(target, snapshot(original))
+        assert merged == 3
+        assert to_prometheus(target) == to_prometheus(original)
+
+    def test_merge_accumulates_counters_and_histograms(self):
+        from repro.observability.export import merge_records
+
+        target = self._registry()
+        merge_records(target, snapshot(self._registry()))
+        assert target.counter("hits_total", {"engine": "QHL"}).value == 8
+        assert target.gauge("entries").value == 12  # last writer wins
+        h = target.histogram("lat_seconds", buckets=(0.01, 0.1))
+        assert h.count == 6
+        assert h.min == 0.005
+        assert h.max == 0.5
+
+    def test_merge_rejects_mismatched_bucket_bounds(self):
+        from repro.observability.export import merge_records
+
+        source = MetricsRegistry()
+        source.histogram("lat_seconds", buckets=(0.25,)).observe(0.1)
+        target = self._registry()
+        with pytest.raises(ValueError):
+            merge_records(target, snapshot(source))
+
+    def test_merge_into_disabled_registry_is_a_no_op(self):
+        from repro.observability.export import merge_records
+        from repro.observability.metrics import NULL_REGISTRY
+
+        assert merge_records(NULL_REGISTRY, snapshot(self._registry())) == 0
+
+    def test_span_from_dict_inverts_span_to_dict(self):
+        from repro.observability.export import span_from_dict
+
+        tracer = SpanTracer()
+        with tracer.span("root") as root:
+            root.set("k", 2)
+            with tracer.span("child") as child:
+                child.add("n", 3)
+        data = span_to_dict(tracer.last())
+        rebuilt = span_from_dict(data)
+        assert span_to_dict(rebuilt) == data

@@ -1,0 +1,163 @@
+"""Flight recorder: ring semantics, slow/fail log, dump/load, nulls."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.observability.flight import (
+    NULL_FLIGHT_RECORDER,
+    FlightRecord,
+    FlightRecorder,
+    get_flight_recorder,
+    load_flight,
+    set_flight_recorder,
+    use_flight_recorder,
+)
+from repro.observability.metrics import MetricsRegistry, use_registry
+from repro.types import QueryStats
+
+
+def record_one(recorder, outcome="ok", seconds=0.001, **kwargs):
+    defaults = dict(
+        engine="qhl", source=1, target=2, budget=10.0,
+        outcome=outcome, seconds=seconds,
+    )
+    defaults.update(kwargs)
+    return recorder.record(**defaults)
+
+
+class TestFlightRecord:
+    def test_failed_classification(self):
+        ok = FlightRecord(1, "qhl", 0, 1, 5.0, "ok", 0.01)
+        infeasible = FlightRecord(2, "qhl", 0, 1, 5.0, "infeasible", 0.01)
+        error = FlightRecord(3, "qhl", 0, 1, 5.0, "QueryError", 0.01)
+        assert not ok.failed
+        assert not infeasible.failed
+        assert error.failed
+
+    def test_dict_round_trip_ignores_unknown_keys(self):
+        record = FlightRecord(
+            1, "qhl", 0, 1, 5.0, "ok", 0.01, trace_id="t-1",
+            cache_hit=True, hoplinks=4,
+        )
+        data = record.to_dict()
+        data["someday_a_new_field"] = "ignored"
+        assert FlightRecord.from_dict(data) == record
+
+
+class TestFlightRecorder:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_seq_increments_and_total_counts(self):
+        recorder = FlightRecorder(capacity=4)
+        first = record_one(recorder)
+        second = record_one(recorder)
+        assert (first.seq, second.seq) == (1, 2)
+        assert recorder.total == 2
+        assert recorder.last() == second
+
+    def test_ring_evicts_oldest(self):
+        recorder = FlightRecorder(capacity=3)
+        for i in range(5):
+            record_one(recorder, source=i)
+        records = recorder.records()
+        assert [r.source for r in records] == [2, 3, 4]
+        assert recorder.dropped == 2
+        assert recorder.total == 5
+
+    def test_op_counters_copied_from_stats(self):
+        recorder = FlightRecorder()
+        stats = QueryStats(
+            hoplinks=7, concatenations=9, label_lookups=11,
+        )
+        entry = record_one(recorder, stats=stats)
+        assert (entry.hoplinks, entry.concatenations, entry.label_lookups) \
+            == (7, 9, 11)
+
+    def test_slow_threshold_classifies_and_side_logs(self):
+        recorder = FlightRecorder(slow_ms=1.0)
+        fast = record_one(recorder, seconds=0.0001)
+        slow = record_one(recorder, seconds=0.005)
+        assert not fast.slow
+        assert slow.slow
+        assert recorder.slow_records() == [slow]
+
+    def test_failures_always_land_in_side_log(self):
+        recorder = FlightRecorder()  # no slow threshold
+        record_one(recorder, outcome="ok")
+        failed = record_one(
+            recorder, outcome="DeadlineExceededError", error="too slow"
+        )
+        assert recorder.slow_records() == [failed]
+
+    def test_tail_and_clear(self):
+        recorder = FlightRecorder()
+        for i in range(5):
+            record_one(recorder, source=i)
+        assert [r.source for r in recorder.tail(2)] == [3, 4]
+        assert recorder.tail(0) == []
+        recorder.clear()
+        assert recorder.records() == []
+        assert recorder.last() is None
+
+    def test_dump_and_load_round_trip(self, tmp_path):
+        recorder = FlightRecorder(slow_ms=0.5)
+        record_one(recorder, trace_id="t-9", cache_hit=False)
+        record_one(recorder, outcome="QueryError", error="bad vertex")
+        path = tmp_path / "flight.jsonl"
+        assert recorder.dump(path) == 2
+        loaded = load_flight(path)
+        assert loaded == recorder.records()
+
+    def test_metrics_emitted_when_registry_live(self):
+        recorder = FlightRecorder(slow_ms=1.0)
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            record_one(recorder, seconds=0.005)
+            record_one(recorder, outcome="QueryError", seconds=0.0001)
+            recorder.dump("/dev/null", reason="manual")
+        assert registry.counter(
+            "service_flight_records_total", {"outcome": "ok"}
+        ).value == 1
+        assert registry.counter(
+            "service_flight_records_total", {"outcome": "QueryError"}
+        ).value == 1
+        assert registry.counter("service_flight_slow_total").value == 1
+        assert registry.counter(
+            "service_flight_dumps_total", {"reason": "manual"}
+        ).value == 1
+
+
+class TestNullRecorder:
+    def test_default_is_inert(self):
+        assert get_flight_recorder() is NULL_FLIGHT_RECORDER
+        assert not get_flight_recorder().enabled
+
+    def test_null_methods_are_no_ops(self, tmp_path):
+        null = NULL_FLIGHT_RECORDER
+        assert null.record(engine="x") is None
+        assert null.records() == []
+        assert null.slow_records() == []
+        assert null.tail() == []
+        assert null.last() is None
+        assert null.dump(tmp_path / "x.jsonl") == 0
+        null.clear()
+
+    def test_use_flight_recorder_scopes_and_restores(self):
+        recorder = FlightRecorder()
+        with use_flight_recorder(recorder) as active:
+            assert active is recorder
+            assert get_flight_recorder() is recorder
+            record_one(recorder)
+        assert get_flight_recorder() is NULL_FLIGHT_RECORDER
+
+    def test_set_flight_recorder_returns_previous(self):
+        recorder = FlightRecorder()
+        previous = set_flight_recorder(recorder)
+        try:
+            assert previous is NULL_FLIGHT_RECORDER
+            assert get_flight_recorder() is recorder
+        finally:
+            set_flight_recorder(previous)

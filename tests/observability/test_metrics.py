@@ -203,3 +203,50 @@ class TestNoOpOverheadPath:
         assert plain.stats.concatenations == observed.stats.concatenations
         assert plain.stats.label_lookups == observed.stats.label_lookups
         assert plain.stats.candidates == observed.stats.candidates
+
+
+class TestHistogramPercentileEdges:
+    """Quantile edge cases: interpolation must stay inside the
+    observed range, and degenerate histograms must be exact."""
+
+    def test_single_sample_is_exact_for_every_quantile(self):
+        h = Histogram("h")
+        h.observe(0.00123)
+        for q in (1, 10, 50, 90, 99, 100):
+            assert h.percentile(q) == 0.00123
+
+    def test_identical_samples_collapse_to_that_value(self):
+        h = Histogram("h")
+        for _ in range(50):
+            h.observe(0.02)
+        assert h.percentile(1) == 0.02
+        assert h.percentile(50) == 0.02
+        assert h.percentile(99) == 0.02
+
+    def test_two_samples_stay_bracketed(self):
+        h = Histogram("h")
+        h.observe(0.001)
+        h.observe(0.1)
+        for q in (1, 50, 99):
+            assert 0.001 <= h.percentile(q) <= 0.1
+
+    def test_overflow_bucket_sample_is_exact(self):
+        # A single observation beyond the last bound lives in the
+        # +Inf bucket, whose upper edge must shrink to the max.
+        h = Histogram("h", buckets=(0.1,))
+        h.observe(5.0)
+        assert h.percentile(50) == 5.0
+        assert h.percentile(99) == 5.0
+
+    def test_underflow_bucket_sample_is_exact(self):
+        h = Histogram("h", buckets=(1.0,))
+        h.observe(1e-9)
+        assert h.percentile(50) == 1e-9
+        assert h.percentile(99) == 1e-9
+
+    def test_tiny_n_p99_never_exceeds_max(self):
+        h = Histogram("h")
+        for value in (0.004, 0.005, 0.006):
+            h.observe(value)
+        assert h.percentile(99) <= 0.006
+        assert h.percentile(1) >= 0.004

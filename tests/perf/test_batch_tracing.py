@@ -1,0 +1,166 @@
+"""Cross-process tracing through the batch executor.
+
+The acceptance bar for the trace-propagation work: one ``query_many``
+batch through the process pool yields ONE stitched trace whose worker
+spans come from at least two distinct worker pids, with worker-side
+cache metrics folded into the parent registry — and a worker SIGKILLed
+mid-chunk costs only its own chunk while its span is marked truncated.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.observability.flight import FlightRecorder, use_flight_recorder
+from repro.observability.metrics import MetricsRegistry, use_registry
+from repro.observability.tracing import SpanTracer, use_tracer
+from repro.perf.batch import _fork_context, execute_batch
+
+pytestmark = pytest.mark.skipif(
+    _fork_context() is None, reason="fork start method unavailable"
+)
+
+QUERIES = [
+    (s, t, budget)
+    for s, t in ((0, 5), (2, 9), (7, 3), (1, 11), (4, 8), (6, 10))
+    for budget in (9.0, 14.0, 21.0, 30.0)
+]
+
+
+def span_pids(span) -> set[int]:
+    """Every pid recorded anywhere in a span tree."""
+    pids = set()
+    if "pid" in span.counters:
+        pids.add(int(span.counters["pid"]))
+    for child in span.children:
+        pids |= span_pids(child)
+    return pids
+
+
+class TestStitchedBatchTrace:
+    def test_pool_batch_produces_one_stitched_trace(self, paper_index):
+        engine = paper_index.cached_engine(cache_size=8)
+        tracer = SpanTracer()
+        registry = MetricsRegistry()
+        with use_tracer(tracer), use_registry(registry):
+            report = execute_batch(engine, QUERIES, workers=2)
+
+        assert report.trace_id is not None
+        assert report.answered == len(QUERIES)
+        root = tracer.last()
+        assert root.name == "batch.fan-out"
+        # Both spawned workers announce eagerly, so the stitched tree
+        # shows >= 2 distinct pids (as worker-chunk or worker.idle
+        # spans), none of them this process.
+        worker_pids = span_pids(root) - {os.getpid()}
+        assert len(worker_pids) >= 2
+        chunk_spans = [
+            c for c in root.children if c.name == "batch.worker-chunk"
+        ]
+        assert chunk_spans, "no worker chunk spans were stitched"
+        # Worker-side cache metrics reached the parent registry.
+        assert registry.counter("qhl_cache_misses_total").value > 0
+        assert registry.counter("qhl_trace_stitched_total").value >= 1
+        assert registry.gauge("qhl_trace_workers").value >= 2
+
+    def test_sequential_batch_still_carries_a_trace_id(self, paper_index):
+        engine = paper_index.qhl_engine()
+        report = execute_batch(engine, QUERIES[:4], workers=0)
+        assert report.trace_id is not None
+
+    def test_caller_trace_id_is_preserved(self, paper_index):
+        engine = paper_index.qhl_engine()
+        report = execute_batch(
+            engine, QUERIES[:4], trace_id="caller-0001"
+        )
+        assert report.trace_id == "caller-0001"
+
+    def test_failure_rows_join_trace_and_flight(self, paper_index):
+        engine = paper_index.qhl_engine()
+        recorder = FlightRecorder()
+        with use_flight_recorder(recorder):
+            report = execute_batch(
+                engine, [(0, 5, 9.0), (0, 999, 9.0)]
+            )
+        assert len(report.failures) == 1
+        failure = report.failures[0]
+        assert failure.trace_id == report.trace_id
+        assert failure.flight_seq is not None
+        entry = recorder.records()[failure.flight_seq - 1]
+        assert entry.trace_id == report.trace_id
+        assert entry.outcome == failure.error
+
+
+class KillSwitchEngine:
+    """Wraps a real engine; SIGKILLs its own process on one sentinel.
+
+    The pre-kill sleep lets the sibling worker finish its chunk first,
+    so the test deterministically observes the partial-batch outcome.
+    """
+
+    name = "killswitch"
+
+    def __init__(self, inner, sentinel: tuple[int, int], delay: float):
+        self.inner = inner
+        self.sentinel = sentinel
+        self.delay = delay
+
+    def query(self, s, t, c, want_path=False, deadline=None):
+        if (s, t) == self.sentinel:
+            time.sleep(self.delay)
+            os.kill(os.getpid(), signal.SIGKILL)
+        return self.inner.query(
+            s, t, c, want_path=want_path, deadline=deadline
+        )
+
+
+class TestWorkerDeath:
+    def test_sigkilled_worker_costs_only_its_chunk(self, paper_index):
+        # The sentinel pair sorts last, so it lands in the second
+        # chunk; the first chunk's worker finishes during the sleep.
+        sentinel = (11, 12)
+        queries = [(0, 5, 9.0), (1, 4, 9.0), (2, 9, 14.0)] + [
+            (11, 12, 9.0)
+        ]
+        engine = KillSwitchEngine(
+            paper_index.qhl_engine(), sentinel, delay=0.5
+        )
+        tracer = SpanTracer()
+        registry = MetricsRegistry()
+        with use_tracer(tracer), use_registry(registry):
+            report = execute_batch(engine, queries, workers=2)
+
+        # The surviving chunk answered; the dead chunk became
+        # WorkerCrashError rows joined to the batch trace.
+        assert report.answered >= 1
+        assert report.failures
+        assert {f.error for f in report.failures} == {"WorkerCrashError"}
+        assert all(
+            f.trace_id == report.trace_id for f in report.failures
+        )
+        answered_indices = {
+            i for i, r in enumerate(report.results) if r is not None
+        }
+        failed_indices = {f.index for f in report.failures}
+        assert answered_indices.isdisjoint(failed_indices)
+        assert answered_indices | failed_indices == set(
+            range(len(queries))
+        )
+
+        # The trace is complete even though a worker is not: the dead
+        # worker's span is synthesised as truncated.
+        root = tracer.last()
+        assert root.name == "batch.fan-out"
+        truncated = [
+            c for c in root.children if c.name == "worker.truncated"
+        ]
+        assert truncated
+        assert registry.counter("qhl_trace_truncated_total").value >= 1
+        # The killed pid is not this process.
+        assert all(
+            int(c.counters["pid"]) != os.getpid() for c in truncated
+        )

@@ -305,3 +305,83 @@ class TestBuildHardening:
         assert "audit_runs_total" in names
         assert "audit_checks_total" in names
         assert "audit_seconds" in names
+
+
+class TestFlightRecorderCLI:
+    def _flown(self, workspace, tmp_path):
+        """Run a couple of queries with --flight-out; return the dump."""
+        _net, idx = workspace
+        out = str(tmp_path / "flight.jsonl")
+        assert main([
+            "query", "--index", idx, "--source", "0", "--target", "140",
+            "--budget", "500", "--flight-out", out,
+        ]) == 0
+        return out
+
+    def test_query_flight_out_writes_loadable_dump(
+        self, workspace, tmp_path, capsys
+    ):
+        from repro.observability.flight import load_flight
+
+        out = self._flown(workspace, tmp_path)
+        assert "flight record" in capsys.readouterr().out
+        records = load_flight(out)
+        assert len(records) == 1
+        assert records[0].outcome == "ok"
+        assert records[0].engine == "qhl"
+
+    def test_flight_dump_prints_table(self, workspace, tmp_path, capsys):
+        out = self._flown(workspace, tmp_path)
+        capsys.readouterr()
+        assert main(["flight", "dump", "--file", out]) == 0
+        table = capsys.readouterr().out
+        assert "seq" in table and "outcome" in table
+        assert "ok" in table
+
+    def test_flight_tail_json(self, workspace, tmp_path, capsys):
+        import json
+
+        out = self._flown(workspace, tmp_path)
+        capsys.readouterr()
+        assert main(["flight", "tail", "--file", out, "--json"]) == 0
+        rows = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines() if line
+        ]
+        assert rows and rows[-1]["outcome"] == "ok"
+        assert rows[-1]["seq"] == 1
+
+    def test_flight_slow_filter(self, workspace, tmp_path, capsys):
+        _net, idx = workspace
+        out = str(tmp_path / "flight.jsonl")
+        # Impossibly tight slow threshold: the query is marked slow.
+        assert main([
+            "query", "--index", idx, "--source", "0", "--target", "140",
+            "--budget", "500", "--flight-out", out,
+            "--slow-ms", "0.0001",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["flight", "dump", "--file", out, "--slow"]) == 0
+        assert "S" in capsys.readouterr().out
+
+    def test_flight_missing_file_reports_error(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.jsonl")
+        assert main(["flight", "dump", "--file", missing]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bench_flight_out(self, workspace, tmp_path, capsys):
+        from repro.observability.flight import load_flight
+
+        net, _idx = workspace
+        wl = str(tmp_path / "wl.queries")
+        out = str(tmp_path / "bench-flight.jsonl")
+        assert main([
+            "workload", "--network", net, "--out", wl, "--size", "5",
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "bench", "--network", net, "--queries", wl,
+            "--index-queries", "100", "--flight-out", out,
+        ]) == 0
+        records = load_flight(out)
+        assert len(records) >= 5

@@ -24,6 +24,7 @@ def test_every_example_is_covered():
     assert EXAMPLES == [
         "congestion_detour.py",
         "engine_faceoff.py",
+        "flight_recorder.py",
         "live_traffic.py",
         "multi_constraint.py",
         "one_way_streets.py",

@@ -194,3 +194,78 @@ class TestWorkloadFailures:
         )
         assert report.num_queries + report.skipped == 5
         assert report.skipped >= 4
+
+
+class TestWorkloadFlightJoin:
+    """Failure rows are greppable back to their flight records."""
+
+    def _queries(self, n=4):
+        from repro.types import CSPQuery
+
+        return [CSPQuery(i, 63 - i, 10_000) for i in range(n)]
+
+    def test_sequential_failure_rows_point_at_flight_records(
+        self, small_grid_index
+    ):
+        from repro.observability.flight import (
+            FlightRecorder,
+            use_flight_recorder,
+        )
+
+        engine = _FlakyEngine(small_grid_index.qhl_engine(), fail_on={2})
+        recorder = FlightRecorder()
+        with use_flight_recorder(recorder):
+            report = run_workload(engine, self._queries(), "flaky")
+        failure = report.failures[0]
+        assert failure.flight_seq is not None
+        by_seq = {r.seq: r for r in recorder.records()}
+        entry = by_seq[failure.flight_seq]
+        assert entry.outcome == failure.error == "QueryError"
+        assert (entry.source, entry.target) == (2, 61)
+
+    def test_batched_failure_rows_carry_trace_and_flight(
+        self, small_grid_index
+    ):
+        from repro.observability.flight import (
+            FlightRecorder,
+            use_flight_recorder,
+        )
+        from repro.types import CSPQuery
+
+        queries = self._queries(3) + [CSPQuery(0, 10_000, 5.0)]
+        recorder = FlightRecorder()
+        with use_flight_recorder(recorder):
+            report = run_workload(
+                small_grid_index.qhl_engine(), queries, "batched",
+                batch=True,
+            )
+        assert report.failed == 1
+        failure = report.failures[0]
+        assert failure.trace_id is not None
+        assert failure.flight_seq is not None
+        by_seq = {r.seq: r for r in recorder.records()}
+        assert by_seq[failure.flight_seq].trace_id == failure.trace_id
+
+    def test_no_recorder_means_no_pointers(self, small_grid_index):
+        engine = _FlakyEngine(small_grid_index.qhl_engine(), fail_on={0})
+        report = run_workload(engine, self._queries(2), "flaky")
+        failure = report.failures[0]
+        assert failure.trace_id is None
+        assert failure.flight_seq is None
+
+    def test_service_records_are_reused_not_duplicated(
+        self, small_grid_index, service_network=None
+    ):
+        from repro.service import QueryService
+        from repro.types import CSPQuery
+
+        service = QueryService(index=small_grid_index)
+        queries = [CSPQuery(0, 63, 10_000), CSPQuery(0, 10_000, 5.0)]
+        report = run_workload(service, queries, "svc")
+        assert report.failed == 1
+        # One flight record per query — the harness reused the
+        # service's own failure record instead of writing a second.
+        assert service.flight.total == 2
+        failure = report.failures[0]
+        assert failure.flight_seq == service.flight.records()[-1].seq
+        assert failure.trace_id is not None
