@@ -129,6 +129,88 @@ def _flight_scope(args: argparse.Namespace):
     print(f"wrote {count} flight records -> {path}")
 
 
+@contextlib.contextmanager
+def _incident_scope(args: argparse.Namespace):
+    """Run the body under a live incident sink, dumping it at exit.
+
+    A no-op (the inert null sink stays active) when ``--incident-out``
+    was not given, mirroring :func:`_metrics_scope`.  The dump is
+    JSON-lines, readable back with ``repro-qhl supervise status``.
+    """
+    path = getattr(args, "incident_out", None)
+    if not path:
+        yield
+        return
+    from repro.supervise import IncidentLog, use_incident_log
+
+    log = IncidentLog()
+    with use_incident_log(log):
+        yield
+    try:
+        count = log.dump(path)
+    except OSError as exc:
+        raise ReproError(
+            f"cannot write incidents to {path}: {exc}"
+        ) from exc
+    print(f"wrote {count} supervision incidents -> {path}")
+
+
+def _supervision_from_args(args: argparse.Namespace):
+    """``(supervised, SupervisionConfig | None)`` for ``args``."""
+    if not getattr(args, "supervised", False):
+        return False, None
+    import dataclasses
+
+    from repro.supervise import SupervisionConfig
+
+    config = SupervisionConfig()
+    if getattr(args, "max_worker_restarts", None) is not None:
+        config = dataclasses.replace(
+            config, max_restarts=args.max_worker_restarts
+        )
+    if getattr(args, "heartbeat_ms", None) is not None:
+        # Keep the stall threshold a comfortable multiple of the beat
+        # interval so tuning one flag cannot silently create a
+        # shoot-healthy-workers configuration.
+        config = dataclasses.replace(
+            config,
+            heartbeat_ms=args.heartbeat_ms,
+            stall_after_ms=max(
+                config.stall_after_ms, 20.0 * args.heartbeat_ms
+            ),
+        )
+    return True, config
+
+
+def _add_supervision_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--supervised`` option group (build and bench)."""
+    parser.add_argument(
+        "--supervised",
+        action="store_true",
+        help="run worker fan-outs under process supervision: dead "
+        "workers are respawned and their lost chunk retried instead "
+        "of failing (requires workers >= 2 to matter)",
+    )
+    parser.add_argument(
+        "--max-worker-restarts",
+        type=int,
+        help="consecutive deaths that trip a worker's restart circuit "
+        "breaker (with --supervised; default 3)",
+    )
+    parser.add_argument(
+        "--heartbeat-ms",
+        type=float,
+        help="worker heartbeat interval in milliseconds (with "
+        "--supervised; default 100)",
+    )
+    parser.add_argument(
+        "--incident-out",
+        help="dump supervisor lifecycle incidents (spawns, deaths, "
+        "restarts, requeues) as JSON-lines to this path (inspect with "
+        "`repro-qhl supervise status`)",
+    )
+
+
 def _add_flight_arguments(parser: argparse.ArgumentParser) -> None:
     """The shared ``--flight-*`` option group (query and bench)."""
     parser.add_argument(
@@ -186,7 +268,9 @@ def _cmd_build(args: argparse.Namespace) -> int:
         budget = BuildBudget(
             max_seconds=args.max_build_seconds, max_rss_mb=args.max_rss_mb
         )
-    with _metrics_scope(args.metrics_out), Timer() as timer:
+    supervised, supervision = _supervision_from_args(args)
+    with _metrics_scope(args.metrics_out), _incident_scope(args), \
+            Timer() as timer:
         index = QHLIndex.build(
             network,
             num_index_queries=args.index_queries,
@@ -196,6 +280,8 @@ def _cmd_build(args: argparse.Namespace) -> int:
             checkpoint_dir=args.checkpoint_dir,
             resume=args.resume,
             build_budget=budget,
+            supervised=supervised,
+            supervision=supervision,
         )
     size = save_index(index, args.out)
     if args.checkpoint_dir:
@@ -382,7 +468,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     network = read_csp_text(args.network)
     sets = read_query_sets(args.queries)
-    with _metrics_scope(args.metrics_out), _flight_scope(args):
+    supervised, supervision = _supervision_from_args(args)
+    with _metrics_scope(args.metrics_out), _flight_scope(args), \
+            _incident_scope(args):
         with Timer() as timer:
             index = QHLIndex.build(
                 network,
@@ -410,6 +498,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                     deadline_ms=args.deadline_ms,
                     batch=args.batch,
                     workers=args.workers,
+                    supervised=supervised,
+                    supervision=supervision,
                 )
                 print(report.row())
         if args.cache_size:
@@ -427,6 +517,54 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                     f"(hit rate {stats.hit_rate:.1%}), "
                     f"{stats.evictions} evictions"
                 )
+    return 0
+
+
+def _cmd_supervise(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.supervise import INCIDENT_KINDS, load_incidents, summarize
+
+    try:
+        incidents = load_incidents(args.incidents)
+    except OSError as exc:
+        raise ReproError(f"cannot read incident dump: {exc}") from exc
+    except (ValueError, TypeError) as exc:
+        raise ReproError(
+            f"malformed incident dump {args.incidents}: {exc}"
+        ) from exc
+    summary = summarize(incidents)
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    if not incidents:
+        print("no incidents")
+        return 0
+    kinds = list(INCIDENT_KINDS)
+    for extra in sorted(summary["totals"]):
+        if extra not in kinds:
+            kinds.append(extra)
+    header = f"{'worker':<10}" + "".join(f"{k:>14}" for k in kinds)
+    print(header)
+    for worker in sorted(summary["workers"]):
+        row = summary["workers"][worker]
+        print(
+            f"{worker:<10}"
+            + "".join(f"{row.get(k, 0):>14}" for k in kinds)
+        )
+    print(
+        f"{'total':<10}"
+        + "".join(f"{summary['totals'].get(k, 0):>14}" for k in kinds)
+    )
+    if args.tail > 0:
+        print()
+        for incident in incidents[-args.tail:]:
+            pid = incident.pid if incident.pid is not None else "-"
+            print(
+                f"{incident.seq:>5}  {incident.kind:<13}  "
+                f"{incident.worker:<10}  pid {pid!s:<8}  "
+                f"{incident.detail}"
+            )
     return 0
 
 
@@ -551,6 +689,7 @@ def build_parser() -> argparse.ArgumentParser:
         "disconnected input (strict parsing otherwise; implied by "
         "--lenient)",
     )
+    _add_supervision_arguments(p_build)
     p_build.set_defaults(func=_cmd_build)
 
     p_verify = sub.add_parser(
@@ -691,6 +830,7 @@ def build_parser() -> argparse.ArgumentParser:
         "worker processes (0 = in-process)",
     )
     _add_flight_arguments(p_bench)
+    _add_supervision_arguments(p_bench)
     p_bench.set_defaults(func=_cmd_bench)
 
     p_flight = sub.add_parser(
@@ -724,6 +864,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="show only slow or failed records",
     )
     p_flight.set_defaults(func=_cmd_flight)
+
+    p_supervise = sub.add_parser(
+        "supervise",
+        help="inspect a worker-supervision incident dump",
+    )
+    p_supervise.add_argument(
+        "mode",
+        choices=("status",),
+        help="status prints per-worker lifecycle tallies",
+    )
+    p_supervise.add_argument(
+        "--incidents",
+        required=True,
+        help="incident JSON-lines dump written by --incident-out",
+    )
+    p_supervise.add_argument(
+        "--tail",
+        type=int,
+        default=5,
+        help="also print the last N raw incidents (0 = table only)",
+    )
+    p_supervise.add_argument(
+        "--json",
+        action="store_true",
+        help="print the summary as JSON instead of a table",
+    )
+    p_supervise.set_defaults(func=_cmd_supervise)
 
     p_lint = sub.add_parser(
         "lint", help="run the AST invariant linter (QHL001..QHL006)"

@@ -86,6 +86,8 @@ class QHLIndex:
         checkpoint_dir: str | None = None,
         resume: bool = False,
         build_budget=None,
+        supervised: bool = False,
+        supervision=None,
     ) -> "QHLIndex":
         """Build the full index.
 
@@ -107,6 +109,11 @@ class QHLIndex:
             ``>= 2`` builds the labels level-parallel across a process
             pool (:mod:`repro.labeling.parallel`); the index is
             value-identical to a sequential build.
+        supervised, supervision:
+            With ``label_workers >= 2``, run the level pools under
+            worker supervision (:mod:`repro.supervise`): a worker
+            killed mid-level is respawned and its chunk recomputed
+            instead of failing the build.
         checkpoint_dir, resume, build_budget:
             Checkpoint the label build (the dominant phase) per depth
             level into ``checkpoint_dir``; ``resume=True`` continues an
@@ -134,6 +141,8 @@ class QHLIndex:
                     checkpoint=checkpoint_dir,
                     resume=resume,
                     budget=build_budget,
+                    supervised=supervised,
+                    supervision=supervision,
                 )
             with tracer.span("lca-index"):
                 lca = LCAIndex(tree)

@@ -146,6 +146,26 @@ class WorkerCrashError(ReproError):
     """
 
 
+class TaskQuarantinedError(WorkerCrashError):
+    """A task crashed its worker on every allowed attempt.
+
+    The supervised pool retries work lost to a dead worker, but a task
+    that kills whichever worker picks it up is poison: after
+    ``max_task_retries`` requeues it is pulled from rotation and
+    surfaced as this error (one failure row per affected query) so the
+    rest of the batch completes instead of crash-looping the fleet.
+    """
+
+
+class WorkerRestartExhaustedError(WorkerCrashError):
+    """The supervised fleet died and no restart breaker allows a respawn.
+
+    Tasks still pending or leased when the fleet gives up surface as
+    this error; seeing it means the failure is environmental (every
+    worker dies regardless of task), not a poison task.
+    """
+
+
 class ServiceUnavailableError(ReproError):
     """Every tier of the degradation ladder failed (or is circuit-open).
 

@@ -38,6 +38,8 @@ def build_labels(
     checkpoint=None,
     resume: bool = False,
     budget=None,
+    supervised: bool = False,
+    supervision=None,
 ) -> LabelStore:
     """Build the full 2-hop skyline labels from a tree decomposition.
 
@@ -67,6 +69,12 @@ def build_labels(
         Resume flag and optional
         :class:`~repro.resilience.checkpoint.BuildBudget` watchdog for
         the checkpointed path; ``budget`` requires ``checkpoint``.
+    supervised, supervision:
+        With ``workers >= 2``, run each level's pool under worker
+        supervision (:mod:`repro.supervise`): dead workers respawn and
+        their lost chunk is recomputed, still value-identical.
+        ``supervision`` optionally overrides the
+        :class:`~repro.supervise.supervisor.SupervisionConfig`.
 
     Returns
     -------
@@ -90,6 +98,8 @@ def build_labels(
             workers=workers,
             resume=resume,
             budget=budget,
+            supervised=supervised,
+            supervision=supervision,
         )
     if budget is not None:
         from repro.exceptions import IndexBuildError
@@ -112,6 +122,8 @@ def build_labels(
             store_paths=store_paths,
             max_skyline=max_skyline,
             workers=workers,
+            supervised=supervised,
+            supervision=supervision,
         )
 
     started = time.perf_counter()

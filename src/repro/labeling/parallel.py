@@ -23,6 +23,15 @@ Workers are forked, so they inherit the tree and the partially built
 store by memory snapshot instead of pickling them; one fresh pool per
 level keeps each snapshot current.  Platforms without the ``fork``
 start method (or ``workers <= 1``) fall back to the sequential sweep.
+
+``supervised=True`` swaps each level's bare pool for a
+:class:`~repro.supervise.pool.SupervisedPool`: a worker SIGKILLed
+mid-level is respawned (re-forking the current store snapshot, which
+is still exactly "everything shallower than this level") and its lost
+vertex chunk recomputed, so the build completes byte-identically
+instead of dying.  Unlike the batch path, a label build cannot tolerate
+missing vertices — a quarantined (poison) chunk or an exhausted fleet
+raises instead of degrading.
 """
 
 from __future__ import annotations
@@ -30,6 +39,10 @@ from __future__ import annotations
 import multiprocessing
 import time
 
+from repro.exceptions import (
+    TaskQuarantinedError,
+    WorkerRestartExhaustedError,
+)
 from repro.hierarchy.tree import TreeDecomposition
 from repro.labeling.labels import LabelStore
 from repro.observability.metrics import get_registry
@@ -40,6 +53,11 @@ from repro.observability.propagation import (
 )
 from repro.observability.tracing import get_tracer
 from repro.skyline.set_ops import SkylineSet, join, merge, truncate
+from repro.supervise.pool import SupervisedPool
+from repro.supervise.supervisor import (
+    SupervisionConfig,
+    annotate_succession,
+)
 
 #: Levels smaller than this are built inline — forking a pool costs
 #: more than computing a handful of vertices.
@@ -139,6 +157,114 @@ def _build_chunk(
         return out
 
 
+def _supervised_level_chunk(payload, span, heartbeat):
+    """Supervised entrypoint: one vertex chunk, heartbeating per vertex.
+
+    Same work as :func:`_build_chunk`, but the spool observation is
+    done by the supervisor's worker loop (``span`` is the observed
+    root) and every vertex beats the heartbeat so a slow level never
+    reads as a stall.
+    """
+    registry = get_registry()
+    out = []
+    joins = 0
+    for v in payload:
+        heartbeat()
+        vertex_started = time.perf_counter()
+        rows, vertex_joins = label_rows_for(_TREE, _STORE, v, _MAX_SKYLINE)
+        if registry.enabled:
+            registry.histogram(
+                "qhl_label_vertex_seconds",
+                help="per-vertex label construction time",
+            ).observe(time.perf_counter() - vertex_started)
+        joins += vertex_joins
+        out.append((v, rows))
+    if registry.enabled and joins:
+        registry.counter(
+            "qhl_label_joins_total",
+            help="skyline joins during label construction",
+        ).inc(joins)
+    span.set("vertices", len(out))
+    span.set("joins", joins)
+    return out
+
+
+def _split_vertices(payload):
+    """Decompose a vertex-chunk payload into singleton chunks."""
+    return [[v] for v in payload]
+
+
+def _supervised_level_rows(
+    tree: TreeDecomposition,
+    store: LabelStore,
+    level: list[int],
+    max_skyline: int | None,
+    workers: int,
+    supervision: SupervisionConfig | None,
+) -> tuple[list[tuple[int, list[tuple[int, SkylineSet]]]], int]:
+    """One level's rows on a self-healing pool (see module docstring).
+
+    Raises :class:`~repro.exceptions.TaskQuarantinedError` /
+    :class:`~repro.exceptions.WorkerRestartExhaustedError` when a
+    vertex could not be computed — an incomplete label store is not a
+    degraded result, it is a broken index.
+    """
+    global _TREE, _STORE, _MAX_SKYLINE
+    tracer = get_tracer()
+    registry = get_registry()
+    spool = None
+    if tracer.enabled or registry.enabled:
+        spool = WorkerSpool.create(
+            TraceContext.new("labels.level-fanout"),
+            want_spans=tracer.enabled,
+            want_metrics=registry.enabled,
+        )
+    chunk_size = max(1, len(level) // (workers * 4))
+    chunks = [
+        level[i:i + chunk_size] for i in range(0, len(level), chunk_size)
+    ]
+    _TREE, _STORE, _MAX_SKYLINE = tree, store, max_skyline
+    try:
+        with tracer.span("labels.level-fanout") as parent:
+            parent.set("workers", workers)
+            parent.set("vertices", len(level))
+            parent.set("supervised", 1)
+            pool = SupervisedPool(
+                _supervised_level_chunk,
+                workers,
+                config=supervision,
+                spool=spool,
+                label="labels.worker-chunk",
+                split=_split_vertices,
+            )
+            report = pool.run(chunks)
+            if spool is not None:
+                stitch(spool, parent=parent)
+                annotate_succession(parent, pool.supervisor)
+        if report.failures:
+            lost = report.failures[0]
+            detail = (
+                f"level of {len(level)} vertices lost chunk "
+                f"{lost.payload!r} ({lost.reason}: {lost.message})"
+            )
+            if lost.reason == "quarantined":
+                raise TaskQuarantinedError(detail)
+            raise WorkerRestartExhaustedError(detail)
+        rows_by_vertex: dict[int, list] = {}
+        for chunk_out in report.results.values():
+            for v, rows in chunk_out:
+                rows_by_vertex[v] = rows
+        # Reassemble in level order — independent of which worker (or
+        # which retry) computed each vertex — so the merge into the
+        # store stays deterministic and the build byte-identical.
+        out = [(v, rows_by_vertex[v]) for v in level]
+    finally:
+        _TREE = _STORE = _MAX_SKYLINE = None
+        if spool is not None:
+            spool.cleanup()
+    return out, 0
+
+
 def depth_levels(tree: TreeDecomposition) -> list[list[int]]:
     """Tree vertices grouped by depth, root level first.
 
@@ -162,6 +288,8 @@ def level_rows(
     level: list[int],
     max_skyline: int | None,
     workers: int,
+    supervised: bool = False,
+    supervision: SupervisionConfig | None = None,
 ) -> tuple[list[tuple[int, list[tuple[int, SkylineSet]]]], int]:
     """Label rows for one depth level: ``([(v, rows)], joins)``.
 
@@ -192,6 +320,10 @@ def level_rows(
             out.append((v, rows))
             joins += vertex_joins
         return out, joins
+    if supervised:
+        return _supervised_level_rows(
+            tree, store, level, max_skyline, workers, supervision
+        )
     # Fork a fresh pool so the children see the store as built up to
     # (and excluding) this level.
     context = multiprocessing.get_context("fork")
@@ -240,13 +372,16 @@ def build_labels_parallel(
     store_paths: bool = True,
     max_skyline: int | None = None,
     workers: int = 2,
+    supervised: bool = False,
+    supervision: SupervisionConfig | None = None,
 ) -> LabelStore:
     """Parallel :func:`~repro.labeling.builder.build_labels`.
 
     Value-identical to the sequential build (see the module docstring
     for exactly what "identical" means).  ``workers`` caps the process
     pool; levels smaller than :data:`MIN_PARALLEL_LEVEL` are built
-    inline.
+    inline.  ``supervised`` runs each level's pool under worker
+    supervision (deaths healed by respawn + recompute).
     """
     if workers < 2 or not fork_available():
         from repro.labeling.builder import build_labels
@@ -264,7 +399,8 @@ def build_labels_parallel(
     with get_tracer().span("labels.parallel-sweep") as span:
         for level in levels:
             rows_by_vertex, _joins = level_rows(
-                tree, store, level, max_skyline, workers
+                tree, store, level, max_skyline, workers,
+                supervised=supervised, supervision=supervision,
             )
             for v, rows in rows_by_vertex:
                 for u, acc in rows:

@@ -76,7 +76,10 @@ class MetricNameRegistryRule(Rule):
         "registry_targets": ("METRICS", "METRIC_NAMES"),
         # Full-string literals with these prefixes count as emissions
         # even outside factory calls (the tuple-of-names idiom).
-        "prefixes": ("qhl_", "service_", "ingest_", "audit_", "build_"),
+        "prefixes": (
+            "qhl_", "service_", "ingest_", "audit_", "build_",
+            "supervisor_",
+        ),
         "packages": (),
     }
 

@@ -156,6 +156,26 @@ METRICS: dict[str, MetricSpec] = {
         "counter", ("check", "status"), "individual audit checks run"),
     "audit_problems_total": MetricSpec(
         "counter", ("check",), "problems found by audit checks"),
+    # -- worker supervision (PR 7) -------------------------------------
+    "supervisor_spawns_total": MetricSpec(
+        "counter", ("worker",),
+        "worker processes spawned (including respawns)"),
+    "supervisor_restarts_total": MetricSpec(
+        "counter", ("worker",), "workers respawned after a death"),
+    "supervisor_deaths_total": MetricSpec(
+        "counter", ("worker", "reason"), "worker deaths by cause"),
+    "supervisor_heartbeat_stalls_total": MetricSpec(
+        "counter", ("worker",),
+        "workers killed for a stalled heartbeat"),
+    "supervisor_breaker_open_total": MetricSpec(
+        "counter", ("worker",),
+        "restart circuit breakers tripped open"),
+    "supervisor_requeues_total": MetricSpec(
+        "counter", (), "tasks requeued after a worker death"),
+    "supervisor_quarantined_total": MetricSpec(
+        "counter", (), "poison tasks pulled from rotation"),
+    "supervisor_workers": MetricSpec(
+        "gauge", (), "live worker processes under supervision"),
     # -- checkpointed builds (PR 4) ------------------------------------
     "build_checkpoint_levels_total": MetricSpec(
         "counter", (), "label-build levels persisted as checkpoints"),

@@ -38,6 +38,7 @@ import json
 import os
 import shutil
 import tempfile
+import time
 from dataclasses import dataclass
 from multiprocessing import util as _mp_util
 from typing import Iterator, NamedTuple
@@ -67,6 +68,61 @@ _announced: set[tuple[str, int]] = set()
 
 #: Monotone suffix for chunk-record filenames within one process.
 _chunk_seq = itertools.count(1)
+
+
+#: Scratch-dir prefixes :func:`reap_stale_spools` is allowed to remove:
+#: worker spools (this module) and supervisor heartbeat/result dirs
+#: (:mod:`repro.supervise.supervisor`).
+SPOOL_DIR_PREFIXES: tuple[str, ...] = ("qhl-spool-", "qhl-supervisor-")
+
+#: Spool dirs untouched for this long are presumed orphaned.  Live
+#: spools are written at least once per chunk (and supervisor dirs once
+#: per heartbeat), so an hour of silence means the owning parent died
+#: without running ``cleanup()``.
+STALE_SPOOL_AGE_S = 3600.0
+
+
+def reap_stale_spools(
+    max_age_s: float = STALE_SPOOL_AGE_S,
+    root: str | None = None,
+) -> list[str]:
+    """Remove orphaned spool dirs left behind by crashed parents.
+
+    ``WorkerSpool.cleanup()`` only runs when the parent survives the
+    fan-out; a parent killed mid-batch leaks its ``qhl-spool-*`` tmpdir
+    (and a killed supervisor its ``qhl-supervisor-*`` dir) forever.
+    Called on every spool/supervisor creation, this sweeps the temp
+    root for dirs with a known prefix whose *newest* entry (or the dir
+    itself, when empty) is older than ``max_age_s`` seconds.  Age is
+    judged on the newest file so a long-running but live fan-out — which
+    keeps writing chunk records — is never reaped.  Best-effort like
+    all spool I/O: races and permission errors are swallowed.  Returns
+    the paths removed (for tests and logs).
+    """
+    if root is None:
+        root = tempfile.gettempdir()
+    now = time.time()
+    reaped: list[str] = []
+    try:
+        names = os.listdir(root)
+    except OSError:
+        return reaped
+    for name in names:
+        if not name.startswith(SPOOL_DIR_PREFIXES):
+            continue
+        path = os.path.join(root, name)
+        try:
+            newest = os.stat(path).st_mtime
+            for entry in os.scandir(path):
+                newest = max(newest, entry.stat().st_mtime)
+        except OSError:
+            continue
+        if now - newest < max_age_s:
+            continue
+        shutil.rmtree(path, ignore_errors=True)
+        if not os.path.exists(path):
+            reaped.append(path)
+    return reaped
 
 
 def new_trace_id() -> str:
@@ -130,6 +186,7 @@ class WorkerSpool:
         directory: str | None = None,
     ) -> "WorkerSpool":
         if directory is None:
+            reap_stale_spools()
             directory = tempfile.mkdtemp(prefix="qhl-spool-")
         else:
             os.makedirs(directory, exist_ok=True)

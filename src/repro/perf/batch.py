@@ -30,6 +30,19 @@ mid-chunk (SIGKILL, OOM — surfacing as ``BrokenProcessPool``) costs
 only its own chunk: the affected queries fail with
 ``WorkerCrashError``, every other chunk's answers are kept, and the
 stitched trace marks the dead worker's span ``worker.truncated``.
+
+``supervised=True`` upgrades the fan-out from *tolerating* worker
+deaths to *healing* them: chunks run on a
+:class:`~repro.supervise.pool.SupervisedPool` whose workers are
+heartbeat-monitored and restarted, so a mid-chunk SIGKILL means "retry
+the lost chunk on a respawned worker" instead of failure rows — the
+report comes back bit-identical to the sequential path.  Only a poison
+chunk element (one that kills every worker that touches it) surfaces
+as failure rows (``TaskQuarantinedError``), and only after the chunk
+was split into singletons so its healthy neighbours still answer.  The
+stitched trace keeps the PR-6 shape, plus each ``worker.truncated``
+span gains a ``respawned_as`` counter pointing at its successor pid,
+and ``BatchReport.incidents`` carries the supervisor's black box.
 """
 
 from __future__ import annotations
@@ -51,6 +64,11 @@ from repro.observability.propagation import (
 )
 from repro.observability.tracing import NULL_SPAN, get_tracer
 from repro.perf.cache import normalize_pair
+from repro.supervise.pool import SupervisedPool
+from repro.supervise.supervisor import (
+    SupervisionConfig,
+    annotate_succession,
+)
 from repro.types import CSPQuery, QueryResult
 
 QueryLike = CSPQuery | tuple[int, int, float]
@@ -86,6 +104,9 @@ class BatchReport:
     failures: list[BatchFailure] = field(default_factory=list)
     skipped: int = 0
     trace_id: str | None = None
+    #: Supervisor lifecycle records (spawns, deaths, requeues) when the
+    #: batch ran supervised; empty otherwise.
+    incidents: list = field(default_factory=list)
 
     @property
     def answered(self) -> int:
@@ -227,11 +248,17 @@ def _init_worker(engine, spool: WorkerSpool | None) -> None:
         spool.announce()
 
 
-def _chunk_body(indices, triples, want_path, deadline_ms, span):
-    """The per-chunk query loop, shared by the spooled and bare paths."""
+def _chunk_body(indices, triples, want_path, deadline_ms, span,
+                heartbeat=lambda: None):
+    """The per-chunk query loop, shared by the spooled and bare paths.
+
+    ``heartbeat`` is called before every query so a supervised worker
+    stays visibly alive through arbitrarily long chunks.
+    """
     engine_name = getattr(_WORKER_ENGINE, "name", "?")
     out = []
     for i, (s, t, c) in zip(indices, triples):
+        heartbeat()
         deadline = _fresh_deadline(deadline_ms, None)
         try:
             result = _WORKER_ENGINE.query(
@@ -275,6 +302,117 @@ def _fork_context():
 
 
 # ----------------------------------------------------------------------
+# Supervised execution
+# ----------------------------------------------------------------------
+def _supervised_chunk(payload, span, heartbeat):
+    """Supervised-pool entrypoint: one chunk, heartbeating per query.
+
+    The engine arrives via the ``_WORKER_ENGINE`` global, set in the
+    parent before the supervisor forks (and still set when it forks
+    *respawns*); the supervisor's worker loop wraps this call in
+    ``spool.observe``, so ``span`` is the chunk's spool-recorded root.
+    """
+    indices, triples, want_path, deadline_ms = payload
+    return _chunk_body(
+        indices, triples, want_path, deadline_ms, span, heartbeat
+    )
+
+
+def _split_chunk(payload):
+    """Decompose a chunk payload into per-query singleton payloads."""
+    indices, triples, want_path, deadline_ms = payload
+    return [
+        ([i], [triple], want_path, deadline_ms)
+        for i, triple in zip(indices, triples)
+    ]
+
+
+def _execute_batch_supervised(
+    engine,
+    queries: Sequence[QueryLike],
+    order: list[int],
+    want_path: bool,
+    deadline_ms: float | None,
+    workers: int,
+    trace_id: str,
+    supervision: SupervisionConfig | None,
+) -> BatchReport:
+    """The fan-out path with self-healing workers (see module docs)."""
+    global _WORKER_ENGINE
+    registry = get_registry()
+    tracer = get_tracer()
+    chunks = _contiguous_chunks(order, workers)
+    payloads = [
+        (chunk, [tuple(queries[i])[:3] for i in chunk],
+         want_path, deadline_ms)
+        for chunk in chunks
+    ]
+    spool = None
+    if tracer.enabled or registry.enabled:
+        spool = WorkerSpool.create(
+            TraceContext(trace_id, "batch.fan-out"),
+            want_spans=tracer.enabled,
+            want_metrics=registry.enabled,
+        )
+    engine_name = getattr(engine, "name", "?")
+    results: list[QueryResult | None] = [None] * len(queries)
+    failures: list[BatchFailure] = []
+    incidents: list = []
+    _WORKER_ENGINE = engine
+    try:
+        with tracer.span("batch.fan-out") as parent:
+            parent.set("workers", workers)
+            parent.set("queries", len(queries))
+            parent.set("chunks", len(chunks))
+            parent.set("supervised", 1)
+            pool = SupervisedPool(
+                _supervised_chunk,
+                workers,
+                config=supervision,
+                spool=spool,
+                label="batch.worker-chunk",
+                split=_split_chunk,
+                trace_id=trace_id,
+            )
+            report = pool.run(payloads)
+            incidents = pool.supervisor.incidents.records()
+            # run() fully stopped the fleet: clean workers flushed
+            # their end markers, so stitching is safe — and the pid
+            # succession map is final, so truncated spans can be
+            # joined to their respawned successors.
+            if spool is not None:
+                stitch(spool, parent=parent)
+                annotate_succession(parent, pool.supervisor)
+        for chunk_out in report.results.values():
+            for i, result, failure in chunk_out:
+                if failure is not None:
+                    s, t, c = tuple(queries[i])[:3]
+                    _note_failure(
+                        failures, trace_id, engine_name, i,
+                        CSPQuery(s, t, c), *failure,
+                    )
+                else:
+                    results[i] = result
+        for lost in report.failures:
+            indices, triples, _, _ = lost.payload
+            for i, (s, t, c) in zip(indices, triples):
+                _note_failure(
+                    failures, trace_id, engine_name, i,
+                    CSPQuery(s, t, c), lost.error,
+                    f"{lost.message} (attempts: {lost.attempts})",
+                )
+    finally:
+        _WORKER_ENGINE = None
+        if spool is not None:
+            spool.cleanup()
+    failures.sort(key=lambda f: f.index)
+    return BatchReport(
+        results=results, failures=failures, trace_id=trace_id,
+        incidents=incidents,
+    )
+
+
+# ----------------------------------------------------------------------
 def execute_batch(
     engine,
     queries: Sequence[QueryLike],
@@ -283,6 +421,8 @@ def execute_batch(
     batch_deadline_ms: float | None = None,
     workers: int = 0,
     trace_id: str | None = None,
+    supervised: bool = False,
+    supervision: SupervisionConfig | None = None,
 ) -> BatchReport:
     """Run a whole workload through ``engine``.
 
@@ -312,6 +452,15 @@ def execute_batch(
     trace_id:
         Joins this batch to an existing trace; minted fresh when
         omitted.  The id lands on the report and every failure row.
+    supervised:
+        With ``workers >= 2``, run the fan-out on a
+        :class:`~repro.supervise.pool.SupervisedPool`: dead workers
+        are respawned and their lost chunk retried, so a mid-batch
+        SIGKILL no longer costs its chunk.  Ignored (sequential
+        fallback) where ``fork`` is unavailable.
+    supervision:
+        Optional :class:`~repro.supervise.supervisor.
+        SupervisionConfig` overriding heartbeat/restart/retry policy.
     """
     if workers >= 2 and batch_deadline_ms is not None:
         raise ValueError(
@@ -354,6 +503,11 @@ def execute_batch(
             "qhl_batch_workers",
             help="process-pool size of the last batch run",
         ).set(workers)
+    if supervised:
+        return _execute_batch_supervised(
+            engine, queries, order, want_path, deadline_ms, workers,
+            trace_id, supervision,
+        )
     chunks = _contiguous_chunks(order, workers)
     spool = None
     if tracer.enabled or registry.enabled:

@@ -206,6 +206,8 @@ def build_labels_checkpointed(
     workers: int = 1,
     resume: bool = False,
     budget: BuildBudget | None = None,
+    supervised: bool = False,
+    supervision=None,
 ) -> LabelStore:
     """:func:`repro.labeling.builder.build_labels` with per-level
     checkpoints.
@@ -277,7 +279,8 @@ def build_labels_checkpointed(
             if budget is not None:
                 budget.check(k)
             rows_by_vertex, _joins = level_rows(
-                tree, store, levels[k], max_skyline, workers
+                tree, store, levels[k], max_skyline, workers,
+                supervised=supervised, supervision=supervision,
             )
             for v, rows in rows_by_vertex:
                 for u, acc in rows:

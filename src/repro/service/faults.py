@@ -31,6 +31,21 @@ Injection points (:data:`INJECTION_POINTS`):
     level's checkpoint is written — or ``"checkpointed"`` — after) —
     the kill-and-resume suite's hook for crashing a build at every
     level boundary.
+``worker-spawn``
+    Fired by :class:`repro.supervise.supervisor.Supervisor` before
+    forking each worker process (``ctx["worker"]`` is the worker name,
+    ``ctx["restarts"]`` its death count) — inject to exercise the
+    spawn-failed → backoff → respawn path without real processes dying.
+``worker-heartbeat``
+    Fired inside a supervised worker before every heartbeat touch
+    (``ctx["worker"]``) — an injected fault *suppresses the touch*
+    instead of propagating, which is how chaos tests fake a wedged
+    worker and drive the parent's stall detector.
+``worker-task``
+    Fired inside a supervised worker before running each leased task
+    (``ctx["worker"]``, ``ctx["task"]`` is the task id) — inject a
+    process-killing factory to lose in-flight work deterministically
+    and exercise the requeue/quarantine ladder.
 ``clock``
     Not an exception point: setting :attr:`FaultInjector.clock` makes
     the service build deadlines on the injected clock, so tests can
@@ -54,6 +69,9 @@ INJECTION_POINTS: tuple[str, ...] = (
     "label-fetch",
     "engine-query",
     "build-level",
+    "worker-spawn",
+    "worker-heartbeat",
+    "worker-task",
     "clock",
 )
 

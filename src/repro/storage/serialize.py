@@ -398,12 +398,23 @@ def load_index_with_retry(
     of random extra.  :class:`SerializationError` (missing, corrupt, or
     wrong-version files) is permanent and never retried.  ``sleep`` and
     ``rng`` are injectable for deterministic tests; the ``index-load``
-    fault point fires at the start of every attempt.
+    fault point fires at the start of every attempt.  When a
+    :class:`~repro.service.faults.FaultInjector` with an injected clock
+    is active, the default ``rng`` is seeded (``random.Random(0)``) so
+    chaos tests see reproducible backoff sequences; outside a fault
+    harness the jitter stays nondeterministic on purpose (it exists to
+    decorrelate concurrent retriers).
     """
     if attempts < 1:
         raise ValueError("attempts must be >= 1")
     if rng is None:
-        rng = random.Random()  # lint: allow=QHL003 backoff jitter is the one place nondeterminism is wanted; tests inject rng
+        from repro.service.faults import get_injector
+
+        injector = get_injector()
+        if injector.enabled and injector.clock is not None:
+            rng = random.Random(0)
+        else:
+            rng = random.Random()  # lint: allow=QHL003 backoff jitter is the one place nondeterminism is wanted; tests inject rng
     loader = load_compact_index if compact else load_index
     last: OSError | None = None
     for attempt in range(attempts):

@@ -1,0 +1,207 @@
+"""Supervision incident records: the black box of the worker fleet.
+
+Every noteworthy lifecycle event of a supervised worker — spawn,
+death, heartbeat stall, restart, breaker trip, task requeue, poison
+quarantine — leaves one :class:`Incident`.  Incidents serve three
+audiences at once:
+
+* the owning :class:`~repro.supervise.supervisor.Supervisor` keeps its
+  own bounded log (``supervisor.incidents``) so a pool run can report
+  exactly what happened to it;
+* a process-wide *sink* (installed with :func:`use_incident_log`, inert
+  by default like the metrics registry and the flight recorder)
+  accumulates incidents across supervisors so the CLI's
+  ``--incident-out`` captures a whole ``bench``/``build`` run;
+* each incident is bridged into the flight recorder (when one is live)
+  as a ``supervisor-<kind>`` record, so worker deaths show up in the
+  same forensic ring as the queries they interrupted.
+
+Incidents serialise to JSON-lines (:meth:`IncidentLog.dump` /
+:func:`load_incidents`), which is what ``repro-qhl supervise status``
+reads.
+"""
+
+from __future__ import annotations
+
+import collections
+import contextlib
+import itertools
+import json
+from dataclasses import asdict, dataclass, fields
+from typing import Iterator
+
+#: Incident kinds a supervisor emits, in rough lifecycle order.
+INCIDENT_KINDS: tuple[str, ...] = (
+    "spawn",
+    "restart",
+    "death",
+    "stall",
+    "breaker-open",
+    "requeue",
+    "quarantine",
+    "stop",
+)
+
+
+@dataclass(frozen=True)
+class Incident:
+    """One worker-lifecycle event."""
+
+    seq: int
+    kind: str
+    worker: str
+    pid: int | None
+    detail: str
+    trace_id: str | None = None
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Incident":
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+class IncidentLog:
+    """A bounded, append-only incident buffer."""
+
+    enabled = True
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._records: collections.deque[Incident] = collections.deque(
+            maxlen=capacity
+        )
+        self._seq = itertools.count(1)
+        self.total = 0
+
+    def new(
+        self,
+        kind: str,
+        worker: str,
+        pid: int | None,
+        detail: str,
+        trace_id: str | None = None,
+    ) -> Incident:
+        """Mint, store, and return one incident."""
+        incident = Incident(
+            seq=next(self._seq),
+            kind=kind,
+            worker=worker,
+            pid=pid,
+            detail=detail,
+            trace_id=trace_id,
+        )
+        self.append(incident)
+        return incident
+
+    def append(self, incident: Incident) -> None:
+        self._records.append(incident)
+        self.total += 1
+
+    def records(self) -> list[Incident]:
+        """The log's contents, oldest first."""
+        return list(self._records)
+
+    def clear(self) -> None:
+        self._records.clear()
+
+    def dump(self, path: str) -> int:
+        """Write the log as JSON-lines to ``path``; returns the count."""
+        entries = self.records()
+        with open(path, "w", encoding="utf-8") as handle:
+            for entry in entries:
+                handle.write(
+                    json.dumps(entry.to_dict(), sort_keys=True) + "\n"
+                )
+        return len(entries)
+
+
+class NullIncidentLog:
+    """The disabled default sink: every method is a cheap no-op."""
+
+    enabled = False
+    capacity = 0
+    total = 0
+
+    def new(self, kind, worker, pid, detail, trace_id=None) -> None:
+        return None
+
+    def append(self, incident: Incident) -> None:
+        pass
+
+    def records(self) -> list:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+    def dump(self, path: str) -> int:
+        return 0
+
+
+NULL_INCIDENT_LOG = NullIncidentLog()
+
+_active_log: IncidentLog | NullIncidentLog = NULL_INCIDENT_LOG
+
+
+def get_incident_log() -> IncidentLog | NullIncidentLog:
+    """The process-wide incident sink (the inert one by default)."""
+    return _active_log
+
+
+def set_incident_log(
+    log: IncidentLog | NullIncidentLog,
+) -> IncidentLog | NullIncidentLog:
+    """Install ``log`` as the active sink; returns the previous one."""
+    global _active_log
+    previous = _active_log
+    _active_log = log
+    return previous
+
+
+@contextlib.contextmanager
+def use_incident_log(
+    log: IncidentLog | NullIncidentLog,
+) -> Iterator[IncidentLog | NullIncidentLog]:
+    """Scoped :func:`set_incident_log`; restores the previous sink."""
+    previous = set_incident_log(log)
+    try:
+        yield log
+    finally:
+        set_incident_log(previous)
+
+
+def load_incidents(path: str) -> list[Incident]:
+    """Read an :meth:`IncidentLog.dump` file back into records."""
+    entries: list[Incident] = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            if line.strip():
+                entries.append(Incident.from_dict(json.loads(line)))
+    return entries
+
+
+def summarize(incidents: list[Incident]) -> dict:
+    """Per-worker tallies for the ``supervise status`` CLI.
+
+    Returns ``{"workers": {name: {kind: count, ...}}, "totals": {...}}``
+    with every kind from :data:`INCIDENT_KINDS` present (zero-filled),
+    so callers can format fixed-width tables without key checks.
+    """
+    workers: dict[str, dict[str, int]] = {}
+    totals = {kind: 0 for kind in INCIDENT_KINDS}
+    for incident in incidents:
+        row = workers.setdefault(
+            incident.worker, {kind: 0 for kind in INCIDENT_KINDS}
+        )
+        if incident.kind not in row:
+            row[incident.kind] = 0
+        if incident.kind not in totals:
+            totals[incident.kind] = 0
+        row[incident.kind] += 1
+        totals[incident.kind] += 1
+    return {"workers": workers, "totals": totals}

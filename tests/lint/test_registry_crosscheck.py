@@ -11,7 +11,9 @@ from repro.observability.names import METRIC_NAMES
 
 DOC = pathlib.Path(__file__).resolve().parents[2] / "docs" / "observability.md"
 
-_TOKEN = re.compile(r"`((?:qhl|service|ingest|audit|build)_[a-z0-9_]*\*?)`")
+_TOKEN = re.compile(
+    r"`((?:qhl|service|ingest|audit|build|supervisor)_[a-z0-9_]*\*?)`"
+)
 
 
 def _documented() -> tuple[set[str], set[str]]:

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
+import time
 
 import pytest
 
@@ -12,6 +14,7 @@ from repro.observability.propagation import (
     TraceContext,
     WorkerSpool,
     new_trace_id,
+    reap_stale_spools,
     stitch,
 )
 from repro.observability.tracing import Span, SpanTracer, use_tracer
@@ -181,3 +184,56 @@ class TestStitch:
         result = stitch(spool)  # null tracer + null registry
         assert result.chunks == 1
         assert result.metrics_merged == 0
+
+
+class TestStaleSpoolReaping:
+    """Orphaned spool dirs from crashed parents must not leak forever."""
+
+    def _make_dir(self, root, name, age_s):
+        path = os.path.join(root, name)
+        os.makedirs(path)
+        with open(os.path.join(path, "chunk-00000001.json"), "w") as f:
+            f.write("{}")
+        stamp = time.time() - age_s
+        for target in (path, os.path.join(path, "chunk-00000001.json")):
+            os.utime(target, (stamp, stamp))
+        return path
+
+    def test_stale_dirs_are_reaped_fresh_kept(self, tmp_path):
+        root = str(tmp_path)
+        stale_spool = self._make_dir(root, "qhl-spool-dead", 7200.0)
+        stale_sup = self._make_dir(root, "qhl-supervisor-dead", 7200.0)
+        fresh = self._make_dir(root, "qhl-spool-live", 0.0)
+        other = self._make_dir(root, "some-other-dir", 7200.0)
+        reaped = reap_stale_spools(root=root)
+        assert sorted(reaped) == sorted([stale_spool, stale_sup])
+        assert not os.path.exists(stale_spool)
+        assert not os.path.exists(stale_sup)
+        assert os.path.exists(fresh)       # recent activity: kept
+        assert os.path.exists(other)       # unknown prefix: untouched
+
+    def test_age_is_judged_on_the_newest_entry(self, tmp_path):
+        # An old dir whose *contents* are still being written is a live
+        # long-running fan-out, not an orphan.
+        root = str(tmp_path)
+        path = self._make_dir(root, "qhl-spool-busy", 7200.0)
+        recent = os.path.join(path, "chunk-00000002.json")
+        with open(recent, "w") as f:
+            f.write("{}")
+        assert reap_stale_spools(root=root) == []
+        assert os.path.exists(path)
+
+    def test_spool_creation_sweeps_the_temp_root(
+        self, tmp_path, monkeypatch
+    ):
+        # Seed a stale leaked dir, point the temp root at it, and
+        # create a spool the normal way: the leak is gone afterwards.
+        root = str(tmp_path)
+        stale = self._make_dir(root, "qhl-spool-leak", 7200.0)
+        monkeypatch.setattr(tempfile, "tempdir", root)
+        spool = WorkerSpool.create(TraceContext.new("fan-out"))
+        try:
+            assert not os.path.exists(stale)
+            assert spool.directory.startswith(root)
+        finally:
+            spool.cleanup()

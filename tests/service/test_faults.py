@@ -94,6 +94,12 @@ class TestEveryInjectionPoint:
             # build-level's scenarios live in test_kill_resume.py: it
             # crashes checkpointed builds at every level boundary.
             "build-level",
+            # The worker-supervision points live in tests/supervise:
+            # the chaos matrix fails spawns, SIGKILLs tasks, and
+            # suppresses heartbeats against real forked workers.
+            "worker-spawn",
+            "worker-task",
+            "worker-heartbeat",
         }
         assert covered == set(INJECTION_POINTS)
 

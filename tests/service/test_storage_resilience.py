@@ -266,6 +266,28 @@ class TestLoadWithRetry:
         assert 0.05 <= delays[0] <= 0.0625
         assert 0.10 <= delays[1] <= 0.1250
 
+    def test_jitter_is_deterministic_under_injected_clock(self, saved):
+        # With a FaultInjector clock installed (the chaos-test setup),
+        # the default rng is seeded: two identical runs see identical
+        # jittered backoff sequences, and they match random.Random(0).
+        runs = []
+        for _ in range(2):
+            delays = []
+            injector = FaultInjector(clock=lambda: 0.0)
+            injector.fail("index-load", exc=OSError, times=2)
+            with use_injector(injector):
+                load_index_with_retry(
+                    saved["full"], attempts=3, sleep=delays.append
+                )
+            runs.append(delays)
+        assert runs[0] == runs[1]
+        rng = random.Random(0)
+        expected = [
+            min(0.05 * 2**i, 1.0) * (1.0 + 0.25 * rng.random())
+            for i in range(2)
+        ]
+        assert runs[0] == pytest.approx(expected)
+
     def test_backoff_is_capped(self, saved):
         delays = []
         injector = FaultInjector()

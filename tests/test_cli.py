@@ -385,3 +385,61 @@ class TestFlightRecorderCLI:
         ]) == 0
         records = load_flight(out)
         assert len(records) >= 5
+
+
+class TestSupervision:
+    def test_supervised_build_dumps_incidents(
+        self, workspace, tmp_path, capsys
+    ):
+        net, _idx = workspace
+        incidents = str(tmp_path / "incidents.jsonl")
+        assert main([
+            "build", "--network", net,
+            "--out", str(tmp_path / "sup.idx"),
+            "--index-queries", "50", "--workers", "2",
+            "--supervised", "--heartbeat-ms", "50",
+            "--incident-out", incidents,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "supervision incidents" in out
+        assert main([
+            "supervise", "status", "--incidents", incidents,
+        ]) == 0
+        table = capsys.readouterr().out
+        assert "worker" in table and "spawn" in table
+        assert "total" in table
+
+    def test_supervise_status_json(self, workspace, tmp_path, capsys):
+        import json
+
+        net, _idx = workspace
+        incidents = str(tmp_path / "incidents.jsonl")
+        assert main([
+            "build", "--network", net,
+            "--out", str(tmp_path / "sup.idx"),
+            "--index-queries", "50", "--workers", "2",
+            "--supervised", "--incident-out", incidents,
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "supervise", "status", "--incidents", incidents, "--json",
+        ]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["totals"]["spawn"] >= 2
+        assert summary["totals"]["death"] == 0
+
+    def test_supervise_status_rejects_garbage(self, tmp_path, capsys):
+        path = str(tmp_path / "junk.jsonl")
+        with open(path, "w") as f:
+            f.write("this is not json\n")
+        assert main([
+            "supervise", "status", "--incidents", path,
+        ]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_supervise_status_missing_file(self, tmp_path, capsys):
+        assert main([
+            "supervise", "status",
+            "--incidents", str(tmp_path / "nope.jsonl"),
+        ]) == 2
+        assert "error" in capsys.readouterr().err
