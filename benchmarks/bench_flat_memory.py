@@ -1,0 +1,187 @@
+"""Memory-sharing smoke test: mmap-loaded flat index vs object graph.
+
+The point of the version-3 flat envelope is not just fast loading — it
+is that the label columns live in *file-backed, read-only pages*, so a
+fork-based worker pool shares one physical copy across the supervisor
+and every worker.  A pickled object graph cannot share: the first
+refcount write in a child copies the page under it, so ``N`` workers
+hold ``N + 1`` copies of every label tuple.
+
+Each scenario runs in its own subprocess (clean RSS baseline):
+
+* **object** — ``load_index`` (version-2 pickle), then a supervised
+  ``execute_batch`` with forked workers;
+* **flat** — ``load_flat_index`` (version-3 mmap), same batch through
+  the flat engine.
+
+The scenario reports its own peak RSS plus the largest worker peak
+(``getrusage`` of SELF and CHILDREN).  ``--check`` asserts the flat
+total stays below the object-graph total — the CI memory-sharing gate.
+
+Runnable standalone (``python benchmarks/bench_flat_memory.py
+[--check]``); knobs: ``REPRO_BENCH_MEM_QUERIES`` (default 300) and
+``REPRO_BENCH_MEM_GRID`` (default 24, the grid side length).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import resource
+import subprocess
+import sys
+import tempfile
+
+GRID_SIDE = int(os.environ.get("REPRO_BENCH_MEM_GRID", "24"))
+NUM_QUERIES = int(os.environ.get("REPRO_BENCH_MEM_QUERIES", "300"))
+WORKERS = 2
+SEED = 5
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RESULT_TXT = "flat_memory.txt"
+
+
+def _build_files(tmpdir: str) -> tuple[str, str]:
+    """Build one index, save it in both formats; returns both paths."""
+    from repro.core import QHLIndex
+    from repro.graph import grid_network
+    from repro.storage import save_flat_index
+    from repro.storage.serialize import save_index
+
+    network = grid_network(GRID_SIDE, GRID_SIDE, seed=SEED)
+    index = QHLIndex.build(
+        network, num_index_queries=100, store_paths=False, seed=SEED
+    )
+    obj_path = os.path.join(tmpdir, "index.obj.idx")
+    flat_path = os.path.join(tmpdir, "index.qflat")
+    save_index(index, obj_path)
+    save_flat_index(index, flat_path)
+    return obj_path, flat_path
+
+
+def _scenario(mode: str, path: str) -> None:
+    """Child-process entry: load, run a supervised batch, report RSS."""
+    if mode == "object":
+        from repro.storage.serialize import load_index
+
+        index = load_index(path)
+    else:
+        from repro.storage import load_flat_index
+
+        index = load_flat_index(path)
+    engine = index.qhl_engine()
+
+    import random
+
+    from repro.perf.batch import execute_batch
+
+    rng = random.Random(SEED)
+    n = index.network.num_vertices
+    queries = [
+        (rng.randrange(n), rng.randrange(n), float(10 * GRID_SIDE))
+        for _ in range(NUM_QUERIES)
+    ]
+    report = execute_batch(engine, queries, workers=WORKERS)
+    self_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    child_kb = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    print(json.dumps({
+        "mode": mode,
+        "answered": report.answered,
+        "failed": report.failed,
+        "self_peak_kb": self_kb,
+        "worker_peak_kb": child_kb,
+        "total_peak_kb": self_kb + child_kb,
+    }))
+
+
+def _run_scenario(mode: str, path: str) -> dict:
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    extra = os.pathsep.join([src, REPO_ROOT])
+    current = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        f"{extra}{os.pathsep}{current}" if current else extra
+    )
+    proc = subprocess.run(
+        [sys.executable, os.path.abspath(__file__),
+         "--scenario", mode, "--index", path],
+        capture_output=True, text=True, env=env, check=True,
+    )
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def run_benchmark() -> dict:
+    from benchmarks.conftest import record_rows
+
+    with tempfile.TemporaryDirectory() as tmpdir:
+        obj_path, flat_path = _build_files(tmpdir)
+        sizes = {
+            "object_file_kb": os.path.getsize(obj_path) // 1024,
+            "flat_file_kb": os.path.getsize(flat_path) // 1024,
+        }
+        object_run = _run_scenario("object", obj_path)
+        flat_run = _run_scenario("flat", flat_path)
+
+    for run in (object_run, flat_run):
+        assert run["answered"] == NUM_QUERIES, run
+
+    result = {
+        "benchmark": "flat_memory_sharing",
+        "grid": f"{GRID_SIDE}x{GRID_SIDE}",
+        "num_queries": NUM_QUERIES,
+        "workers": WORKERS,
+        **sizes,
+        "object": object_run,
+        "flat": flat_run,
+        "total_savings_kb": (
+            object_run["total_peak_kb"] - flat_run["total_peak_kb"]
+        ),
+    }
+    record_rows(
+        RESULT_TXT,
+        f"{'scenario':>8} {'self':>10} {'worker':>10} {'total':>10}",
+        [
+            f"{'object':>8} {object_run['self_peak_kb']:>7} KB "
+            f"{object_run['worker_peak_kb']:>7} KB "
+            f"{object_run['total_peak_kb']:>7} KB",
+            f"{'flat':>8} {flat_run['self_peak_kb']:>7} KB "
+            f"{flat_run['worker_peak_kb']:>7} KB "
+            f"{flat_run['total_peak_kb']:>7} KB",
+            f"savings {result['total_savings_kb']} KB "
+            f"(files: object {sizes['object_file_kb']} KB, "
+            f"flat {sizes['flat_file_kb']} KB)",
+        ],
+    )
+    return result
+
+
+def check(result: dict) -> None:
+    """The CI gate: a mapped index must beat the object graph."""
+    assert (
+        result["flat"]["total_peak_kb"] < result["object"]["total_peak_kb"]
+    ), (
+        "supervised-batch peak RSS with the mmap-loaded flat index "
+        f"({result['flat']['total_peak_kb']} KB) is not below the "
+        f"object-graph baseline ({result['object']['total_peak_kb']} KB)"
+    )
+
+
+def test_flat_batch_rss_below_object_graph():
+    check(run_benchmark())
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--scenario", choices=("object", "flat"))
+    parser.add_argument("--index")
+    parser.add_argument("--check", action="store_true")
+    args = parser.parse_args()
+    if args.scenario:
+        _scenario(args.scenario, args.index)
+    else:
+        outcome = run_benchmark()
+        print(json.dumps(outcome, indent=2))
+        if args.check:
+            check(outcome)
+            print("memory-sharing check passed")

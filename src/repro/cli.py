@@ -283,13 +283,19 @@ def _cmd_build(args: argparse.Namespace) -> int:
             supervised=supervised,
             supervision=supervision,
         )
-    size = save_index(index, args.out)
+    if args.flat:
+        from repro.storage import save_flat_index
+
+        size = save_flat_index(index, args.out)
+    else:
+        size = save_index(index, args.out)
     if args.checkpoint_dir:
         # The index reached durable storage; the checkpoints served
         # their purpose.
         CheckpointStore(args.checkpoint_dir).clear()
+    kind = "flat index" if args.flat else "index"
     print(
-        f"built index for |V|={network.num_vertices} in "
+        f"built {kind} for |V|={network.num_vertices} in "
         f"{format_seconds(timer.seconds)}; file {format_bytes(size)} "
         f"-> {args.out}"
     )
@@ -305,9 +311,18 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     with _metrics_scope(args.metrics_out):
         storage = AuditCheck("storage-checksum", checked=1)
         try:
-            index = load_index(
-                args.index, verify_checksum=args.verify_checksum != "off"
-            )
+            if args.flat:
+                from repro.storage import load_flat_index
+
+                index = load_flat_index(
+                    args.index,
+                    verify_checksum=args.verify_checksum != "off",
+                )
+            else:
+                index = load_index(
+                    args.index,
+                    verify_checksum=args.verify_checksum != "off",
+                )
         except SerializationError as exc:
             storage.add(str(exc))
             report = AuditReport(checks=[storage])
@@ -324,8 +339,14 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.exceptions import ReproError
     from repro.service import Deadline, QueryService, ServiceConfig
 
+    if args.flat and args.fallback:
+        raise ReproError(
+            "--flat cannot be combined with --fallback; the degradation "
+            "ladder serves object indexes"
+        )
     verify = args.verify_checksum != "off"
     deadline = (
         Deadline.from_ms(args.deadline_ms)
@@ -352,6 +373,20 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
             def run(want_path: bool):
                 return service.query(
+                    args.source, args.target, args.budget,
+                    want_path=want_path, deadline=deadline,
+                )
+        elif args.flat:
+            from repro.storage import load_flat_index
+
+            index = load_flat_index(
+                args.index,
+                verify_checksum=verify,
+                use_mmap=args.mmap != "off",
+            )
+
+            def run(want_path: bool):
+                return index.query(
                     args.source, args.target, args.budget,
                     want_path=want_path, deadline=deadline,
                 )
@@ -483,6 +518,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"index built in {format_seconds(timer.seconds)}")
 
         engines = [index.qhl_engine(), index.csp2hop_engine()]
+        if args.flat:
+            engines.insert(1, index.flat_engine())
         if args.cache_size:
             engines.insert(0, index.cached_engine(args.cache_size))
         if args.cola:
@@ -636,6 +673,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip path provenance (smaller index, no path retrieval)",
     )
     p_build.add_argument(
+        "--flat",
+        action="store_true",
+        help="save in the flat (version 3) format: raw label columns "
+        "behind a checksummed binary header, loadable via mmap with "
+        "zero copies (drops provenance, like the compact format)",
+    )
+    p_build.add_argument(
         "--metrics-out",
         help="dump build metrics (phase timings, index sizes) as "
         "JSON-lines to this path",
@@ -721,6 +765,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="dump audit metrics (audit_* counters) as JSON-lines to "
         "this path",
     )
+    p_verify.add_argument(
+        "--flat",
+        action="store_true",
+        help="audit a flat (version 3) index: mmap-load it and run the "
+        "full audit plus the flat-columns structural check",
+    )
     p_verify.set_defaults(func=_cmd_verify)
 
     p_query = sub.add_parser("query", help="answer one CSP query")
@@ -766,6 +816,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out",
         help="dump query/service metrics (fallbacks, deadline hits) as "
         "JSON-lines to this path",
+    )
+    p_query.add_argument(
+        "--flat",
+        action="store_true",
+        help="answer from a flat (version 3) index through the "
+        "flat-array engine (bit-identical answers, near-zero load "
+        "time; incompatible with --fallback)",
+    )
+    p_query.add_argument(
+        "--mmap",
+        choices=("on", "off"),
+        default="on",
+        help="with --flat, map the column file into memory (on, the "
+        "default) or read it into arrays (off); answers are identical",
     )
     _add_flight_arguments(p_query)
     p_query.set_defaults(func=_cmd_query)
@@ -828,6 +892,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="with --batch, fan each query set out across this many "
         "worker processes (0 = in-process)",
+    )
+    p_bench.add_argument(
+        "--flat",
+        action="store_true",
+        help="add the flat-array QHL engine (packed columns, same "
+        "answers) to the race",
     )
     _add_flight_arguments(p_bench)
     _add_supervision_arguments(p_bench)

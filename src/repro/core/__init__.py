@@ -2,6 +2,7 @@
 
 from repro.core.concatenation import concat_best_under, concat_cartesian
 from repro.core.engine import IndexStats, QHLIndex, random_index_queries
+from repro.core.flat import FlatIndex, FlatQHLEngine
 from repro.core.explain import (
     ConditionApplication,
     HoplinkWork,
@@ -13,7 +14,7 @@ from repro.core.pruning import (
     build_pruning_index,
     compute_cub,
 )
-from repro.core.qhl import QHLEngine
+from repro.core.qhl import QHLEngine, candidate_separators
 from repro.core.separators import (
     LabelFetcher,
     estimated_cost,
@@ -22,6 +23,8 @@ from repro.core.separators import (
 
 __all__ = [
     "ConditionApplication",
+    "FlatIndex",
+    "FlatQHLEngine",
     "HoplinkWork",
     "IndexStats",
     "LabelFetcher",
@@ -31,6 +34,7 @@ __all__ = [
     "QHLIndex",
     "build_condition",
     "build_pruning_index",
+    "candidate_separators",
     "compute_cub",
     "concat_best_under",
     "concat_cartesian",

@@ -70,6 +70,7 @@ class QHLIndex:
         self.lca = lca
         self.pruning = pruning
         self._default_engine = QHLEngine(tree, labels, lca, pruning)
+        self._flat_store = None  # packed lazily by flat_engine()
 
     # ------------------------------------------------------------------
     @classmethod
@@ -184,6 +185,28 @@ class QHLIndex:
     def csp2hop_engine(self) -> CSP2HopEngine:
         """The CSP-2Hop baseline over the same labels."""
         return CSP2HopEngine(self.tree, self.labels, self.lca)
+
+    def flat_engine(self, use_pruning_conditions: bool = True):
+        """A :class:`~repro.core.flat.FlatQHLEngine` over packed columns.
+
+        The labels are packed into a
+        :class:`~repro.storage.flat.FlatLabelStore` on first use and
+        cached, so repeated calls share one column set.  Answers are
+        bit-identical to :meth:`qhl_engine`; the hot path is index
+        arithmetic instead of object-graph walks.
+        """
+        from repro.core.flat import FlatQHLEngine
+        from repro.storage.flat import FlatLabelStore
+
+        if self._flat_store is None:
+            self._flat_store = FlatLabelStore.from_store(self.labels)
+        return FlatQHLEngine(
+            self.tree,
+            self._flat_store,
+            self.lca,
+            self.pruning,
+            use_pruning_conditions=use_pruning_conditions,
+        )
 
     def cached_engine(self, cache_size: int = 1024):
         """A :class:`~repro.perf.cached_engine.CachedQHLEngine`.

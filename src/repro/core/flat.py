@@ -1,0 +1,421 @@
+"""The flat-array QHL engine: Algorithm 3 as index arithmetic.
+
+:class:`FlatQHLEngine` answers the same queries as
+:class:`~repro.core.qhl.QHLEngine` but reads skyline sets as half-open
+slices into the cost-sorted columns of a
+:class:`~repro.storage.flat.FlatLabelStore` — no per-entry tuples, no
+label dicts, no allocation on the hot path.  The pipeline is shared
+piece by piece with the object engine so answers cannot drift:
+
+* separator initialisation — the same
+  :func:`~repro.core.separators.initial_separators`;
+* condition pruning — the same
+  :func:`~repro.core.qhl.candidate_separators` (one implementation,
+  same candidate order, same tie-breaks);
+* hoplink selection — ``min`` by the same estimated cost
+  ``T(H) = Σ_h (|P_sh| + |P_ht|)``, sizes read from the offset table;
+* concatenation — :func:`~repro.skyline.flat_ops.sweep_best_pair`,
+  Algorithm 5 with identical answer semantics over column slices;
+* the ancestor fast path — a pure binary search
+  (:func:`~repro.skyline.flat_ops.best_under_cols`) over the cost
+  column.
+
+``(feasible, weight, cost)`` triples are therefore bit-identical to the
+object engine on every query (the differential suite pins this); only
+the ``concatenations`` counter may be lower, because the flat sweep
+binary-searches away provably infeasible pairs.
+
+:class:`FlatIndex` is the facade over a flat (possibly mmap-backed)
+label store — the flat twin of :class:`~repro.core.engine.QHLIndex` —
+as produced by :func:`repro.storage.flatfile.load_flat_index`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Sequence
+
+from repro.core.pruning import PruningConditionIndex
+from repro.core.qhl import candidate_separators
+from repro.core.separators import initial_separators
+from repro.exceptions import IndexBuildError, ReproError
+from repro.graph.network import RoadNetwork
+from repro.hierarchy.lca import LCAIndex
+from repro.hierarchy.tree import TreeDecomposition
+from repro.observability.metrics import get_registry, observe_query
+from repro.skyline.flat_ops import best_under_cols, sweep_best_pair
+from repro.storage.compact import _restore
+from repro.storage.flat import FlatLabelStore
+from repro.types import CSPQuery, QueryResult, QueryStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.engine import QHLIndex
+    from repro.service.deadline import Deadline
+
+_INF = float("inf")
+
+
+class FlatQHLEngine:
+    """QHL over flat label columns; bit-identical to :class:`QHLEngine`."""
+
+    name = "QHL-flat"
+
+    def __init__(
+        self,
+        tree: TreeDecomposition,
+        labels: FlatLabelStore,
+        lca: LCAIndex | None = None,
+        pruning: PruningConditionIndex | None = None,
+        use_pruning_conditions: bool = True,
+    ):
+        self._tree = tree
+        self._labels = labels
+        self._lca = lca if lca is not None else LCAIndex(tree)
+        self._pruning = pruning
+        self.use_pruning_conditions = use_pruning_conditions and (
+            pruning is not None
+        )
+
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        source: int,
+        target: int,
+        budget: float,
+        want_path: bool = False,
+        deadline: "Deadline | None" = None,
+    ) -> QueryResult:
+        """Answer one CSP query exactly (Algorithm 3, flat columns).
+
+        ``deadline`` is checked cooperatively in the hoplink loop, like
+        the object engine.  ``want_path=True`` on a feasible query
+        raises :class:`ReproError`: flat columns keep no provenance
+        (the same trade as compact storage).
+        """
+        query = CSPQuery(source, target, budget).validated(
+            self._tree.num_vertices
+        )
+        stats = QueryStats()
+        started = time.perf_counter()
+        result = self._answer(query, stats, want_path, deadline)
+        stats.seconds = time.perf_counter() - started
+        result.stats = stats
+        registry = get_registry()
+        if registry.enabled:
+            observe_query(registry, self.name, stats)
+        return result
+
+    def query_many(
+        self,
+        queries: Sequence[CSPQuery | tuple[int, int, float]],
+        want_path: bool = False,
+        deadline: "Deadline | None" = None,
+    ) -> list[QueryResult]:
+        """Batched :meth:`query` in cache-friendly order.
+
+        Results come back in the *input* order; see
+        :func:`repro.perf.batch.execute_batch` for the failure-tolerant
+        multi-process variant (flat stores shine there: mmap-backed
+        columns stay page-shared across forked workers).
+        """
+        from repro.perf.batch import sorted_batch_order
+
+        results: list[QueryResult | None] = [None] * len(queries)
+        for i in sorted_batch_order(queries):
+            s, t, c = queries[i]
+            results[i] = self.query(
+                s, t, c, want_path=want_path, deadline=deadline
+            )
+        return results
+
+    # ------------------------------------------------------------------
+    def _answer(
+        self,
+        query: CSPQuery,
+        stats: QueryStats,
+        want_path: bool,
+        deadline: "Deadline | None",
+    ) -> QueryResult:
+        s, t, budget = query
+        if deadline is not None:
+            deadline.check(stats)
+        if s == t:
+            return QueryResult(
+                query, weight=0, cost=0, path=[s] if want_path else None
+            )
+        labels = self._labels
+        weights, costs = labels.weights, labels.costs
+        lca_v, s_is_anc, t_is_anc = self._lca.relation(s, t)
+
+        # Ancestor-descendant fast path: binary search the cost column.
+        if s_is_anc or t_is_anc:
+            lo, hi = labels.pair_bounds(s, t)
+            stats.label_lookups += 1
+            idx = best_under_cols(costs, lo, hi, budget)
+            if idx < 0:
+                return QueryResult(query)
+            return self._finish(query, weights[idx], costs[idx], want_path)
+
+        c_s, h_s, c_t, h_t = initial_separators(self._tree, lca_v, s, t)
+        candidates = candidate_separators(
+            self._pruning if self.use_pruning_conditions else None,
+            ((c_s, h_s), (c_t, h_t)),
+            s,
+            t,
+            budget,
+        )
+        stats.candidates = len(candidates)
+
+        fetcher = _FlatFetcher(labels, s, t)
+        hoplinks = min(
+            candidates, key=lambda h: _estimated_cost(fetcher, h)
+        )
+        stats.hoplinks = len(hoplinks)
+
+        best_weight = _INF
+        best_cost = _INF
+        for h in hoplinks:
+            if deadline is not None:
+                deadline.check(stats)
+            s_lo, s_hi = fetcher.from_s(h)
+            t_lo, t_hi = fetcher.from_t(h)
+            best_weight, best_cost, inspected = sweep_best_pair(
+                weights, costs, s_lo, s_hi,
+                weights, costs, t_lo, t_hi,
+                budget, best_weight, best_cost,
+            )
+            stats.concatenations += inspected
+        stats.label_lookups += fetcher.lookups
+        if best_weight < _INF:
+            return self._finish(query, best_weight, best_cost, want_path)
+        return QueryResult(query)
+
+    def _finish(
+        self, query: CSPQuery, weight: float, cost: float, want_path: bool
+    ) -> QueryResult:
+        if want_path:
+            raise ReproError(
+                "flat label columns keep no provenance; path retrieval "
+                "needs an object index built with store_paths=True"
+            )
+        return QueryResult(
+            query, weight=_restore(weight), cost=_restore(cost)
+        )
+
+
+class _FlatFetcher:
+    """Memoised per-query slice access — the flat twin of
+    :class:`~repro.core.separators.LabelFetcher`.
+
+    Returns ``(lo, hi)`` column bounds instead of entry lists; sizes
+    come from the store's per-vertex hub → size dicts, so cost
+    estimation touches no entry bytes at all.  Hub lookup goes through
+    the store's lazily built hub → row dicts
+    (:meth:`FlatLabelStore.hub_rows`) — candidate estimation probes the
+    same hubs many times per query, and a per-probe binary search
+    dominated the profile where the object fetcher pays one dict get.
+    ``lookups`` counts unique (side, hub) bound fetches — the sets the
+    concatenation phase actually reads; estimation probes only size
+    dicts and is not counted.
+    """
+
+    __slots__ = (
+        "_entry_offsets", "_s", "_t", "_s_rows", "_t_rows",
+        "_s_sizes", "_t_sizes", "_from_s", "_from_t", "lookups",
+    )
+
+    def __init__(self, labels: FlatLabelStore, s: int, t: int):
+        self._entry_offsets = labels.entry_offsets
+        self._s = s
+        self._t = t
+        self._s_rows = labels.hub_rows(s)
+        self._t_rows = labels.hub_rows(t)
+        self._s_sizes = labels.hub_sizes(s)
+        self._t_sizes = labels.hub_sizes(t)
+        self._from_s: dict[int, tuple[int, int]] = {}
+        self._from_t: dict[int, tuple[int, int]] = {}
+        self.lookups = 0
+
+    def from_s(self, h: int) -> tuple[int, int]:
+        """Bounds of ``P_sh`` (always stored in ``L(s)``)."""
+        bounds = self._from_s.get(h)
+        if bounds is None:
+            i = self._s_rows.get(h)
+            if i is None:
+                raise IndexBuildError(
+                    f"L({self._s}) has no skyline set for hub {h}; its "
+                    "tree node is not an ancestor"
+                )
+            offsets = self._entry_offsets
+            bounds = (offsets[i], offsets[i + 1])
+            self._from_s[h] = bounds
+            self.lookups += 1
+        return bounds
+
+    def from_t(self, h: int) -> tuple[int, int]:
+        """Bounds of ``P_ht`` (always stored in ``L(t)``)."""
+        bounds = self._from_t.get(h)
+        if bounds is None:
+            i = self._t_rows.get(h)
+            if i is None:
+                raise IndexBuildError(
+                    f"L({self._t}) has no skyline set for hub {h}; its "
+                    "tree node is not an ancestor"
+                )
+            offsets = self._entry_offsets
+            bounds = (offsets[i], offsets[i + 1])
+            self._from_t[h] = bounds
+            self.lookups += 1
+        return bounds
+
+    def pair_size(self, h: int) -> int:
+        """``|P_sh| + |P_ht|`` via the store's per-vertex size dicts."""
+        try:
+            return self._s_sizes[h] + self._t_sizes[h]
+        except KeyError as exc:
+            raise IndexBuildError(
+                f"neither L({self._s}) nor L({self._t}) covers hub "
+                f"{h}; its tree node is not a common ancestor"
+            ) from exc
+
+
+def _estimated_cost(fetcher: _FlatFetcher, separator) -> int:
+    """``T(H) = Σ_h (|P_sh| + |P_ht|)`` — same values as the object
+    :func:`~repro.core.separators.estimated_cost`, so ``min`` picks the
+    same separator.  Two dict hits per hub; the sizes come from the
+    store's lazily built per-vertex dicts, so estimation touches no
+    entry bytes and allocates nothing."""
+    s_sizes = fetcher._s_sizes
+    t_sizes = fetcher._t_sizes
+    total = 0
+    try:
+        for h in separator:
+            total += s_sizes[h] + t_sizes[h]
+    except KeyError as exc:
+        raise IndexBuildError(
+            f"hub {h} is missing from a query label; its tree node "
+            "is not a common ancestor"
+        ) from exc
+    return total
+
+
+class FlatIndex:
+    """A queryable index whose labels are flat (possibly mmap) columns.
+
+    The flat twin of :class:`~repro.core.engine.QHLIndex`: same
+    attribute names (``network`` / ``tree`` / ``labels`` / ``lca`` /
+    ``pruning``), same ``query`` / ``query_many`` / ``audit`` surface,
+    so the batch executor, the audit, and the CLI treat both shapes
+    uniformly.  Produced by
+    :func:`repro.storage.flatfile.load_flat_index` or from an object
+    index via :meth:`from_index`.
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        tree: TreeDecomposition,
+        labels: FlatLabelStore,
+        lca: LCAIndex,
+        pruning: PruningConditionIndex,
+    ):
+        self.network = network
+        self.tree = tree
+        self.labels = labels
+        self.lca = lca
+        self.pruning = pruning
+        self._default_engine = FlatQHLEngine(tree, labels, lca, pruning)
+
+    @classmethod
+    def from_index(cls, index: "QHLIndex") -> "FlatIndex":
+        """Pack an object index's labels into a flat index.
+
+        Tree, LCA, network, and pruning conditions are shared (they are
+        read-only at query time); only the labels are re-packed.
+        """
+        return cls(
+            index.network,
+            index.tree,
+            FlatLabelStore.from_store(index.labels),
+            index.lca,
+            index.pruning,
+        )
+
+    # ------------------------------------------------------------------
+    def qhl_engine(
+        self, use_pruning_conditions: bool = True
+    ) -> FlatQHLEngine:
+        """A flat engine over this index (the audit spot-check uses
+        this name, so flat indexes audit with their own hot path)."""
+        return FlatQHLEngine(
+            self.tree,
+            self.labels,
+            self.lca,
+            self.pruning,
+            use_pruning_conditions=use_pruning_conditions,
+        )
+
+    # Alias so index.flat_engine() works on both index shapes.
+    flat_engine = qhl_engine
+
+    def cached_engine(self, cache_size: int = 1024):
+        """A frontier cache over flat columns.
+
+        :class:`~repro.perf.cached_engine.CachedQHLEngine` only needs
+        the ``label`` / ``get`` read API, which
+        :class:`FlatLabelStore` speaks — cache hits answer in
+        ``O(log k)`` with zero column reads.
+        """
+        from repro.perf.cached_engine import CachedQHLEngine
+
+        return CachedQHLEngine(
+            self.tree, self.labels, self.lca, cache=cache_size
+        )
+
+    def query(
+        self,
+        source: int,
+        target: int,
+        budget: float,
+        want_path: bool = False,
+        deadline: "Deadline | None" = None,
+    ) -> QueryResult:
+        """Answer a CSP query with the default flat engine."""
+        return self._default_engine.query(
+            source, target, budget, want_path=want_path, deadline=deadline
+        )
+
+    def query_many(
+        self,
+        queries: Sequence,
+        want_path: bool = False,
+        deadline_ms: float | None = None,
+        batch_deadline_ms: float | None = None,
+        workers: int = 0,
+    ):
+        """Batched queries; with ``workers >= 2`` the forked pool reads
+        the mapped columns without copying them (page sharing is the
+        point of the mmap load)."""
+        from repro.perf.batch import execute_batch
+
+        return execute_batch(
+            self._default_engine,
+            queries,
+            want_path=want_path,
+            deadline_ms=deadline_ms,
+            batch_deadline_ms=batch_deadline_ms,
+            workers=workers,
+        )
+
+    # ------------------------------------------------------------------
+    def audit(self, queries: int = 8, seed: int = 0):
+        """Deep self-audit; see :func:`repro.resilience.audit.audit_index`.
+
+        Runs the same checks as an object index — flat stores add the
+        ``flat-columns`` structural check (offset monotonicity, sorted
+        hubs) — and spot-checks against constrained Dijkstra through
+        the flat engine.
+        """
+        from repro.resilience.audit import audit_index
+
+        return audit_index(self, queries=queries, seed=seed)

@@ -466,35 +466,13 @@ class QHLEngine:
         t: int,
         budget: float,
     ) -> list[tuple[int, ...]]:
-        """Algorithm 4, applied to each initial separator.
-
-        Per separator: if a condition matches ``s`` and/or ``t``, its
-        pruned variant(s) replace the original; otherwise the original
-        stays.  Result size is 2..4.
-        """
-        candidates: list[tuple[int, ...]] = []
-        seen: set[tuple[int, ...]] = set()
-        for child, separator in initial:
-            if self.use_pruning_conditions:
-                pruned_any = False
-                for v_end in (s, t):
-                    pruned = self._pruning.prune(
-                        child, v_end, separator, budget
-                    )
-                    # Corollary 1 guarantees a pruned separator is never
-                    # empty; the emptiness check is a defensive guard so
-                    # a bad condition could only cost speed, not answers.
-                    if pruned and pruned not in seen:
-                        candidates.append(pruned)
-                        seen.add(pruned)
-                        pruned_any = True
-                if pruned_any:
-                    continue
-            separator = tuple(separator)
-            if separator not in seen:
-                candidates.append(separator)
-                seen.add(separator)
-        return candidates
+        return candidate_separators(
+            self._pruning if self.use_pruning_conditions else None,
+            initial,
+            s,
+            t,
+            budget,
+        )
 
     # ------------------------------------------------------------------
     def _finish(
@@ -509,3 +487,45 @@ class QHLEngine:
             return QueryResult(query)
         path = expand(best, s, t) if want_path else None
         return QueryResult(query, weight=best[0], cost=best[1], path=path)
+
+
+def candidate_separators(
+    pruning: PruningConditionIndex | None,
+    initial: tuple[tuple[int, tuple[int, ...]], ...],
+    s: int,
+    t: int,
+    budget: float,
+) -> list[tuple[int, ...]]:
+    """Algorithm 4, applied to each initial separator.
+
+    Per separator: if a condition matches ``s`` and/or ``t``, its pruned
+    variant(s) replace the original; otherwise the original stays.
+    Result size is 2..4.  ``pruning=None`` skips condition pruning (the
+    Figure 8 ablation).
+
+    Shared by :class:`QHLEngine` and the flat engine
+    (:class:`~repro.core.flat.FlatQHLEngine`): candidate *order* feeds
+    the ``min``-by-estimated-cost hoplink choice, so one implementation
+    guarantees both engines pick the same separator on ties.
+    """
+    candidates: list[tuple[int, ...]] = []
+    seen: set[tuple[int, ...]] = set()
+    for child, separator in initial:
+        if pruning is not None:
+            pruned_any = False
+            for v_end in (s, t):
+                pruned = pruning.prune(child, v_end, separator, budget)
+                # Corollary 1 guarantees a pruned separator is never
+                # empty; the emptiness check is a defensive guard so
+                # a bad condition could only cost speed, not answers.
+                if pruned and pruned not in seen:
+                    candidates.append(pruned)
+                    seen.add(pruned)
+                    pruned_any = True
+            if pruned_any:
+                continue
+        separator = tuple(separator)
+        if separator not in seen:
+            candidates.append(separator)
+            seen.add(separator)
+    return candidates

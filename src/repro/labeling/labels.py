@@ -40,6 +40,16 @@ class LabelStore:
         """The raw label ``L(v)``: hub vertex → skyline set."""
         return self._labels[v]
 
+    def hubs_of(self, v: int) -> list[int]:
+        """The hub vertices of ``L(v)``, sorted.
+
+        The column builders (:func:`repro.storage.compact.pack_labels`)
+        and the flat store's binary-search lookup both rely on this
+        order; exposing it here keeps the two stores' iteration
+        contracts aligned.
+        """
+        return sorted(self._labels[v])
+
     def get(self, x: int, y: int) -> SkylineSet:
         """``P_xy`` wherever it is stored.
 

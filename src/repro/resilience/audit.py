@@ -119,9 +119,13 @@ def audit_index(
     seed: int = 0,
     deep_tree: bool | None = None,
 ) -> AuditReport:
-    """Audit a :class:`~repro.core.engine.QHLIndex` end to end.
+    """Audit a :class:`~repro.core.engine.QHLIndex` (or a flat/mmap
+    :class:`~repro.core.flat.FlatIndex`) end to end.
 
-    Runs six named checks:
+    Runs six named checks — seven for flat indexes, which add the
+    ``flat-columns`` structural check (offset-table monotonicity and
+    per-vertex hub sortedness, the invariants behind the flat engine's
+    binary searches):
 
     ``tree-structure``
         Definition 7 plus Properties 1-2 via
@@ -154,6 +158,8 @@ def audit_index(
     started = time.perf_counter()
     with get_tracer().span("audit.index") as span:
         report.checks.append(_check_tree(index, deep_tree))
+        if hasattr(index.labels, "validate_structure"):
+            report.checks.append(_check_flat_columns(index))
         report.checks.append(_check_label_order(index))
         report.checks.append(_check_label_dominance(index))
         report.checks.append(_check_label_coverage(index))
@@ -222,6 +228,31 @@ def _check_tree(index, deep_tree: bool | None) -> AuditCheck:
             check.add(problem)
     except Exception as exc:  # lint: allow=QHL002 corrupt structures can throw anywhere; the audit's job is to report, not to crash
         check.add(f"tree validation raised {type(exc).__name__}: {exc}")
+    return _timed(check, started)
+
+
+def _check_flat_columns(index) -> AuditCheck:
+    """Structural audit of a flat label store's offset tables.
+
+    Runs only for indexes whose labels expose ``validate_structure``
+    (:class:`~repro.storage.flat.FlatLabelStore`): offset monotonicity
+    and per-vertex hub sortedness — the invariants the flat engine's
+    binary searches assume.  Cost-sortedness and dominance-freeness of
+    the entry columns are covered by ``label-order`` /
+    ``label-dominance``, which iterate the store's ``items()`` like any
+    object store.
+    """
+    check = AuditCheck("flat-columns")
+    started = time.perf_counter()
+    labels = index.labels
+    check.checked = labels.num_sets() + labels.num_vertices
+    try:
+        for problem in labels.validate_structure():
+            check.add(problem)
+    except Exception as exc:  # lint: allow=QHL002 corrupt offset tables can raise anywhere; the audit's job is to report, not to crash
+        check.add(
+            f"column validation raised {type(exc).__name__}: {exc}"
+        )
     return _timed(check, started)
 
 

@@ -1,7 +1,14 @@
-"""Index persistence: versioned save/load, plus a compact array-packed
-format for shipping large indexes."""
+"""Index persistence: versioned save/load, a compact array-packed
+format, and the flat (version 3) envelope whose columns mmap in with
+zero copies."""
 
 from repro.storage.compact import CompactLabels, pack_labels, unpack_labels
+from repro.storage.flat import FlatLabelStore
+from repro.storage.flatfile import (
+    FLAT_FORMAT_VERSION,
+    load_flat_index,
+    save_flat_index,
+)
 from repro.storage.serialize import (
     FORMAT_VERSION,
     load_compact_index,
@@ -13,12 +20,16 @@ from repro.storage.serialize import (
 
 __all__ = [
     "CompactLabels",
+    "FLAT_FORMAT_VERSION",
     "FORMAT_VERSION",
+    "FlatLabelStore",
     "load_compact_index",
+    "load_flat_index",
     "load_index",
     "load_index_with_retry",
     "pack_labels",
     "save_compact_index",
+    "save_flat_index",
     "save_index",
     "unpack_labels",
 ]

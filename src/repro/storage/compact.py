@@ -61,7 +61,7 @@ def pack_labels(store: LabelStore) -> CompactLabels:
 
     for v in range(store.num_vertices):
         label = store.label(v)
-        for u in sorted(label):
+        for u in store.hubs_of(v):
             entries = label[u]
             hubs.append(u)
             for entry in entries:

@@ -1,0 +1,280 @@
+"""Format version 3: the flat index envelope with zero-copy mmap load.
+
+Versions 1/2 (:mod:`repro.storage.serialize`) pickle an object graph —
+loading deserialises every skyline entry back into tuples, and a forked
+worker pool un-shares the whole index the moment reference counts are
+touched.  Version 3 stores the ``pack_labels`` columns *verbatim* as raw
+little-endian bytes behind a fixed binary header, so loading is::
+
+    header parse -> SHA-256 verify -> mmap -> memoryview casts
+
+Near-zero startup (no per-entry work) and, because the entry columns are
+read through an ``mmap``, the kernel shares their physical pages across
+fork-based worker pools — object-graph indexes cannot share pages
+because refcount writes copy them.
+
+File layout (all integers little-endian)::
+
+    [0:80)    header: magic "RQHLFLT1", version=3, flags,
+              meta_offset, meta_length, data_offset, data_length,
+              sha256(meta bytes + data bytes)
+    [meta)    pickled metadata dict: graph edges, elimination order,
+              bags, pruning conditions, build timings, and one
+              (name, typecode, count, offset) descriptor per column
+    [data)    the five raw column byte-strings, 8-byte aligned
+
+Truncation, bit flips (header, metadata, or columns), version or
+endianness mismatches all raise :class:`SerializationError`; writes go
+through the same atomic temp-file + fsync + ``os.replace`` primitive as
+every other save, firing the ``save-index`` fault points.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import mmap
+import os
+import pickle
+import struct
+import sys
+from array import array
+from typing import TYPE_CHECKING, Any
+
+from repro.exceptions import SerializationError
+from repro.storage.compact import pack_labels
+from repro.storage.flat import FlatLabelStore
+from repro.storage.serialize import _PICKLE_ERRORS, _atomic_write_bytes
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.flat import FlatIndex
+
+FLAT_MAGIC = b"RQHLFLT1"
+FLAT_FORMAT_VERSION = 3
+
+#: Header flag bit: the column bytes are little-endian.  Arrays are
+#: written in native byte order (that is what makes the load zero-copy),
+#: so a file written on a big-endian machine refuses to load on a
+#: little-endian one instead of silently mangling every number.
+_FLAG_LITTLE_ENDIAN = 1
+
+#: magic, version, flags, meta_offset, meta_length, data_offset,
+#: data_length, sha256 digest.
+_HEADER = struct.Struct("<8sII4Q32s")
+
+#: Column serialisation order; every item is 8 bytes wide, so columns
+#: packed back to back stay 8-byte aligned for the memoryview casts.
+_COLUMNS = (
+    ("set_offsets", "q"),
+    ("hubs", "q"),
+    ("entry_offsets", "q"),
+    ("weights", "d"),
+    ("costs", "d"),
+)
+
+
+def save_flat_index(index: Any, path: str) -> int:
+    """Write ``index`` in the flat (version 3) format; returns file size.
+
+    Accepts a :class:`~repro.core.engine.QHLIndex` (labels are packed)
+    or a :class:`~repro.core.flat.FlatIndex` (columns are written as
+    held, preserving byte identity across save/load cycles).  Like the
+    compact format, provenance and elimination shortcuts are dropped.
+    """
+    labels = index.labels
+    compact = (
+        labels.to_compact()
+        if isinstance(labels, FlatLabelStore)
+        else pack_labels(labels)
+    )
+    descriptors: list[tuple[str, str, int, int]] = []
+    chunks: list[bytes] = []
+    offset = 0
+    for name, typecode in _COLUMNS:
+        raw = getattr(compact, name).tobytes()
+        descriptors.append((name, typecode, len(raw) // 8, offset))
+        chunks.append(raw)
+        offset += len(raw)
+    data = b"".join(chunks)
+
+    tree = index.tree
+    meta_bytes = pickle.dumps(
+        {
+            "num_vertices": tree.num_vertices,
+            "edges": list(index.network.edges()),
+            "order": list(tree.order),
+            "bags": {v: list(tree.bag[v]) for v in range(tree.num_vertices)},
+            "columns": descriptors,
+            "label_build_seconds": labels.build_seconds,
+            "conditions": dict(index.pruning._conditions),
+            "pruning_build_seconds": index.pruning.build_seconds,
+        },
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    meta_offset = _HEADER.size
+    data_offset = _align8(meta_offset + len(meta_bytes))
+    digest = hashlib.sha256()
+    digest.update(meta_bytes)
+    digest.update(data)
+    flags = _FLAG_LITTLE_ENDIAN if sys.byteorder == "little" else 0
+    header = _HEADER.pack(
+        FLAT_MAGIC,
+        FLAT_FORMAT_VERSION,
+        flags,
+        meta_offset,
+        len(meta_bytes),
+        data_offset,
+        len(data),
+        digest.digest(),
+    )
+    padding = b"\x00" * (data_offset - meta_offset - len(meta_bytes))
+    _atomic_write_bytes(path, b"".join((header, meta_bytes, padding, data)))
+    return os.path.getsize(path)
+
+
+def load_flat_index(
+    path: str, verify_checksum: bool = True, use_mmap: bool = True
+) -> "FlatIndex":
+    """Load a flat index written by :func:`save_flat_index`.
+
+    With ``use_mmap=True`` (the default) the column views are
+    ``memoryview`` casts straight over the mapped file — no copy, and
+    the pages are shared with forked children.  ``use_mmap=False``
+    reads the file and builds mutable ``array`` columns instead (same
+    answers; used by tests and corruption drills).
+
+    Raises
+    ------
+    SerializationError
+        On missing files, directories, foreign or truncated files,
+        version/endianness mismatches, or checksum failures.
+    """
+    from repro.core.flat import FlatIndex
+    from repro.core.pruning import PruningConditionIndex
+    from repro.graph.network import RoadNetwork
+    from repro.hierarchy.lca import LCAIndex
+    from repro.hierarchy.tree import TreeDecomposition
+
+    buf, backing = _open_columns_file(path, use_mmap)
+    (
+        magic, version, flags,
+        meta_offset, meta_length, data_offset, data_length,
+        stored_digest,
+    ) = _HEADER.unpack_from(buf, 0)
+    if magic != FLAT_MAGIC:
+        raise SerializationError(f"{path!r} is not a flat repro index")
+    if version != FLAT_FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported flat index format version {version} "
+            f"(this build reads version {FLAT_FORMAT_VERSION})"
+        )
+    little = bool(flags & _FLAG_LITTLE_ENDIAN)
+    if little != (sys.byteorder == "little"):
+        raise SerializationError(
+            f"{path!r} was written on a machine with different "
+            "endianness; the raw columns cannot be mapped here"
+        )
+    total = len(buf)
+    if (
+        meta_offset < _HEADER.size
+        or meta_offset + meta_length > total
+        or data_offset < meta_offset + meta_length
+        or data_offset + data_length > total
+    ):
+        raise SerializationError(
+            f"{path!r} is truncated or has a corrupt header"
+        )
+    meta_view = buf[meta_offset:meta_offset + meta_length]
+    data_view = buf[data_offset:data_offset + data_length]
+    if verify_checksum:
+        digest = hashlib.sha256()
+        digest.update(meta_view)
+        digest.update(data_view)
+        if digest.digest() != stored_digest:
+            raise SerializationError(
+                f"{path!r} failed checksum verification (stored "
+                f"{stored_digest.hex()[:12]}…, computed "
+                f"{digest.hexdigest()[:12]}…); the file is corrupt"
+            )
+    try:
+        meta = pickle.loads(bytes(meta_view))
+    except _PICKLE_ERRORS as exc:
+        raise SerializationError(
+            f"{path!r} flat metadata is not readable: {exc}"
+        ) from exc
+    if not isinstance(meta, dict):
+        raise SerializationError(f"{path!r} has malformed flat metadata")
+
+    try:
+        columns: dict[str, Any] = {}
+        for name, typecode, count, offset in meta["columns"]:
+            nbytes = count * 8
+            if offset < 0 or offset + nbytes > data_length:
+                raise SerializationError(
+                    f"{path!r} column {name!r} overruns the data region"
+                )
+            view = data_view[offset:offset + nbytes]
+            if use_mmap:
+                columns[name] = view.cast(typecode)
+            else:
+                arr: "array[Any]" = array(typecode)
+                arr.frombytes(view.tobytes())
+                columns[name] = arr
+        labels = FlatLabelStore(
+            meta["num_vertices"],
+            columns["set_offsets"],
+            columns["hubs"],
+            columns["entry_offsets"],
+            columns["weights"],
+            columns["costs"],
+            backing=backing,
+        )
+        labels.build_seconds = meta["label_build_seconds"]
+        network = RoadNetwork.from_edges(meta["num_vertices"], meta["edges"])
+        tree = TreeDecomposition(
+            meta["num_vertices"],
+            meta["order"],
+            {v: tuple(bag) for v, bag in meta["bags"].items()},
+            {},
+        )
+        pruning = PruningConditionIndex()
+        for (child, v_end), bounds in meta["conditions"].items():
+            pruning.add(child, v_end, bounds)
+        pruning.build_seconds = meta["pruning_build_seconds"]
+    except SerializationError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(
+            f"{path!r} flat payload is incomplete: {exc}"
+        ) from exc
+    return FlatIndex(network, tree, labels, LCAIndex(tree), pruning)
+
+
+def _open_columns_file(
+    path: str, use_mmap: bool
+) -> tuple[memoryview, Any]:
+    """Map (or read) ``path``; returns ``(buffer, backing)``.
+
+    ``backing`` is the ``mmap`` object to keep alive alongside any view
+    into it, or ``None`` for the plain-read path.
+    """
+    if not os.path.exists(path):
+        raise SerializationError(f"index file {path!r} does not exist")
+    if os.path.isdir(path):
+        raise SerializationError(
+            f"{path!r} is a directory, not an index file"
+        )
+    with open(path, "rb") as f:
+        size = os.fstat(f.fileno()).st_size
+        if size < _HEADER.size:
+            raise SerializationError(
+                f"{path!r} is truncated: {size} bytes is smaller than "
+                f"the {_HEADER.size}-byte flat header"
+            )
+        if use_mmap:
+            mapped = mmap.mmap(f.fileno(), 0, access=mmap.ACCESS_READ)
+            return memoryview(mapped), mapped
+        return memoryview(f.read()), None
+
+
+def _align8(offset: int) -> int:
+    return (offset + 7) & ~7

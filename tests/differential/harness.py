@@ -87,10 +87,16 @@ def generate_cases(network, count: int, seed: int) -> list[CSPQuery]:
 
 
 def engines_under_test(index: QHLIndex, cache_size: int = 32) -> list:
-    """Every label-based engine plus the index-free ladder floor."""
+    """Every label-based engine plus the index-free ladder floor.
+
+    ``flat_engine`` answers over the packed column representation
+    (:class:`~repro.core.flat.FlatQHLEngine`), so every differential
+    run also diffs flat-vs-object answers.
+    """
     return [
         index.qhl_engine(),
         index.qhl_engine(use_pruning_conditions=False),
+        index.flat_engine(),
         index.cached_engine(cache_size),
         index.csp2hop_engine(),
         SkyDijkstraEngine(index.network),

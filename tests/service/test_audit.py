@@ -11,6 +11,10 @@ swapped / non-increasing costs  ``label-order``
 dropped hoplink                 ``label-coverage``
 truncated label table           ``label-coverage``
 stale storage checksum          ``storage-checksum`` (``repro verify``)
+flat: duplicated cost           ``label-order``
+flat: unsorted hubs             ``flat-columns``
+flat: broken offset table       ``flat-columns``
+flat: bit-flipped envelope      ``storage-checksum`` (``verify --flat``)
 ==============================  ======================
 
 Plus: the audit passes on every honestly built index, the wrong-values
@@ -248,6 +252,103 @@ class TestVerifyCommand:
         assert data["ok"] is False
         failed = [c["name"] for c in data["checks"] if not c["ok"]]
         assert "label-order" in failed
+
+
+# ----------------------------------------------------------------------
+# Flat (columnar) indexes: the same audit plus the flat-columns check
+# ----------------------------------------------------------------------
+class TestFlatIndexAudit:
+    """Seeded corruption over flat columns.
+
+    ``FlatIndex.from_index`` packs *fresh* arrays, so each fixture use
+    gets a private, mutable column set — corrupting it cannot leak into
+    the session-scoped ``service_index``.
+    """
+
+    @pytest.fixture()
+    def flat_index(self, service_index):
+        from repro.core.flat import FlatIndex
+
+        return FlatIndex.from_index(service_index)
+
+    def _rich_set_bounds(self, labels, min_entries=2):
+        """Bounds of some skyline set with at least ``min_entries``."""
+        offsets = labels.entry_offsets
+        for i in range(len(offsets) - 1):
+            if offsets[i + 1] - offsets[i] >= min_entries:
+                return offsets[i], offsets[i + 1]
+        raise AssertionError("flat index has no set large enough")
+
+    def test_clean_flat_index_passes_with_flat_columns_check(
+        self, flat_index
+    ):
+        report = audit_index(flat_index, queries=6, seed=3)
+        assert report.ok
+        assert {check.name for check in report.checks} == {
+            "tree-structure",
+            "flat-columns",
+            "label-order",
+            "label-dominance",
+            "label-coverage",
+            "lca",
+            "spot-check",
+        }
+        assert report.check("flat-columns").checked > 0
+
+    def test_corrupt_cost_column_trips_label_order(self, flat_index):
+        # Duplicate a cost inside one set: weights still decrease, so
+        # only the strictly-increasing-cost invariant breaks — the same
+        # audit check that catches it on object indexes.
+        lo, _hi = self._rich_set_bounds(flat_index.labels)
+        flat_index.labels.costs[lo + 1] = flat_index.labels.costs[lo]
+        report = audit_index(flat_index, queries=0)
+        assert "label-order" in report.failed_checks()
+
+    def test_corrupt_hub_order_trips_flat_columns(self, flat_index):
+        labels = flat_index.labels
+        for v in range(labels.num_vertices):
+            lo, hi = labels.set_offsets[v], labels.set_offsets[v + 1]
+            if hi - lo >= 2:
+                labels.hubs[lo], labels.hubs[lo + 1] = (
+                    labels.hubs[lo + 1],
+                    labels.hubs[lo],
+                )
+                break
+        else:
+            raise AssertionError("no vertex with two hubs")
+        report = audit_index(flat_index, queries=0)
+        assert "flat-columns" in report.failed_checks()
+
+    def test_corrupt_offset_table_trips_flat_columns(self, flat_index):
+        offsets = flat_index.labels.entry_offsets
+        mid = len(offsets) // 2
+        offsets[mid] = offsets[mid + 1] + 1  # no longer non-decreasing
+        report = audit_index(flat_index, queries=0)
+        assert "flat-columns" in report.failed_checks()
+
+    def test_verify_flat_clean_and_bit_flipped(
+        self, service_index, tmp_path, capsys
+    ):
+        from repro.storage import save_flat_index
+
+        path = str(tmp_path / "clean.qflat")
+        save_flat_index(service_index, path)
+        assert main(
+            ["verify", "--index", path, "--flat", "--queries", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "audit PASS" in out
+        assert "flat-columns" in out
+
+        data = bytearray(open(path, "rb").read())
+        data[len(data) // 2] ^= 0x10
+        with open(path, "wb") as f:
+            f.write(bytes(data))
+        assert main(
+            ["verify", "--index", path, "--flat", "--queries", "0"]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "FAIL storage-checksum" in out
 
 
 # ----------------------------------------------------------------------

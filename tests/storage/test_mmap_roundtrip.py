@@ -1,0 +1,213 @@
+"""The flat (version 3) envelope: byte identity, corruption, fork sharing.
+
+The contract under test, from strongest to weakest:
+
+1. **Byte identity** — pack → save → mmap-load → repack reproduces the
+   exact ``pack_labels`` bytes, column for column.  The flat store *is*
+   the serialized form; nothing is transformed on load.
+2. **Corruption honesty** — truncations and bit flips anywhere (header,
+   metadata, columns) raise the checksum/structure
+   :class:`SerializationError` instead of returning garbage answers.
+3. **Fork sharing** — a forked child answers queries from the parent's
+   mapped index without re-deserializing (no load call, no column
+   copies; the pages are the parent's).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.core import QHLIndex
+from repro.core.flat import FlatIndex
+from repro.exceptions import SerializationError
+from repro.graph import random_connected_network
+from repro.storage import (
+    load_flat_index,
+    pack_labels,
+    save_flat_index,
+)
+from repro.storage.flatfile import _HEADER
+
+COLUMNS = ("set_offsets", "hubs", "entry_offsets", "weights", "costs")
+
+
+@pytest.fixture(scope="module")
+def built():
+    g = random_connected_network(30, 25, seed=14)
+    return g, QHLIndex.build(g, num_index_queries=200, seed=14)
+
+
+@pytest.fixture()
+def saved(built, tmp_path):
+    _g, index = built
+    path = os.fspath(tmp_path / "index.qflat")
+    save_flat_index(index, path)
+    return index, path
+
+
+class TestByteIdentity:
+    def test_mmap_load_repacks_byte_identical(self, saved):
+        index, path = saved
+        original = pack_labels(index.labels)
+        loaded = load_flat_index(path)
+        repacked = loaded.labels.to_compact()
+        for name in COLUMNS:
+            assert (
+                getattr(repacked, name).tobytes()
+                == getattr(original, name).tobytes()
+            ), f"column {name} drifted through the mmap round-trip"
+
+    def test_resave_of_loaded_index_is_byte_identical(self, saved, tmp_path):
+        _index, path = saved
+        loaded = load_flat_index(path)
+        second = os.fspath(tmp_path / "resaved.qflat")
+        save_flat_index(loaded, second)
+        with open(path, "rb") as a, open(second, "rb") as b:
+            assert a.read() == b.read()
+
+    def test_plain_read_load_matches_mmap_load(self, saved):
+        _index, path = saved
+        mapped = load_flat_index(path, use_mmap=True)
+        copied = load_flat_index(path, use_mmap=False)
+        for name in COLUMNS:
+            assert (
+                getattr(mapped.labels, name).tobytes()
+                == getattr(copied.labels, name).tobytes()
+            )
+
+    def test_loaded_index_answers_match_object_index(self, built, saved):
+        g, index = built
+        _index, path = saved
+        loaded = load_flat_index(path)
+        obj = index.qhl_engine()
+        flat = loaded.qhl_engine()
+        import random
+
+        rng = random.Random(3)
+        for _ in range(50):
+            s, t = rng.randrange(30), rng.randrange(30)
+            c = rng.uniform(0, 40)
+            a, b = obj.query(s, t, c), flat.query(s, t, c)
+            assert (a.feasible, a.weight, a.cost) == (
+                b.feasible, b.weight, b.cost,
+            )
+
+
+class TestCorruption:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SerializationError, match="does not exist"):
+            load_flat_index(os.fspath(tmp_path / "nope.qflat"))
+
+    def test_directory(self, tmp_path):
+        with pytest.raises(SerializationError, match="directory"):
+            load_flat_index(os.fspath(tmp_path))
+
+    def test_foreign_file(self, tmp_path):
+        path = os.fspath(tmp_path / "foreign.qflat")
+        with open(path, "wb") as f:
+            f.write(b"not a flat index" * 16)
+        with pytest.raises(SerializationError, match="not a flat"):
+            load_flat_index(path)
+
+    def test_truncated_below_header(self, saved):
+        _index, path = saved
+        with open(path, "rb") as f:
+            head = f.read(_HEADER.size // 2)
+        with open(path, "wb") as f:
+            f.write(head)
+        with pytest.raises(SerializationError, match="truncated"):
+            load_flat_index(path)
+
+    def test_truncated_columns(self, saved):
+        _index, path = saved
+        data = open(path, "rb").read()
+        with open(path, "wb") as f:
+            f.write(data[: len(data) // 2])
+        with pytest.raises(SerializationError, match="truncated|corrupt"):
+            load_flat_index(path)
+
+    @pytest.mark.parametrize(
+        "region", ["metadata", "early-column", "last-byte"]
+    )
+    def test_bit_flip_fails_checksum(self, saved, region):
+        _index, path = saved
+        data = bytearray(open(path, "rb").read())
+        offset = {
+            "metadata": _HEADER.size + 8,
+            "early-column": len(data) // 2,
+            "last-byte": len(data) - 1,
+        }[region]
+        data[offset] ^= 0x40
+        with open(path, "wb") as f:
+            f.write(bytes(data))
+        with pytest.raises(SerializationError, match="checksum"):
+            load_flat_index(path)
+
+    def test_bit_flip_in_stored_digest_fails_checksum(self, saved):
+        _index, path = saved
+        data = bytearray(open(path, "rb").read())
+        data[_HEADER.size - 1] ^= 0x01  # last byte of the header digest
+        with open(path, "wb") as f:
+            f.write(bytes(data))
+        with pytest.raises(SerializationError, match="checksum"):
+            load_flat_index(path)
+
+    def test_unsupported_version(self, saved):
+        _index, path = saved
+        data = bytearray(open(path, "rb").read())
+        data[8] = 9  # version field (little-endian u32 after the magic)
+        with open(path, "wb") as f:
+            f.write(bytes(data))
+        with pytest.raises(SerializationError, match="version"):
+            load_flat_index(path)
+
+
+class TestForkSharing:
+    def test_forked_child_reads_parent_mapping(self, saved):
+        """A child forked after the load answers from the parent's map.
+
+        The child runs a query and repacks a column *without* calling
+        ``load_flat_index`` itself — possible only because fork
+        inherits the parent's mapped pages.  Platforms without fork
+        skip (the mmap still loads; only the sharing claim needs fork).
+        """
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("requires the fork start method")
+        _index, path = saved
+        loaded = load_flat_index(path)
+        expected = loaded.query(0, 29, 1000)
+        ctx = multiprocessing.get_context("fork")
+        queue = ctx.Queue()
+        proc = ctx.Process(
+            target=_child_probe, args=(loaded, queue)
+        )
+        proc.start()
+        try:
+            weight, cost, head = queue.get(timeout=30)
+        finally:
+            proc.join(timeout=30)
+        assert (weight, cost) == (expected.weight, expected.cost)
+        assert head == loaded.labels.costs.tobytes()[:64]
+
+    def test_batch_workers_answer_from_mapped_index(self, saved):
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("requires the fork start method")
+        _index, path = saved
+        loaded = load_flat_index(path)
+        queries = [(0, 29, 1000.0), (1, 20, 500.0), (3, 7, 0.5)]
+        sequential = loaded.query_many(queries, workers=0)
+        fanned = loaded.query_many(queries, workers=2)
+        for a, b in zip(sequential.results, fanned.results):
+            assert (a.feasible, a.weight, a.cost) == (
+                b.feasible, b.weight, b.cost,
+            )
+
+
+def _child_probe(index: FlatIndex, queue) -> None:
+    result = index.query(0, 29, 1000)
+    queue.put(
+        (result.weight, result.cost, index.labels.costs.tobytes()[:64])
+    )
