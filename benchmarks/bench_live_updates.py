@@ -1,0 +1,217 @@
+"""Query latency and staleness under rush-hour live updates.
+
+The live-update claim (docs/robustness.md): because repairs run on a
+copy-on-write clone and publish by an atomic pointer swap, a stream of
+weight deltas must not meaningfully disturb query latency — readers
+never wait on a repair.  This benchmark replays a rush hour: a
+Zipf-skewed query workload runs through an
+:class:`~repro.dynamic.epochs.EpochManager` while delta batches stream
+in between queries, and the same workload runs against an update-free
+manager as the baseline.
+
+Acceptance target: query **p99 with updates within 2x** of the
+update-free baseline.  Per-epoch staleness (journal-append to publish,
+on the manager's own clock) is recorded for every published batch.
+The numbers land in ``BENCH_live_updates.json`` at the repo root and in
+``benchmarks/results/live_updates.txt``.
+
+Runnable standalone (``python benchmarks/bench_live_updates.py``) or
+via pytest; knobs: ``REPRO_BENCH_UPDATE_QUERIES`` (default 3000),
+``REPRO_BENCH_UPDATE_BATCHES`` (default 10, deltas per batch 4).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import statistics
+import tempfile
+import time
+
+from benchmarks.conftest import record_rows
+from repro.baselines import skyline_between
+from repro.datasets import load_dataset
+from repro.dynamic import DynamicQHLIndex, EpochManager, UpdateConfig
+from repro.types import CSPQuery
+
+NUM_QUERIES = int(os.environ.get("REPRO_BENCH_UPDATE_QUERIES", "3000"))
+NUM_BATCHES = int(os.environ.get("REPRO_BENCH_UPDATE_BATCHES", "10"))
+DELTAS_PER_BATCH = 4
+NUM_PAIRS = 48
+ZIPF_ALPHA = 1.2
+TARGET_P99_RATIO = 2.0
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RESULT_JSON = os.path.join(REPO_ROOT, "BENCH_live_updates.json")
+
+CONFIG = UpdateConfig(
+    audit_on_publish=False, replay_on_start=False, reap_stale=False
+)
+
+
+def zipf_workload(network, seed: int) -> list[CSPQuery]:
+    """Zipf-skewed pairs with budgets spanning each pair's cost range."""
+    rng = random.Random(seed)
+    n = network.num_vertices
+    pairs: list[tuple[int, int]] = []
+    seen: set[tuple[int, int]] = set()
+    while len(pairs) < NUM_PAIRS:
+        s, t = rng.randrange(n), rng.randrange(n)
+        if s == t or (s, t) in seen or (t, s) in seen:
+            continue
+        seen.add((s, t))
+        pairs.append((s, t))
+    ranges = []
+    for s, t in pairs:
+        costs = [entry[1] for entry in skyline_between(network, s, t)]
+        ranges.append((min(costs), max(costs)))
+    weights = [1.0 / (k + 1) ** ZIPF_ALPHA for k in range(NUM_PAIRS)]
+    queries = []
+    for _ in range(NUM_QUERIES):
+        k = rng.choices(range(NUM_PAIRS), weights=weights)[0]
+        s, t = pairs[k]
+        lo, hi = ranges[k]
+        queries.append(CSPQuery(s, t, rng.uniform(lo * 0.9, hi * 1.5)))
+    return queries
+
+
+def build_manager(network) -> EpochManager:
+    dyn = DynamicQHLIndex.build(
+        network, num_index_queries=400, store_paths=False, seed=11
+    )
+    journal_dir = tempfile.mkdtemp(prefix="qhl-bench-journal-")
+    return EpochManager(dyn, journal_dir, CONFIG)
+
+
+def delta_stream(network, seed: int) -> list[list[tuple]]:
+    """Rush-hour reprices: random segments, absolute new weights."""
+    rng = random.Random(seed)
+    max_w = max(w for _u, _v, w, _c in network.edges())
+    return [
+        [
+            (
+                rng.randrange(network.num_edges),
+                float(rng.randint(1, int(max_w) * 2)),
+                None,
+            )
+            for _ in range(DELTAS_PER_BATCH)
+        ]
+        for _ in range(NUM_BATCHES)
+    ]
+
+
+def timed_queries(manager, queries, batches=None) -> tuple[list, list]:
+    """Run the workload; interleave update batches when given.
+
+    Only query time is measured — updates happen *between* queries,
+    which is exactly the serving model (the applier is a different
+    thread/process; queries never wait on it).  Returns per-query
+    latencies and per-epoch ``(epoch, repair_s, staleness_s)`` rows.
+    """
+    batches = list(batches or [])
+    every = max(1, len(queries) // (len(batches) + 1)) if batches else 0
+    latencies = []
+    epochs = []
+    for i, (s, t, c) in enumerate(queries):
+        if batches and every and i % every == every - 1:
+            report = manager.apply(batches.pop(0))
+            record = list(manager.journal.records())[-1]
+            epochs.append((
+                manager.epoch.id,
+                report.seconds,
+                manager.epoch.created_ts - record.ts,
+            ))
+        started = time.perf_counter()
+        manager.query(s, t, c)
+        latencies.append(time.perf_counter() - started)
+    return latencies, epochs
+
+
+def percentile(latencies: list[float], q: float) -> float:
+    ordered = sorted(latencies)
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+
+def run_benchmark() -> dict:
+    dataset = load_dataset("NY", scale="benchmark")
+    network = dataset.network
+    queries = zipf_workload(network, seed=42)
+
+    baseline = build_manager(network)
+    updated = build_manager(network)
+    # Warm both interpreters' hot paths before timing anything.
+    timed_queries(baseline, queries[:200])
+    timed_queries(updated, queries[:200])
+
+    base_lat, _ = timed_queries(baseline, queries)
+    upd_lat, epochs = timed_queries(
+        updated, queries, delta_stream(network, seed=7)
+    )
+    assert updated.backlog() == 0
+    assert updated.epoch.id == NUM_BATCHES
+
+    base_p99 = percentile(base_lat, 0.99)
+    upd_p99 = percentile(upd_lat, 0.99)
+    staleness = [row[2] for row in epochs]
+    result = {
+        "benchmark": "live_updates_rush_hour",
+        "dataset": "NY/benchmark",
+        "num_queries": NUM_QUERIES,
+        "update_batches": NUM_BATCHES,
+        "deltas_per_batch": DELTAS_PER_BATCH,
+        "zipf_alpha": ZIPF_ALPHA,
+        "baseline_p50_us": round(percentile(base_lat, 0.5) * 1e6, 3),
+        "baseline_p99_us": round(base_p99 * 1e6, 3),
+        "updated_p50_us": round(percentile(upd_lat, 0.5) * 1e6, 3),
+        "updated_p99_us": round(upd_p99 * 1e6, 3),
+        "p99_ratio": round(upd_p99 / base_p99, 3),
+        "target_p99_ratio": TARGET_P99_RATIO,
+        "mean_repair_ms": round(
+            statistics.fmean(row[1] for row in epochs) * 1e3, 3
+        ),
+        "mean_staleness_ms": round(statistics.fmean(staleness) * 1e3, 3),
+        "max_staleness_ms": round(max(staleness) * 1e3, 3),
+        "epochs": [
+            {
+                "epoch": epoch,
+                "repair_ms": round(repair * 1e3, 3),
+                "staleness_ms": round(stale * 1e3, 3),
+            }
+            for epoch, repair, stale in epochs
+        ],
+    }
+    with open(RESULT_JSON, "w") as f:
+        json.dump(result, f, indent=2)
+        f.write("\n")
+    record_rows(
+        "live_updates.txt",
+        f"{'run':>12} {'p50':>12} {'p99':>12}",
+        [
+            f"{'baseline':>12} {result['baseline_p50_us']:>9.1f} us "
+            f"{result['baseline_p99_us']:>9.1f} us",
+            f"{'updates':>12} {result['updated_p50_us']:>9.1f} us "
+            f"{result['updated_p99_us']:>9.1f} us",
+            f"p99 ratio {result['p99_ratio']:.2f}x "
+            f"(target <= {TARGET_P99_RATIO:.0f}x); "
+            f"{NUM_BATCHES} epochs, mean repair "
+            f"{result['mean_repair_ms']:.0f} ms, mean staleness "
+            f"{result['mean_staleness_ms']:.0f} ms",
+        ],
+    )
+    baseline.close()
+    updated.close()
+    return result
+
+
+def test_update_churn_keeps_query_p99():
+    result = run_benchmark()
+    assert result["p99_ratio"] <= TARGET_P99_RATIO, (
+        f"query p99 degraded {result['p99_ratio']:.2f}x under live "
+        f"updates (target {TARGET_P99_RATIO:.0f}x); see {RESULT_JSON}"
+    )
+    assert result["max_staleness_ms"] > 0.0
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_benchmark(), indent=2))

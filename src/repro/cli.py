@@ -9,6 +9,7 @@ Subcommands::
     verify     deep-audit a saved index (invariants + spot-checks)
     workload   generate the paper's Q1..Q5 query sets for a network
     bench      race QHL / CSP-2Hop (/ COLA) over a query-set file
+    update     apply/replay/inspect journalled live metric updates
     lint       run the AST invariant linter (QHL001..QHL006)
     flight     inspect a flight-recorder dump (dump / tail, --json)
 
@@ -48,6 +49,16 @@ bounded flight-recorder ring and dump it as JSON-lines at exit),
 ``--flight-size N`` (ring capacity) and ``--slow-ms X`` (slow-query
 threshold); ``repro-qhl flight dump|tail --file PATH`` pretty-prints a
 dump (``--json`` for machine-readable output).
+
+Live-update flags (see ``docs/robustness.md``): ``update apply``
+journals a delta batch (``--deltas FILE`` or ``--edge/--weight/
+--cost``) and publishes the repaired epoch, rolling back on any
+failure; ``update replay`` re-applies the whole journal onto a fresh
+build (the crash-recovery path — exit state is bit-identical to a
+fresh build with the final metrics); ``update status`` inspects the
+journal (exit 1 when batches are pending); ``bench --updates N``
+streams N random deltas through the epoch pipeline while re-running
+each query set, reporting p50/p99 under churn.
 
 Performance flags (see ``docs/performance.md``): ``build --workers N``
 builds labels level-parallel across N processes; ``bench --cache-size
@@ -506,12 +517,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     supervised, supervision = _supervision_from_args(args)
     with _metrics_scope(args.metrics_out), _flight_scope(args), \
             _incident_scope(args):
+        index_queries = index_queries_from_sets(
+            list(sets.values()), args.index_queries, seed=args.seed
+        )
         with Timer() as timer:
             index = QHLIndex.build(
                 network,
-                index_queries=index_queries_from_sets(
-                    list(sets.values()), args.index_queries, seed=args.seed
-                ),
+                index_queries=index_queries,
                 store_paths=False,
                 seed=args.seed,
             )
@@ -554,7 +566,210 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                     f"(hit rate {stats.hit_rate:.1%}), "
                     f"{stats.evictions} evictions"
                 )
+        if args.updates:
+            import tempfile
+
+            from repro.dynamic import (
+                DynamicQHLIndex,
+                EpochManager,
+                UpdateConfig,
+            )
+
+            dyn = DynamicQHLIndex(index, index_queries, store_paths=False)
+            manager = EpochManager(
+                dyn,
+                tempfile.mkdtemp(prefix="qhl-epoch-"),
+                UpdateConfig(audit_on_publish=False),
+            )
+            for name, query_set in sets.items():
+                _bench_updates(
+                    manager, query_set, name, args.updates, args.seed
+                )
     return 0
+
+
+def _read_deltas(path: str):
+    """Parse a JSON-lines delta file into :class:`EdgeDelta` rows.
+
+    Each line is ``{"edge": i, "weight": w, "cost": c}`` — ``weight`` /
+    ``cost`` optional or ``null`` to leave that metric unchanged.
+    """
+    import json
+
+    from repro.dynamic import EdgeDelta
+
+    deltas = []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, start=1):
+                if not line.strip():
+                    continue
+                try:
+                    obj = json.loads(line)
+                    deltas.append(
+                        EdgeDelta(
+                            int(obj["edge"]),
+                            obj.get("weight"),
+                            obj.get("cost"),
+                        )
+                    )
+                except (ValueError, KeyError, TypeError) as exc:
+                    raise ReproError(
+                        f"{path}, line {lineno}: bad delta record: {exc}"
+                    ) from exc
+    except OSError as exc:
+        raise ReproError(f"cannot read deltas from {path}: {exc}") from exc
+    return deltas
+
+
+def _update_manager(args: argparse.Namespace):
+    """Build the epoch manager for ``update apply|replay``.
+
+    Saved indexes drop elimination shortcuts (the repair's raw
+    material), so the dynamic index is rebuilt from the network file —
+    with the same ``--index-queries`` / ``--seed`` every run, the build
+    is deterministic and ``base_seq=0`` replay of the journal converges
+    to the exact index a fresh build with the final metrics produces.
+    """
+    from repro.dynamic import DynamicQHLIndex, EpochManager, UpdateConfig
+
+    network = read_csp_text(args.network)
+    with Timer() as timer:
+        dyn = DynamicQHLIndex.build(
+            network,
+            num_index_queries=args.index_queries,
+            store_paths=False,
+            seed=args.seed,
+        )
+    print(f"index built in {format_seconds(timer.seconds)}")
+    config = UpdateConfig(
+        audit_on_publish=args.audit == "on",
+        max_repair_seconds=args.max_repair_seconds,
+        replay_on_start=False,
+    )
+    manager = EpochManager(dyn, args.journal, config, base_seq=0)
+    return manager
+
+
+def _print_update_report(manager, report) -> None:
+    print(
+        f"epoch {manager.epoch.id}: applied {report.edges_applied} "
+        f"delta(s) in {format_seconds(report.seconds)} "
+        f"({report.shortcuts_changed} shortcuts, "
+        f"{report.labels_changed} labels changed, "
+        f"pruning {'rebuilt' if report.pruning_rebuilt else 'kept'})"
+    )
+
+
+def _cmd_update(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.dynamic import UpdateJournal
+
+    if args.mode == "status":
+        journal = UpdateJournal(args.journal)
+        pending = journal.pending()
+        if args.json:
+            print(json.dumps({
+                "journal": args.journal,
+                "last_seq": journal.last_seq(),
+                "published_seq": journal.published_seq(),
+                "pending": len(pending),
+                "torn_lines": journal.torn_lines,
+            }, indent=2, sort_keys=True))
+            return 0
+        print(f"journal    {args.journal}")
+        print(f"acknowledged batches  {journal.last_seq()}")
+        print(f"published watermark   {journal.published_seq()}")
+        print(f"pending batches       {len(pending)}")
+        if journal.torn_lines:
+            print(f"torn lines truncated  {journal.torn_lines}")
+        for record in pending:
+            print(
+                f"  seq {record.seq}: {len(record.deltas)} delta(s), "
+                f"ts {record.ts:.3f}"
+            )
+        return 1 if pending else 0
+
+    if not args.network:
+        raise ReproError(
+            f"update {args.mode} needs --network (the dynamic index is "
+            "rebuilt from it; see --help)"
+        )
+    with _metrics_scope(args.metrics_out), _incident_scope(args):
+        manager = _update_manager(args)
+        replayed = manager.replay()
+        if replayed:
+            print(f"replayed {replayed} journalled batch(es)")
+        if args.mode == "apply":
+            if args.deltas:
+                deltas = _read_deltas(args.deltas)
+            elif args.edge is not None:
+                from repro.dynamic import EdgeDelta
+
+                deltas = [EdgeDelta(args.edge, args.weight, args.cost)]
+            else:
+                raise ReproError(
+                    "update apply needs --deltas FILE or --edge I "
+                    "(with --weight/--cost)"
+                )
+            report = manager.apply(deltas)
+            _print_update_report(manager, report)
+        else:  # replay
+            print(
+                f"epoch {manager.epoch.id}, backlog {manager.backlog()}"
+            )
+        if args.out:
+            size = save_index(manager.epoch.dyn.index, args.out)
+            print(f"saved repaired index -> {args.out} "
+                  f"({format_bytes(size)})")
+    return 0
+
+
+def _bench_updates(manager, query_set, name: str, updates: int,
+                   seed: int) -> None:
+    """Race a Zipf-ish repeated workload against live update churn.
+
+    Applies one random metric delta every ``len(queries) // updates``
+    queries through the epoch manager while timing every query; prints
+    a summary row with query p50/p99 and the update pipeline's cost.
+    """
+    import random
+    import statistics
+    import time as _time
+
+    from repro.dynamic import EdgeDelta
+
+    rng = random.Random(seed)
+    edges = manager.epoch.dyn.network_edges()
+    queries = query_set.queries
+    every = max(1, len(queries) // max(1, updates))
+    latencies = []
+    repair_seconds = []
+    applied = 0
+    for i, (s, t, c) in enumerate(queries):
+        if applied < updates and i % every == 0 and i > 0:
+            edge = rng.randrange(len(edges))
+            u, v, w, cost = edges[edge]
+            factor = rng.uniform(0.5, 2.0)
+            report = manager.apply([EdgeDelta(edge, w * factor, None)])
+            repair_seconds.append(report.seconds)
+            applied += 1
+        started = _time.perf_counter()
+        manager.query(s, t, c)
+        latencies.append(_time.perf_counter() - started)
+    latencies.sort()
+    p50 = latencies[len(latencies) // 2] * 1e3
+    p99 = latencies[int(len(latencies) * 0.99)] * 1e3
+    mean_repair = (
+        statistics.mean(repair_seconds) if repair_seconds else 0.0
+    )
+    print(
+        f"updates[{name}]: {len(queries)} queries with {applied} live "
+        f"updates  p50 {p50:.3f} ms  p99 {p99:.3f} ms  "
+        f"mean repair {mean_repair * 1e3:.1f} ms  "
+        f"epoch {manager.epoch.id}"
+    )
 
 
 def _cmd_supervise(args: argparse.Namespace) -> int:
@@ -899,9 +1114,86 @@ def build_parser() -> argparse.ArgumentParser:
         help="add the flat-array QHL engine (packed columns, same "
         "answers) to the race",
     )
+    p_bench.add_argument(
+        "--updates",
+        type=int,
+        default=0,
+        help="after the race, stream this many random metric deltas "
+        "through the epoch-versioned update pipeline while re-running "
+        "each query set, reporting query p50/p99 under churn (0 = off)",
+    )
     _add_flight_arguments(p_bench)
     _add_supervision_arguments(p_bench)
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_update = sub.add_parser(
+        "update",
+        help="apply, replay, or inspect journalled live metric updates",
+    )
+    p_update.add_argument(
+        "mode",
+        choices=("apply", "replay", "status"),
+        help="apply journals + publishes new deltas; replay re-applies "
+        "the journal onto a fresh build; status inspects the journal",
+    )
+    p_update.add_argument(
+        "--journal",
+        required=True,
+        help="journal directory (created on first use); holds "
+        "journal.jsonl and the published-watermark checkpoint",
+    )
+    p_update.add_argument(
+        "--network",
+        help="network file (apply/replay rebuild the dynamic index "
+        "from it — saved indexes drop the elimination shortcuts the "
+        "repair needs)",
+    )
+    p_update.add_argument(
+        "--deltas",
+        help="JSON-lines delta file: {\"edge\": i, \"weight\": w, "
+        "\"cost\": c} per line (weight/cost optional = unchanged)",
+    )
+    p_update.add_argument(
+        "--edge", type=int, help="single-delta form: edge index"
+    )
+    p_update.add_argument(
+        "--weight", type=float, help="new absolute weight for --edge"
+    )
+    p_update.add_argument(
+        "--cost", type=float, help="new absolute cost for --edge"
+    )
+    p_update.add_argument(
+        "--out", help="save the repaired index to this path"
+    )
+    p_update.add_argument(
+        "--audit",
+        choices=("on", "off"),
+        default="on",
+        help="audit the repaired index before publishing (default on); "
+        "a failing audit rolls the batch back",
+    )
+    p_update.add_argument(
+        "--max-repair-seconds",
+        type=float,
+        help="roll back any repair running longer than this",
+    )
+    p_update.add_argument("--index-queries", type=int, default=1000)
+    p_update.add_argument("--seed", type=int, default=0)
+    p_update.add_argument(
+        "--json",
+        action="store_true",
+        help="status: print machine-readable JSON",
+    )
+    p_update.add_argument(
+        "--metrics-out",
+        help="dump update_* metrics as JSON-lines to this path",
+    )
+    p_update.add_argument(
+        "--incident-out",
+        help="dump rollback/journal incidents as JSON-lines to this "
+        "path",
+    )
+    p_update.set_defaults(func=_cmd_update)
 
     p_flight = sub.add_parser(
         "flight", help="inspect a flight-recorder JSON-lines dump"

@@ -1,6 +1,18 @@
 """Dynamic maintenance: incremental edge-metric updates for the QHL
-index (fixed topology, changing congestion/tolls)."""
+index (fixed topology, changing congestion/tolls), made crash-safe by
+the journal + epoch pipeline in :mod:`repro.dynamic.epochs`."""
 
+from repro.dynamic.epochs import Epoch, EpochManager, UpdateConfig
+from repro.dynamic.journal import EdgeDelta, JournalRecord, UpdateJournal
 from repro.dynamic.updates import DynamicQHLIndex, UpdateReport
 
-__all__ = ["DynamicQHLIndex", "UpdateReport"]
+__all__ = [
+    "DynamicQHLIndex",
+    "EdgeDelta",
+    "Epoch",
+    "EpochManager",
+    "JournalRecord",
+    "UpdateConfig",
+    "UpdateJournal",
+    "UpdateReport",
+]

@@ -1,0 +1,243 @@
+"""The crash-safe write-ahead journal for edge-metric updates.
+
+Live-update durability splits into two files inside one journal
+directory:
+
+``journal.jsonl``
+    Append-only JSON lines, one per acknowledged delta batch::
+
+        {"seq": 3, "ts": 12.5, "deltas": [[7, 2.5, null]], "sha": "..."}
+
+    ``sha`` is the sha256 of the canonical (sorted-keys, compact) JSON
+    encoding of the record *without* the ``sha`` field, so a torn or
+    bit-flipped line is detectable.  Appends are write+flush+fsync — a
+    batch is only acknowledged once it is durable.
+``published.ckpt``
+    The highest sequence number whose epoch has been published, written
+    through :func:`repro.storage.serialize.save_envelope` (the PR-2
+    atomic tmp+fsync+replace discipline).  Everything in the journal
+    above this watermark is *pending*: acknowledged but not yet
+    serving, exactly what replay re-applies after a crash.
+
+Deltas carry **absolute** metric values (``None`` = leave unchanged),
+so replaying an already-applied batch converges to the same index —
+idempotence is what makes crash-between-publish-and-mark safe.
+
+On open, a torn tail (truncated line, checksum mismatch, non-monotone
+sequence) is detected, counted in :attr:`UpdateJournal.torn_lines`, and
+the good prefix is rewritten atomically; records before the tear are
+never lost.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Iterator, NamedTuple
+
+from repro.exceptions import SerializationError, UpdateJournalError
+from repro.service.faults import get_injector
+from repro.storage.serialize import (
+    _atomic_write_bytes,
+    load_envelope,
+    save_envelope,
+)
+
+JOURNAL_NAME = "journal.jsonl"
+PUBLISHED_NAME = "published.ckpt"
+PUBLISHED_MAGIC = "repro-qhl-update-published"
+
+
+class EdgeDelta(NamedTuple):
+    """One edge-metric change: absolute new values, ``None`` = keep."""
+
+    edge: int
+    weight: float | None = None
+    cost: float | None = None
+
+
+class JournalRecord(NamedTuple):
+    """One durable delta batch."""
+
+    seq: int
+    ts: float
+    deltas: tuple[EdgeDelta, ...]
+
+
+def _canonical(body: dict) -> bytes:
+    return json.dumps(
+        body, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def _checksum(body: dict) -> str:
+    return hashlib.sha256(_canonical(body)).hexdigest()
+
+
+class UpdateJournal:
+    """Append-only, checksummed journal of acknowledged delta batches."""
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        self.torn_lines = 0
+        try:
+            os.makedirs(directory, exist_ok=True)
+        except OSError as exc:
+            raise UpdateJournalError(
+                f"cannot create journal directory {directory!r}: {exc}"
+            ) from exc
+        self._records: list[JournalRecord] = []
+        self._load()
+
+    # ------------------------------------------------------------------
+    @property
+    def _journal_path(self) -> str:
+        return os.path.join(self.directory, JOURNAL_NAME)
+
+    @property
+    def _published_path(self) -> str:
+        return os.path.join(self.directory, PUBLISHED_NAME)
+
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        """Read the journal, keeping the longest valid prefix.
+
+        A record is valid when its line parses, its checksum matches,
+        and its sequence number is exactly one past the previous
+        record's.  The first invalid line and everything after it is a
+        torn tail: counted, logged out of the file by an atomic rewrite
+        of the good prefix, and never re-served.
+        """
+        path = self._journal_path
+        if not os.path.exists(path):
+            return
+        good_lines: list[bytes] = []
+        records: list[JournalRecord] = []
+        torn = 0
+        with open(path, "rb") as handle:
+            raw_lines = handle.read().split(b"\n")
+        for raw in raw_lines:
+            if not raw.strip():
+                continue
+            if torn:
+                torn += 1
+                continue
+            record = self._parse_line(raw, expect_seq=len(records) + 1)
+            if record is None:
+                torn = 1
+                continue
+            good_lines.append(raw)
+            records.append(record)
+        self.torn_lines = torn
+        self._records = records
+        if torn:
+            data = b"".join(line + b"\n" for line in good_lines)
+            _atomic_write_bytes(path, data)
+
+    @staticmethod
+    def _parse_line(raw: bytes, expect_seq: int) -> JournalRecord | None:
+        try:
+            obj = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            return None
+        if not isinstance(obj, dict):
+            return None
+        sha = obj.pop("sha", None)
+        if sha != _checksum(obj):
+            return None
+        seq = obj.get("seq")
+        if seq != expect_seq:
+            return None
+        try:
+            deltas = tuple(
+                EdgeDelta(int(e), w, c) for e, w, c in obj["deltas"]
+            )
+            return JournalRecord(
+                seq=int(seq), ts=float(obj["ts"]), deltas=deltas
+            )
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    # ------------------------------------------------------------------
+    def append(
+        self, deltas: list[EdgeDelta] | list[tuple], ts: float
+    ) -> JournalRecord:
+        """Durably acknowledge one delta batch; returns its record.
+
+        Fires the ``update-journal-append`` injection point at the
+        ``write`` and ``fsync`` stages.  Only after the fsync returns is
+        the record added to the in-memory view — a crash mid-append
+        leaves at worst a torn tail that the next open truncates.
+        """
+        record = JournalRecord(
+            seq=len(self._records) + 1,
+            ts=float(ts),
+            deltas=tuple(EdgeDelta(*d) for d in deltas),
+        )
+        body = {
+            "seq": record.seq,
+            "ts": record.ts,
+            "deltas": [list(d) for d in record.deltas],
+        }
+        body["sha"] = _checksum(
+            {k: v for k, v in body.items() if k != "sha"}
+        )
+        line = json.dumps(body, sort_keys=True).encode("utf-8") + b"\n"
+        injector = get_injector()
+        try:
+            injector.fire(
+                "update-journal-append", stage="write", seq=record.seq
+            )
+            with open(self._journal_path, "ab") as handle:
+                handle.write(line)
+                handle.flush()
+                injector.fire(
+                    "update-journal-append", stage="fsync", seq=record.seq
+                )
+                os.fsync(handle.fileno())
+        except UpdateJournalError:
+            raise
+        except OSError as exc:
+            raise UpdateJournalError(
+                f"journal append failed for seq {record.seq}: {exc}"
+            ) from exc
+        self._records.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    def records(self) -> Iterator[JournalRecord]:
+        """Every durable record, in sequence order."""
+        return iter(self._records)
+
+    def last_seq(self) -> int:
+        """The highest acknowledged sequence number (0 when empty)."""
+        return len(self._records)
+
+    def published_seq(self) -> int:
+        """The highest *published* sequence number (0 when none)."""
+        if not os.path.exists(self._published_path):
+            return 0
+        try:
+            envelope = load_envelope(self._published_path, PUBLISHED_MAGIC)
+        except SerializationError:
+            # A corrupt watermark is recoverable: replay from zero —
+            # deltas are absolute, so over-replay converges.
+            return 0
+        return int(envelope["seq"])
+
+    def pending(self) -> list[JournalRecord]:
+        """Acknowledged records not yet published, oldest first."""
+        watermark = self.published_seq()
+        return [r for r in self._records if r.seq > watermark]
+
+    def mark_published(self, seq: int) -> None:
+        """Atomically advance the published watermark to ``seq``.
+
+        Monotone: replaying an already-published batch (idempotent by
+        design) never regresses the watermark.
+        """
+        seq = max(int(seq), self.published_seq())
+        save_envelope(
+            self._published_path, PUBLISHED_MAGIC, {"seq": seq}
+        )

@@ -28,16 +28,34 @@ order — which is what the tests assert.
 
 from __future__ import annotations
 
+import copy
 import time
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.core.engine import QHLIndex, random_index_queries
 from repro.core.pruning import build_pruning_index
 from repro.exceptions import InvalidGraphError
 from repro.graph.network import RoadNetwork
+from repro.labeling.labels import LabelStore
+from repro.service.deadline import Deadline
+from repro.service.faults import get_injector
 from repro.skyline.entries import edge_entry
 from repro.skyline.set_ops import SkylineSet, join, merge, skyline_of
 from repro.types import CSPQuery, QueryResult
+
+
+def _timing_clock():
+    """The repair-timing clock: the injected one when chaos is active.
+
+    Mirrors ``QueryService._deadline_clock`` — tests jump time
+    deterministically through :attr:`FaultInjector.clock` while
+    production uses the monotonic ``perf_counter``.
+    """
+    injector = get_injector()
+    if injector.enabled and injector.clock is not None:
+        return injector.clock
+    return time.perf_counter
 
 
 @dataclass
@@ -50,6 +68,7 @@ class UpdateReport:
     labels_changed: int
     pruning_rebuilt: bool
     seconds: float
+    edges_applied: int = 1
 
 
 class DynamicQHLIndex:
@@ -102,6 +121,36 @@ class DynamicQHLIndex:
         return list(self._edges)
 
     # ------------------------------------------------------------------
+    def clone(self) -> "DynamicQHLIndex":
+        """A copy-on-write clone safe to repair while ``self`` serves.
+
+        The expensive immutable structures (lca, pruning, contributor
+        index, skyline entry lists) are shared; everything the repair
+        sweeps *reassign* — the shortcuts dicts, the per-vertex label
+        dicts, the edge list — is copied one container level deep.  The
+        repair never mutates a skyline list in place (it always binds a
+        freshly built one), so sharing the entry lists is safe: readers
+        on the original index can never observe a torn frontier.
+        """
+        old = self.index
+        tree = copy.copy(old.tree)
+        tree.shortcuts = {v: dict(d) for v, d in old.tree.shortcuts.items()}
+        labels = LabelStore(
+            old.labels.num_vertices, store_paths=old.labels.store_paths
+        )
+        labels.build_seconds = old.labels.build_seconds
+        labels.version = old.labels.version
+        for v, label in enumerate(old.labels._labels):
+            labels._labels[v] = dict(label)
+        index = QHLIndex(old.network, tree, labels, old.lca, old.pruning)
+        twin = DynamicQHLIndex(
+            index, self._index_queries, self._store_paths
+        )
+        twin._edges = list(self._edges)
+        twin._contributors = self._contributors  # topology is fixed
+        return twin
+
+    # ------------------------------------------------------------------
     def update_edge(
         self,
         edge_index: int,
@@ -113,15 +162,42 @@ class DynamicQHLIndex:
         ``edge_index`` follows edge-insertion order (as in
         :meth:`RoadNetwork.with_metrics`).
         """
-        started = time.perf_counter()
-        if not 0 <= edge_index < len(self._edges):
-            raise InvalidGraphError(f"edge index {edge_index} out of range")
-        u, v, old_w, old_c = self._edges[edge_index]
-        new_w = old_w if weight is None else weight
-        new_c = old_c if cost is None else cost
-        if new_w <= 0 or new_c <= 0:
-            raise InvalidGraphError("metrics must stay strictly positive")
-        self._edges[edge_index] = (u, v, new_w, new_c)
+        return self.apply_deltas([(edge_index, weight, cost)])
+
+    def apply_deltas(
+        self,
+        deltas: Sequence[tuple[int, float | None, float | None]],
+        deadline: Deadline | None = None,
+    ) -> UpdateReport:
+        """Apply a batch of ``(edge_index, weight, cost)`` deltas at once.
+
+        Metric values are **absolute** (``None`` leaves that metric
+        unchanged), so re-applying a batch is idempotent — the property
+        journal replay relies on after a crash.  The whole batch is
+        validated before any state moves, then repaired in one sweep;
+        an optional :class:`~repro.service.deadline.Deadline` is checked
+        at every outer sweep step so a runaway repair aborts before
+        mutating the pruning index.
+        """
+        clock = _timing_clock()
+        started = clock()
+        dirty_seeds: set[tuple[int, int]] = set()
+        staged = list(self._edges)
+        for edge_index, weight, cost in deltas:  # lint: allow=QHL001 validation only, bounded by the batch size
+            if not 0 <= edge_index < len(staged):
+                raise InvalidGraphError(
+                    f"edge index {edge_index} out of range"
+                )
+            u, v, old_w, old_c = staged[edge_index]
+            new_w = old_w if weight is None else weight
+            new_c = old_c if cost is None else cost
+            if new_w <= 0 or new_c <= 0:
+                raise InvalidGraphError(
+                    "metrics must stay strictly positive"
+                )
+            staged[edge_index] = (u, v, new_w, new_c)
+            dirty_seeds.add(_ordered(u, v, self.index.tree))
+        self._edges = staged
 
         # Refresh the stored network object (queries never read it, but
         # stats and serialisation do).
@@ -129,19 +205,24 @@ class DynamicQHLIndex:
             self.index.network.num_vertices, self._edges
         )
 
-        report = self._repair(dirty_seed=_ordered(u, v, self.index.tree))
-        report.seconds = time.perf_counter() - started
+        report = self._repair(dirty_seeds=dirty_seeds, deadline=deadline)
+        report.seconds = clock() - started
+        report.edges_applied = len(list(deltas))
         return report
 
     # ------------------------------------------------------------------
-    def _repair(self, dirty_seed: tuple[int, int]) -> UpdateReport:
+    def _repair(
+        self,
+        dirty_seeds: set[tuple[int, int]],
+        deadline: Deadline | None = None,
+    ) -> UpdateReport:
         tree = self.index.tree
         labels = self.index.labels
         store_paths = self._store_paths
 
         # Base edge entries per ordered shortcut pair.
         base: dict[tuple[int, int], SkylineSet] = {}
-        for a, b, w, c in self._edges:
+        for a, b, w, c in self._edges:  # lint: allow=QHL001 one append per edge; the sweeps below check the deadline
             key = _ordered(a, b, tree)
             entry = edge_entry(w, c, a, b, with_prov=store_paths)
             base.setdefault(key, []).append(entry)
@@ -151,12 +232,14 @@ class DynamicQHLIndex:
 
         # Sweep 1: shortcuts in elimination order.
         for x in tree.order:
+            if deadline is not None:
+                deadline.check()
             bag = tree.bag[x]
             if not bag:
                 continue
-            for w in bag:
+            for w in bag:  # lint: allow=QHL001 outer sweep checks once per vertex
                 key = (x, w)
-                needs = key == dirty_seed or any(
+                needs = key in dirty_seeds or any(
                     (c, x) in dirty_pairs or (c, w) in dirty_pairs
                     for c in self._contributors.get(key, ())
                 )
@@ -164,7 +247,7 @@ class DynamicQHLIndex:
                     continue
                 shortcuts_checked += 1
                 rebuilt = skyline_of(base.get(key, []))
-                for c in self._contributors.get(key, ()):
+                for c in self._contributors.get(key, ()):  # lint: allow=QHL001 outer sweep checks once per vertex
                     through = join(
                         tree.shortcuts[c][x], tree.shortcuts[c][w], mid=c
                     )
@@ -181,9 +264,11 @@ class DynamicQHLIndex:
         for v in tree.topdown_order:
             if v == tree.root:
                 continue
+            if deadline is not None:
+                deadline.check()
             bag = tree.bag[v]
             shortcut_dirty = any((v, w) in dirty_pairs for w in bag)
-            for u in tree.ancestors(v):
+            for u in tree.ancestors(v):  # lint: allow=QHL001 outer sweep checks once per vertex
                 needs = shortcut_dirty or any(
                     _label_key(w, u, tree) in dirty_labels
                     for w in bag
@@ -193,7 +278,7 @@ class DynamicQHLIndex:
                     continue
                 labels_checked += 1
                 acc: SkylineSet = []
-                for w in bag:
+                for w in bag:  # lint: allow=QHL001 outer sweep checks once per vertex
                     s_vw = tree.shortcuts[v][w]
                     if w == u:
                         part = s_vw
@@ -209,6 +294,7 @@ class DynamicQHLIndex:
         # Sweep 3: pruning conditions (cheap; rebuild when labels moved).
         pruning_rebuilt = False
         if dirty_labels:
+            labels.version += 1
             self.index.pruning = build_pruning_index(
                 tree, labels, self.index.lca, self._index_queries, seed=0
             )

@@ -166,6 +166,40 @@ class WorkerRestartExhaustedError(WorkerCrashError):
     """
 
 
+class UpdateError(ReproError):
+    """Base class for live-update pipeline failures (journal or repair)."""
+
+
+class UpdateJournalError(UpdateError):
+    """The write-ahead update journal could not be read or written.
+
+    Raised for unwritable journal directories and for append failures;
+    torn tails found on open are *not* errors — the good prefix is kept
+    and the damage is reported through ``torn_lines``.
+    """
+
+
+class UpdateFailedError(UpdateError):
+    """Applying a journalled update batch failed and was rolled back.
+
+    The batch stays pending in the journal (``replay`` retries it); the
+    previously published epoch keeps serving queries.  ``seq`` is the
+    journal sequence number of the failed batch and ``reason`` a short
+    machine-readable tag (``"repair"``, ``"audit"``, ``"deadline"``,
+    ``"publish"``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        seq: int | None = None,
+        reason: str | None = None,
+    ):
+        super().__init__(message)
+        self.seq = seq
+        self.reason = reason
+
+
 class ServiceUnavailableError(ReproError):
     """Every tier of the degradation ladder failed (or is circuit-open).
 

@@ -30,6 +30,9 @@ class LabelStore:
             dict() for _ in range(num_vertices)
         ]
         self.build_seconds = 0.0
+        #: Bumped by the dynamic repair whenever any stored set changes;
+        #: caching engines compare it to invalidate stale frontiers.
+        self.version = 0
         self._zero = [zero_entry(with_prov=store_paths)]
 
     def set(self, v: int, u: int, entries: SkylineSet) -> None:

@@ -44,6 +44,7 @@ class DeterminismRule(Rule):
             "repro/labeling/",
             "repro/hierarchy/",
             "repro/storage/",
+            "repro/dynamic/",
         ),
         "wallclock_attrs": ("time", "time_ns"),
     }

@@ -102,6 +102,8 @@ METRICS: dict[str, MetricSpec] = {
         "counter", (), "skyline cache LRU evictions"),
     "qhl_cache_entries": MetricSpec(
         "gauge", (), "skyline frontiers currently cached"),
+    "qhl_cache_invalidations_total": MetricSpec(
+        "counter", (), "whole-cache invalidations after label updates"),
     # -- cross-process tracing (PR 6) ----------------------------------
     "qhl_trace_stitched_total": MetricSpec(
         "counter", (),
@@ -183,6 +185,23 @@ METRICS: dict[str, MetricSpec] = {
         "counter", (), "label-build levels restored from checkpoints"),
     "build_resume_restored_vertices": MetricSpec(
         "gauge", (), "vertices whose labels came from checkpoints"),
+    # -- live updates & epochs (PR 9) ----------------------------------
+    "update_epoch": MetricSpec(
+        "gauge", (), "journal sequence number of the serving epoch"),
+    "update_backlog": MetricSpec(
+        "gauge", (), "acknowledged update batches not yet published"),
+    "update_staleness_seconds": MetricSpec(
+        "gauge", (), "age of the oldest pending update batch"),
+    "update_batches_total": MetricSpec(
+        "counter", ("status",), "journalled update batches by outcome"),
+    "update_edges_total": MetricSpec(
+        "counter", (), "edge-metric deltas applied to published epochs"),
+    "update_rollbacks_total": MetricSpec(
+        "counter", ("reason",),
+        "update batches rolled back, by failure stage"),
+    "update_repair_seconds": MetricSpec(
+        "histogram", (),
+        "incremental repair wall time per published batch"),
 }
 
 #: The declared names alone, for membership tests.

@@ -71,9 +71,14 @@ _chunk_seq = itertools.count(1)
 
 
 #: Scratch-dir prefixes :func:`reap_stale_spools` is allowed to remove:
-#: worker spools (this module) and supervisor heartbeat/result dirs
-#: (:mod:`repro.supervise.supervisor`).
-SPOOL_DIR_PREFIXES: tuple[str, ...] = ("qhl-spool-", "qhl-supervisor-")
+#: worker spools (this module), supervisor heartbeat/result dirs
+#: (:mod:`repro.supervise.supervisor`), and per-epoch flat-store dirs
+#: (:mod:`repro.dynamic.epochs`).
+SPOOL_DIR_PREFIXES: tuple[str, ...] = (
+    "qhl-spool-",
+    "qhl-supervisor-",
+    "qhl-epoch-",
+)
 
 #: Spool dirs untouched for this long are presumed orphaned.  Live
 #: spools are written at least once per chunk (and supervisor dirs once

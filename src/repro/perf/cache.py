@@ -51,6 +51,7 @@ class CacheStats:
     evictions: int = 0
     entries: int = 0
     capacity: int = 0
+    invalidations: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -76,6 +77,7 @@ class SkylineCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.invalidations = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -137,6 +139,27 @@ class SkylineCache:
         if registry.enabled:
             registry.gauge("qhl_cache_entries").set(0)
 
+    def invalidate_all(self) -> int:
+        """Drop every frontier because the underlying labels changed.
+
+        Unlike :meth:`clear` (a capacity/test housekeeping tool), this
+        is the *coherence* hook: the dynamic repair bumps the label
+        store's version, and caching engines call this so no reader is
+        ever served a pre-update frontier.  Returns the number of
+        entries dropped and counts one invalidation event.
+        """
+        dropped = len(self._entries)
+        self._entries.clear()
+        self.invalidations += 1
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(
+                "qhl_cache_invalidations_total",
+                help="whole-cache invalidations after label updates",
+            ).inc()
+            registry.gauge("qhl_cache_entries").set(0)
+        return dropped
+
     # ------------------------------------------------------------------
     def stats(self) -> CacheStats:
         """A snapshot of the hit/miss/eviction counters."""
@@ -146,6 +169,7 @@ class SkylineCache:
             evictions=self.evictions,
             entries=len(self._entries),
             capacity=self.capacity,
+            invalidations=self.invalidations,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -71,6 +71,21 @@ class CachedQHLEngine:
         self.cache = (
             cache if isinstance(cache, SkylineCache) else SkylineCache(cache)
         )
+        self._label_version = getattr(labels, "version", 0)
+
+    def _check_coherence(self) -> None:
+        """Invalidate the cache if the labels moved under us.
+
+        Every cached frontier was derived from the label store; a
+        dynamic repair that changes any label bumps
+        :attr:`~repro.labeling.labels.LabelStore.version`, and serving
+        pre-update frontiers after that would be silently wrong (the
+        stale-answer bug this guard closes).
+        """
+        version = getattr(self._labels, "version", 0)
+        if version != self._label_version:
+            self.cache.invalidate_all()
+            self._label_version = version
 
     # ------------------------------------------------------------------
     def query(
@@ -87,6 +102,7 @@ class CachedQHLEngine:
         )
         stats = QueryStats()
         started = time.perf_counter()
+        self._check_coherence()
         if deadline is not None:
             deadline.check(stats)
         if source == target:
@@ -143,6 +159,7 @@ class CachedQHLEngine:
         deadline: "Deadline | None" = None,
     ) -> SkylineSet:
         """The exact skyline frontier ``P_st``, through the cache."""
+        self._check_coherence()
         if source == target:
             return [zero_entry(source, with_prov=self._labels.store_paths)]
         cached = self.cache.get(source, target)

@@ -46,6 +46,22 @@ Injection points (:data:`INJECTION_POINTS`):
     (``ctx["worker"]``, ``ctx["task"]`` is the task id) — inject a
     process-killing factory to lose in-flight work deterministically
     and exercise the requeue/quarantine ladder.
+``update-journal-append``
+    Fired by :meth:`repro.dynamic.journal.UpdateJournal.append` at each
+    append stage (``ctx["stage"]`` is ``"write"`` or ``"fsync"``) —
+    inject to prove a crash while journalling a delta batch never
+    corrupts previously acknowledged records.
+``update-repair``
+    Fired by :class:`repro.dynamic.epochs.EpochManager` after cloning
+    the current epoch, before the incremental repair sweep runs on the
+    clone (``ctx["seq"]`` is the journal sequence number) — inject to
+    exercise rollback-on-failed-repair.
+``update-publish``
+    Fired by the epoch manager after a successful repair (and audit),
+    immediately before the atomic epoch pointer swap (``ctx["seq"]``,
+    ``ctx["epoch"]`` is the would-be epoch id) — inject to prove a
+    crash between repair and publish leaves the batch pending and the
+    old epoch serving.
 ``clock``
     Not an exception point: setting :attr:`FaultInjector.clock` makes
     the service build deadlines on the injected clock, so tests can
@@ -72,6 +88,9 @@ INJECTION_POINTS: tuple[str, ...] = (
     "worker-spawn",
     "worker-heartbeat",
     "worker-task",
+    "update-journal-append",
+    "update-repair",
+    "update-publish",
     "clock",
 )
 

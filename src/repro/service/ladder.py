@@ -113,6 +113,52 @@ class ServiceConfig:
     #: Directory for automatic flight dumps on breaker-open and
     #: service-unavailable; ``None`` disables the automatic dumps.
     flight_dump_dir: str | None = None
+    #: With an ``epoch_manager`` attached: when its journal backlog
+    #: exceeds this many batches, the labeled tiers (serving the lagging
+    #: epoch) are shed and queries step down to the index-free tier on
+    #: the *live* metric state — fresh answers at search latency instead
+    #: of fast answers at unbounded staleness.  ``None`` never sheds.
+    max_update_backlog: int | None = None
+
+
+class _EpochTierEngine:
+    """A ladder tier that re-resolves the serving epoch on every call.
+
+    The manager's epoch pointer swaps atomically on publish; binding it
+    per query means the service picks up a freshly published epoch
+    without being rebuilt, and a query that already resolved the old
+    epoch finishes on that consistent view.  The index-free tier runs
+    on :meth:`~repro.dynamic.epochs.EpochManager.live_network` — the
+    metric state including *pending* batches — so shed traffic gets
+    fresh answers.
+    """
+
+    def __init__(self, manager, name: str):
+        self._manager = manager
+        self.name = name
+        self._live_engine = None
+        self._live_net = None
+
+    def query(
+        self,
+        source: int,
+        target: int,
+        budget: float,
+        want_path: bool = False,
+        deadline: Deadline | None = None,
+    ) -> QueryResult:
+        if self.name == "SkyDijkstra":
+            net = self._manager.live_network()
+            if self._live_net is not net:
+                self._live_engine = SkyDijkstraEngine(net)
+                self._live_net = net
+            return self._live_engine.query(
+                source, target, budget,
+                want_path=want_path, deadline=deadline,
+            )
+        return self._manager.epoch.tier_engine(self.name).query(
+            source, target, budget, want_path=want_path, deadline=deadline
+        )
 
 
 class _Tier:
@@ -154,8 +200,14 @@ class QueryService:
         config: ServiceConfig | None = None,
         engines: Sequence | None = None,
         clock: Callable[[], float] | None = None,
+        epoch_manager=None,
     ):
         self.config = config or ServiceConfig()
+        #: Optional :class:`~repro.dynamic.epochs.EpochManager`; when
+        #: set, tier engines resolve the manager's *current* epoch per
+        #: query (so a publish is picked up without rebuilding the
+        #: service) and ``max_update_backlog`` governs backlog shedding.
+        self.epoch_manager = epoch_manager
         self._clock = clock if clock is not None else time.monotonic
         self.index_load_error: ReproError | None = None
         #: The service's own flight recorder (``None`` when
@@ -178,6 +230,8 @@ class QueryService:
         self.audit_report = None
         if index is None and index_path is not None:
             index = self._load_index(index_path)
+        if index is None and epoch_manager is not None:
+            index = epoch_manager.epoch.dyn.index
         if network is None and index is not None:
             network = index.network
         if index is not None and self.config.require_audit:
@@ -263,6 +317,11 @@ class QueryService:
         return None
 
     def _build_engines(self) -> list:
+        if self.epoch_manager is not None:
+            return [
+                _EpochTierEngine(self.epoch_manager, name)
+                for name in self.config.tiers
+            ]
         engines = []
         for name in self.config.tiers:
             if name == "QHL":
@@ -427,12 +486,25 @@ class QueryService:
         injector = get_injector()
         registry = get_registry()
         last_error: BaseException | None = None
+        shed_stale = (
+            self.epoch_manager is not None
+            and self.config.max_update_backlog is not None
+            and self.epoch_manager.backlog() > self.config.max_update_backlog
+        )
         for position, tier in enumerate(self._tiers):
             next_name = (
                 self._tiers[position + 1].name
                 if position + 1 < len(self._tiers)
                 else None
             )
+            if shed_stale and tier.name != "SkyDijkstra":
+                # The labeled tiers serve the lagging epoch; past the
+                # backlog threshold, prefer fresh-but-slower answers
+                # from the index-free tier on the live metrics.
+                self._record_fallback(
+                    registry, tier.name, next_name, "update-backlog"
+                )
+                continue
             if not tier.breaker.allow():
                 self._record_fallback(
                     registry, tier.name, next_name, "breaker-open"

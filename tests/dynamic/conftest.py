@@ -1,0 +1,59 @@
+"""Shared fixtures for the live-update / epoch suite.
+
+The network and index-query set are session-scoped and deterministic;
+every test that mutates an index builds its own
+:class:`~repro.dynamic.DynamicQHLIndex` from them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import QHLIndex, random_index_queries
+from repro.dynamic import DynamicQHLIndex
+from repro.graph import RoadNetwork, random_connected_network
+
+
+@pytest.fixture(scope="session")
+def update_net():
+    return random_connected_network(25, 20, seed=8)
+
+
+@pytest.fixture(scope="session")
+def update_queries(update_net):
+    return random_index_queries(update_net, 150, seed=8)
+
+
+@pytest.fixture()
+def dyn(update_net, update_queries):
+    """A freshly built dynamic index (mutable, per-test)."""
+    return DynamicQHLIndex.build(
+        update_net, index_queries=update_queries, seed=0
+    )
+
+
+@pytest.fixture()
+def build_dyn(update_net, update_queries):
+    """A factory for more copies of the same deterministic build."""
+
+    def _build() -> DynamicQHLIndex:
+        return DynamicQHLIndex.build(
+            update_net, index_queries=update_queries, seed=0
+        )
+
+    return _build
+
+
+@pytest.fixture()
+def fresh_index(update_net, update_queries):
+    """A factory: the from-scratch index over given edge metrics.
+
+    The bit-identity oracle — a repaired/replayed index must pack to
+    the same bytes as a fresh build over the final network.
+    """
+
+    def _build(edges) -> QHLIndex:
+        net = RoadNetwork.from_edges(update_net.num_vertices, edges)
+        return QHLIndex.build(net, index_queries=update_queries, seed=0)
+
+    return _build

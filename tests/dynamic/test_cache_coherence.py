@@ -1,0 +1,92 @@
+"""Regression: the skyline cache must not outlive the labels it read.
+
+The stale-answer bug this pins down: a :class:`CachedQHLEngine` holds
+full s-t frontiers derived from the label store; a dynamic repair
+rewrites labels *in place*, and before the coherence guard the cache
+kept serving pre-update frontiers — silently wrong pairs.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import constrained_dijkstra
+from repro.graph import RoadNetwork
+from repro.perf.cache import SkylineCache
+
+
+def current_truth(dyn, s, t, budget):
+    net = RoadNetwork.from_edges(
+        dyn.index.network.num_vertices, dyn.network_edges()
+    )
+    return constrained_dijkstra(net, s, t, budget, want_path=False).pair()
+
+
+class TestLabelVersion:
+    def test_noop_update_does_not_bump_the_version(self, dyn):
+        _u, _v, w, c = dyn.network_edges()[3]
+        before = dyn.index.labels.version
+        dyn.update_edge(3, weight=w, cost=c)
+        assert dyn.index.labels.version == before
+
+    def test_label_changing_update_bumps_the_version(self, dyn):
+        before = dyn.index.labels.version
+        report = dyn.update_edge(3, weight=999.0, cost=999.0)
+        assert report.labels_changed > 0
+        assert dyn.index.labels.version > before
+
+
+class TestCachedEngineCoherence:
+    def test_cached_answers_stay_exact_across_updates(self, dyn):
+        """The regression proper: warm cache, mutate labels, re-query."""
+        cached = dyn.index.cached_engine(64)
+        queries = [(0, 24, 500), (2, 19, 300), (5, 13, 400)]
+        for s, t, budget in queries:
+            cached.query(s, t, budget)  # warm (pre-update frontiers)
+        dyn.update_edge(3, weight=999.0, cost=999.0)
+        dyn.update_edge(7, weight=1.0, cost=1.0)
+        for s, t, budget in queries:
+            assert cached.query(s, t, budget).pair() == current_truth(
+                dyn, s, t, budget
+            ), "cached engine served a pre-update frontier"
+
+    def test_update_invalidates_exactly_once(self, dyn):
+        cached = dyn.index.cached_engine(64)
+        cached.query(0, 24, 500)
+        assert len(cached.cache) == 1
+        dyn.update_edge(3, weight=999.0)
+        cached.query(0, 24, 500)
+        cached.query(2, 19, 300)
+        stats = cached.cache.stats()
+        assert stats.invalidations == 1
+        assert stats.entries == 2
+
+    def test_frontier_path_is_also_guarded(self, dyn):
+        cached = dyn.index.cached_engine(64)
+        cached.frontier(0, 24)
+        report = dyn.update_edge(3, weight=999.0, cost=999.0)
+        assert report.labels_changed > 0
+        fresh = cached.frontier(0, 24)
+        plain = dyn.index.cached_engine(64).frontier(0, 24)
+        assert [e[:2] for e in fresh] == [e[:2] for e in plain]
+        # The pre-update entry was dropped, not refreshed in place.
+        assert cached.cache.stats().invalidations == 1
+
+
+class TestInvalidateAll:
+    def test_drops_entries_and_counts(self):
+        cache = SkylineCache(capacity=8)
+        cache.put(0, 1, [(1.0, 2.0)])
+        cache.put(2, 3, [(3.0, 4.0)])
+        dropped = cache.invalidate_all()
+        assert dropped == 2
+        assert len(cache) == 0
+        assert cache.get(0, 1) is None
+        assert cache.stats().invalidations == 1
+
+    def test_counters_survive_invalidation(self):
+        cache = SkylineCache(capacity=8)
+        cache.put(0, 1, [(1.0, 2.0)])
+        cache.get(0, 1)
+        cache.invalidate_all()
+        stats = cache.stats()
+        assert stats.hits == 1
+        assert stats.entries == 0

@@ -12,7 +12,8 @@ from repro.observability.names import METRIC_NAMES
 DOC = pathlib.Path(__file__).resolve().parents[2] / "docs" / "observability.md"
 
 _TOKEN = re.compile(
-    r"`((?:qhl|service|ingest|audit|build|supervisor)_[a-z0-9_]*\*?)`"
+    r"`((?:qhl|service|ingest|audit|build|supervisor|update)"
+    r"_[a-z0-9_]*\*?)`"
 )
 
 

@@ -100,6 +100,13 @@ class TestEveryInjectionPoint:
             "worker-spawn",
             "worker-task",
             "worker-heartbeat",
+            # The live-update points live in tests/dynamic: the epoch
+            # chaos matrix faults the journal append, the repair, and
+            # the publish swap, and test_kill_update SIGKILLs a real
+            # applier between append and publish.
+            "update-journal-append",
+            "update-repair",
+            "update-publish",
         }
         assert covered == set(INJECTION_POINTS)
 

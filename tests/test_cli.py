@@ -443,3 +443,123 @@ class TestSupervision:
             "--incidents", str(tmp_path / "nope.jsonl"),
         ]) == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestLiveUpdates:
+    def _apply(self, workspace, journal, extra):
+        net, _idx = workspace
+        return main([
+            "update", "apply", "--journal", journal,
+            "--network", net, "--index-queries", "100",
+            "--audit", "off", *extra,
+        ])
+
+    def test_apply_single_edge_publishes_an_epoch(
+        self, workspace, tmp_path, capsys
+    ):
+        journal = str(tmp_path / "journal")
+        assert self._apply(
+            workspace, journal, ["--edge", "3", "--weight", "55"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "epoch 1" in out
+        assert "delta(s)" in out
+
+    def test_apply_delta_file_and_save(self, workspace, tmp_path, capsys):
+        from repro.storage.serialize import load_index
+
+        journal = str(tmp_path / "journal")
+        deltas = tmp_path / "d.jsonl"
+        deltas.write_text(
+            '{"edge": 3, "weight": 55}\n'
+            '{"edge": 9, "cost": 17}\n'
+        )
+        out = str(tmp_path / "repaired.idx")
+        assert self._apply(
+            workspace, journal, ["--deltas", str(deltas), "--out", out]
+        ) == 0
+        assert "saved repaired index" in capsys.readouterr().out
+        # The saved index answers with the updated metrics baked in.
+        assert load_index(out).query(0, 140, budget=500).feasible
+
+    def test_status_reports_the_watermark(
+        self, workspace, tmp_path, capsys
+    ):
+        import json
+
+        journal = str(tmp_path / "journal")
+        self._apply(workspace, journal, ["--edge", "3", "--weight", "55"])
+        capsys.readouterr()
+        assert main([
+            "update", "status", "--journal", journal, "--json",
+        ]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["last_seq"] == 1
+        assert status["published_seq"] == 1
+        assert status["pending"] == 0
+        assert status["torn_lines"] == 0
+
+    def test_status_exit_one_when_pending(self, tmp_path, capsys):
+        from repro.dynamic import UpdateJournal
+
+        journal = str(tmp_path / "journal")
+        UpdateJournal(journal).append([(0, 5.0, None)], ts=0.0)
+        assert main(["update", "status", "--journal", journal]) == 1
+        assert "pending batches       1" in capsys.readouterr().out
+
+    def test_replay_converges_a_pending_journal(
+        self, workspace, tmp_path, capsys
+    ):
+        from repro.dynamic import UpdateJournal
+
+        journal = str(tmp_path / "journal")
+        UpdateJournal(journal).append([(3, 55.0, None)], ts=0.0)
+        net, _idx = workspace
+        assert main([
+            "update", "replay", "--journal", journal,
+            "--network", net, "--index-queries", "100", "--audit", "off",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "replayed 1 journalled batch(es)" in out
+        assert "backlog 0" in out
+        assert main(["update", "status", "--journal", journal]) == 0
+
+    def test_apply_without_network_is_an_error(self, tmp_path, capsys):
+        assert main([
+            "update", "apply", "--journal", str(tmp_path / "journal"),
+            "--edge", "0", "--weight", "5",
+        ]) == 2
+        assert "--network" in capsys.readouterr().err
+
+    def test_apply_without_deltas_is_an_error(
+        self, workspace, tmp_path, capsys
+    ):
+        assert self._apply(
+            workspace, str(tmp_path / "journal"), []
+        ) == 2
+        assert "--deltas" in capsys.readouterr().err
+
+    def test_bad_delta_file_is_an_error(self, workspace, tmp_path, capsys):
+        deltas = tmp_path / "bad.jsonl"
+        deltas.write_text('{"weight": 5}\n')
+        assert self._apply(
+            workspace, str(tmp_path / "journal"),
+            ["--deltas", str(deltas)],
+        ) == 2
+        assert "bad delta record" in capsys.readouterr().err
+
+    def test_bench_updates_flag_prints_summary(
+        self, workspace, tmp_path, capsys
+    ):
+        net, _idx = workspace
+        queries = str(tmp_path / "u.queries")
+        main(["workload", "--network", net, "--out", queries,
+              "--size", "5"])
+        capsys.readouterr()
+        assert main([
+            "bench", "--network", net, "--queries", queries,
+            "--index-queries", "100", "--updates", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "updates[Q1]" in out
+        assert "live update" in out

@@ -29,6 +29,7 @@ def test_every_example_is_covered():
         "multi_constraint.py",
         "one_way_streets.py",
         "quickstart.py",
+        "rush_hour_replay.py",
         "supervised_batch.py",
         "toll_budget_routing.py",
         "trace_query.py",
