@@ -567,6 +567,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                     f"{stats.evictions} evictions"
                 )
         if args.updates:
+            import os
             import tempfile
 
             from repro.dynamic import (
@@ -578,7 +579,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             dyn = DynamicQHLIndex(index, index_queries, store_paths=False)
             manager = EpochManager(
                 dyn,
-                tempfile.mkdtemp(prefix="qhl-epoch-"),
+                tempfile.mkdtemp(prefix=f"qhl-epoch-{os.getpid()}-"),
                 UpdateConfig(audit_on_publish=False),
             )
             for name, query_set in sets.items():

@@ -49,6 +49,7 @@ from repro.dynamic.journal import EdgeDelta, JournalRecord, UpdateJournal
 from repro.dynamic.updates import DynamicQHLIndex, UpdateReport
 from repro.exceptions import (
     DeadlineExceededError,
+    InvalidGraphError,
     ReproError,
     UpdateFailedError,
 )
@@ -68,6 +69,31 @@ EPOCH_DIR_PREFIX = "qhl-epoch-"
 REPAIR_BUCKETS: tuple[float, ...] = (
     0.001, 0.005, 0.02, 0.1, 0.5, 2.0, 10.0, 30.0,
 )
+
+
+def validate_deltas(
+    deltas: Sequence[EdgeDelta], num_edges: int
+) -> None:
+    """Reject a batch the repair sweep could never apply.
+
+    Mirrors (and slightly tightens: NaN is refused here) the checks in
+    :meth:`DynamicQHLIndex.apply_deltas`, so a batch that passes here
+    cannot fail repair-side validation later.  Must run *before*
+    :meth:`UpdateJournal.append`: a journalled batch is durably
+    acknowledged, and one that deterministically fails repair would
+    otherwise stay pending forever and abort every replay.
+    """
+    for delta in deltas:
+        if not 0 <= delta.edge < num_edges:
+            raise InvalidGraphError(
+                f"edge index {delta.edge} out of range for "
+                f"{num_edges} edges"
+            )
+        for value in (delta.weight, delta.cost):
+            if value is not None and not value > 0:
+                raise InvalidGraphError(
+                    "metrics must stay strictly positive"
+                )
 
 
 @dataclass(frozen=True)
@@ -111,7 +137,12 @@ class Epoch:
         self.flat_dir: str | None = None
         self.flat_index = None
         if config.flat:
-            self.flat_dir = tempfile.mkdtemp(prefix=EPOCH_DIR_PREFIX)
+            # The pid in the name keeps reap_stale_spools off a live
+            # manager's dir: flat twins are written once and mmap-read,
+            # so mtime age cannot distinguish live from orphaned.
+            self.flat_dir = tempfile.mkdtemp(
+                prefix=f"{EPOCH_DIR_PREFIX}{os.getpid()}-"
+            )
             path = os.path.join(self.flat_dir, "epoch.flat")
             save_flat_index(dyn.index, path)
             self.flat_index = load_flat_index(path, use_mmap=True)
@@ -289,6 +320,13 @@ class EpochManager:
             return self._live_net
         edges = self._epoch.dyn.network_edges()
         for record in self._pending():
+            try:
+                validate_deltas(record.deltas, len(edges))
+            except InvalidGraphError:
+                # Unrepairable batch (foreign/hand-edited journal);
+                # replay() quarantines it — don't let it poison the
+                # index-free shed tier in the meantime.
+                continue
             for delta in record.deltas:
                 u, v, w, c = edges[delta.edge]
                 edges[delta.edge] = (
@@ -310,11 +348,15 @@ class EpochManager:
     ) -> UpdateReport:
         """Journal one delta batch, repair a clone, publish it.
 
-        The batch is durable (journalled + fsynced) before the repair
+        The batch is validated first (edge range, strictly positive
+        metrics — :exc:`InvalidGraphError` rejects it *unacknowledged*),
+        then made durable (journalled + fsynced) before the repair
         starts; on any repair/audit/publish failure the update rolls
         back but stays pending, and :exc:`UpdateFailedError` propagates.
         """
-        record = self.journal.append(deltas, ts=self._now())
+        batch = tuple(EdgeDelta(*d) for d in deltas)
+        validate_deltas(batch, self._epoch.dyn.index.network.num_edges)
+        record = self.journal.append(batch, ts=self._now())
         self._refresh_gauges()
         return self._apply_record(record)
 
@@ -323,10 +365,21 @@ class EpochManager:
 
         Returns the number of batches published.  This is the startup
         recovery path *and* the retry path after a rolled-back apply.
+        A batch that can *never* repair (fails delta validation — only
+        possible in a journal this code did not write, since
+        :meth:`apply` validates before acknowledging) is quarantined
+        and skipped instead of aborting the replay: re-raising on it
+        every restart would permanently brick the journal directory.
         """
         published = 0
         for record in self._pending():
-            self._apply_record(record)
+            try:
+                self._apply_record(record)
+            except UpdateFailedError as exc:
+                if isinstance(exc.__cause__, InvalidGraphError):
+                    self._quarantine(record, exc.__cause__)
+                    continue
+                raise
             published += 1
         return published
 
@@ -423,6 +476,38 @@ class EpochManager:
                 help="journalled update batches by outcome",
             ).inc()
         self._refresh_gauges()
+
+    def _quarantine(
+        self, record: JournalRecord, exc: BaseException
+    ) -> None:
+        """Skip past a batch that deterministically can never repair.
+
+        The batch has no legal effect on the index, so the serving
+        epoch is re-badged with its sequence number and the watermark
+        advances — equivalent to publishing it as a no-op.  The loss is
+        logged as an incident and counted; the alternative (re-raising
+        on it forever) turns one bad record into a permanent startup
+        failure.
+        """
+        get_incident_log().new(
+            kind="update-quarantined",
+            worker="epoch-manager",
+            pid=os.getpid(),
+            detail=(
+                f"batch seq={record.seq} quarantined "
+                f"(unrepairable, skipped): {exc}"
+            ),
+        )
+        self._epoch.id = record.seq
+        self.journal.mark_published(record.seq)
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(
+                "update_batches_total",
+                {"status": "quarantined"},
+                help="journalled update batches by outcome",
+            ).inc()
+        self._publish_metrics()
 
     # ------------------------------------------------------------------
     def _count_publish(

@@ -190,12 +190,18 @@ class UpdateJournal:
                 "update-journal-append", stage="write", seq=record.seq
             )
             with open(self._journal_path, "ab") as handle:
-                handle.write(line)
-                handle.flush()
-                injector.fire(
-                    "update-journal-append", stage="fsync", seq=record.seq
-                )
-                os.fsync(handle.fileno())
+                offset = handle.tell()
+                try:
+                    handle.write(line)
+                    handle.flush()
+                    injector.fire(
+                        "update-journal-append", stage="fsync",
+                        seq=record.seq,
+                    )
+                    os.fsync(handle.fileno())
+                except BaseException:
+                    self._rewind(handle, offset)
+                    raise
         except UpdateJournalError:
             raise
         except OSError as exc:
@@ -204,6 +210,28 @@ class UpdateJournal:
             ) from exc
         self._records.append(record)
         return record
+
+    def _rewind(self, handle, offset: int) -> None:
+        """Undo a failed append so disk never runs ahead of memory.
+
+        A fault between write+flush and fsync-return leaves the full
+        (valid!) line for an *unacknowledged* seq in the file while
+        ``_records`` was not updated.  Left in place, the next
+        in-process append would write a duplicate of that seq, and the
+        next ``_load`` would keep the failed line and truncate the
+        later, actually-acknowledged one as a torn tail — silently
+        dropping durable data.  Truncate back to the pre-append offset;
+        if even that fails, resynchronise the in-memory view from the
+        file instead (the failed batch then replays as a pending
+        record, which is safe — deltas are absolute and idempotent —
+        while seq reuse is not).
+        """
+        try:
+            handle.truncate(offset)
+            handle.flush()
+            os.fsync(handle.fileno())
+        except OSError:
+            self._load()
 
     # ------------------------------------------------------------------
     def records(self) -> Iterator[JournalRecord]:

@@ -490,6 +490,10 @@ class QueryService:
             self.epoch_manager is not None
             and self.config.max_update_backlog is not None
             and self.epoch_manager.backlog() > self.config.max_update_backlog
+            # Shedding only makes sense when the index-free tier is in
+            # the ladder to land on; with a labeled-only ladder, a
+            # lagging-but-healthy answer beats a guaranteed outage.
+            and any(t.name == "SkyDijkstra" for t in self._tiers)
         )
         for position, tier in enumerate(self._tiers):
             next_name = (

@@ -17,7 +17,9 @@ import pytest
 
 from repro.baselines import constrained_dijkstra
 from repro.dynamic import EdgeDelta, EpochManager, UpdateConfig
+from repro.dynamic.journal import UpdateJournal
 from repro.exceptions import (
+    InvalidGraphError,
     UpdateFailedError,
     UpdateJournalError,
 )
@@ -317,6 +319,61 @@ class TestChaosMatrix:
             ).count == 1
 
 
+class TestValidationAndQuarantine:
+    """Bad batches are refused *before* durable acknowledgement; a bad
+    record that nevertheless reaches the journal (written by foreign
+    code) is quarantined on replay instead of bricking startup."""
+
+    def test_invalid_batch_is_refused_before_journalling(
+        self, dyn, tmp_path
+    ):
+        manager = EpochManager(dyn, str(tmp_path), FAST)
+        with pytest.raises(InvalidGraphError):
+            manager.apply([EdgeDelta(10**6, 5.0, None)])
+        with pytest.raises(InvalidGraphError):
+            manager.apply([EdgeDelta(0, -1.0, None)])
+        with pytest.raises(InvalidGraphError):
+            manager.apply([EdgeDelta(0, None, 0.0)])
+        # Never acknowledged: nothing pending, nothing to replay.
+        assert manager.journal.last_seq() == 0
+        assert manager.backlog() == 0
+        assert manager.replay() == 0
+
+    def test_foreign_bad_batch_is_quarantined_on_replay(
+        self, dyn, tmp_path
+    ):
+        # A journal this code did not write: an unrepairable batch,
+        # then a good one behind it.
+        journal = UpdateJournal(str(tmp_path))
+        journal.append([EdgeDelta(10**6, 5.0, None)], ts=0.0)
+        journal.append([EdgeDelta(3, 44.0, None)], ts=1.0)
+        incidents = IncidentLog()
+        with use_incident_log(incidents):
+            # replay_on_start=True must NOT raise — one bad record
+            # would otherwise abort every restart forever.
+            manager = EpochManager(
+                dyn,
+                str(tmp_path),
+                UpdateConfig(audit_on_publish=False, reap_stale=False),
+            )
+        assert manager.epoch.id == 2
+        assert manager.backlog() == 0
+        assert manager.epoch.dyn.network_edges()[3][2] == 44.0
+        kinds = [i.kind for i in incidents.records()]
+        assert "update-quarantined" in kinds
+        # The skip is durable: a restart does not re-trip on it.
+        assert manager.journal.published_seq() == 2
+
+    def test_live_network_skips_an_unrepairable_pending_batch(
+        self, dyn, tmp_path
+    ):
+        journal = UpdateJournal(str(tmp_path))
+        journal.append([EdgeDelta(10**6, 5.0, None)], ts=0.0)
+        manager = EpochManager(dyn, str(tmp_path), FAST)  # no replay
+        live = manager.live_network()  # must not IndexError
+        assert live.num_vertices == dyn.index.network.num_vertices
+
+
 class TestRecoveryAndStaleness:
     def test_restart_replays_acknowledged_unpublished_batches(
         self, dyn, tmp_path, build_dyn, fresh_index
@@ -406,3 +463,29 @@ class TestRecoveryAndStaleness:
         assert str(stale) in reaped
         assert not stale.exists()
         assert fresh.exists()
+
+    def test_live_owner_epoch_dir_is_never_reaped(self, tmp_path):
+        # Flat twins are written once and mmap-read: an epoch serving
+        # for hours looks "stale" by mtime while very much alive.  The
+        # pid embedded in the name is what keeps the reaper off it.
+        mine = tmp_path / f"qhl-epoch-{os.getpid()}-flat"
+        mine.mkdir()
+        old = time.time() - 7200.0
+        os.utime(mine, (old, old))
+        reaped = reap_stale_spools(max_age_s=3600, root=str(tmp_path))
+        assert reaped == []
+        assert mine.exists()
+
+    def test_dead_owner_epoch_dir_is_reaped(self, tmp_path):
+        import subprocess
+        import sys
+
+        proc = subprocess.Popen([sys.executable, "-c", "pass"])
+        proc.wait()
+        orphan = tmp_path / f"qhl-epoch-{proc.pid}-flat"
+        orphan.mkdir()
+        old = time.time() - 7200.0
+        os.utime(orphan, (old, old))
+        reaped = reap_stale_spools(max_age_s=3600, root=str(tmp_path))
+        assert str(orphan) in reaped
+        assert not orphan.exists()

@@ -184,3 +184,30 @@ class TestInjectedAppendFaults:
             record = journal.append([EdgeDelta(0, 1.0, None)], ts=0.5)
         assert record.seq == 1
         assert UpdateJournal(str(tmp_path)).last_seq() == 1
+
+    def test_fsync_stage_fault_rolls_the_file_back(self, tmp_path):
+        """A fault after write+flush must not leave the line on disk.
+
+        Left in place, the unacknowledged seq-1 line would shadow the
+        retried (acknowledged) seq-1 append: the retry becomes a
+        duplicate-seq line that the next open truncates as a torn tail
+        — silently dropping durable data.
+        """
+        journal = UpdateJournal(str(tmp_path))
+        injector = FaultInjector()
+        injector.fail(
+            "update-journal-append", exc=OSError, times=1,
+            match={"stage": "fsync"},
+        )
+        with use_injector(injector):
+            with pytest.raises(UpdateJournalError):
+                journal.append([EdgeDelta(0, 1.0, None)], ts=0.0)
+            record = journal.append([EdgeDelta(0, 2.0, None)], ts=0.5)
+        assert record.seq == 1
+        reopened = UpdateJournal(str(tmp_path))
+        assert reopened.torn_lines == 0
+        records = list(reopened.records())
+        assert len(records) == 1
+        # The surviving record is the ACKNOWLEDGED one, not the failed
+        # first attempt.
+        assert records[0].deltas[0].weight == 2.0

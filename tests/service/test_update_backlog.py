@@ -117,6 +117,22 @@ class TestEpochBackedService:
         assert result.engine == "QHL"
         assert result.pair() == live_truth(manager, s, t, budget)
 
+    def test_shed_without_skydijkstra_tier_still_answers(self, manager):
+        # A labeled-only ladder has nowhere to shed to; backlog past
+        # the threshold must degrade to lagging-but-correct answers,
+        # not a ServiceUnavailableError outage.
+        service = QueryService(
+            epoch_manager=manager,
+            config=ServiceConfig(
+                tiers=("QHL", "CSP-2Hop"), max_update_backlog=0
+            ),
+        )
+        self._force_backlog(manager, [(3, 999.0, 999.0)])
+        assert manager.backlog() == 1
+        s, t, budget = QUERY
+        result = service.query(s, t, budget)
+        assert result.engine == "QHL"
+
     def test_no_threshold_never_sheds(self, manager):
         service = QueryService(epoch_manager=manager)
         self._force_backlog(manager, [(3, 999.0, 999.0), (9, 1.0, 1.0)])
