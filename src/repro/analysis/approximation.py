@@ -89,7 +89,7 @@ def measure_approximation(
         )
         false_infeasible = 0
         errors = []
-        for query, want in zip(queries, truth):
+        for query, want in zip(queries, truth, strict=True):
             got = index.query(query.source, query.target, query.budget)
             if want.feasible and not got.feasible:
                 false_infeasible += 1

@@ -152,7 +152,9 @@ def multi_constrained_dijkstra(
 
     def dominated(v: int, w: float, costs: tuple[float, ...]) -> bool:
         return any(
-            fw <= w and all(fc <= c for fc, c in zip(fcosts, costs))
+            fw <= w and all(
+                fc <= c for fc, c in zip(fcosts, costs, strict=True)
+            )
             for fw, fcosts in frontier[v]
         )
 
@@ -161,7 +163,9 @@ def multi_constrained_dijkstra(
             (fw, fcosts)
             for fw, fcosts in frontier[v]
             if not (
-                w <= fw and all(c <= fc for c, fc in zip(costs, fcosts))
+                w <= fw and all(
+                    c <= fc for c, fc in zip(costs, fcosts, strict=True)
+                )
             )
         ]
         frontier[v].append((w, costs))
@@ -177,8 +181,10 @@ def multi_constrained_dijkstra(
             continue
         for nbr, ew, ecosts in adj[v]:
             nw = w + ew
-            ncosts = tuple(c + ec for c, ec in zip(costs, ecosts))
-            if any(nc > budget for nc, budget in zip(ncosts, budgets)):
+            ncosts = tuple(c + ec for c, ec in zip(costs, ecosts, strict=True))
+            if any(
+                nc > b for nc, b in zip(ncosts, budgets, strict=True)
+            ):
                 continue
             if dominated(nbr, nw, ncosts):
                 continue

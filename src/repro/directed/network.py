@@ -101,7 +101,7 @@ class DirectedRoadNetwork:
             raise InvalidGraphError("a path needs at least one vertex")
         total_w = 0.0
         total_c = 0.0
-        for tail, head in zip(path, path[1:]):
+        for tail, head in zip(path, path[1:], strict=False):
             options = [
                 (w, c) for nbr, w, c in self._out[tail] if nbr == head
             ]

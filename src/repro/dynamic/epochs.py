@@ -43,7 +43,10 @@ import shutil
 import tempfile
 import time
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only, imported lazily below
+    from repro.graph.network import RoadNetwork
 
 from repro.dynamic.journal import EdgeDelta, JournalRecord, UpdateJournal
 from repro.dynamic.updates import DynamicQHLIndex, UpdateReport
@@ -130,7 +133,7 @@ class Epoch:
         dyn: DynamicQHLIndex,
         config: UpdateConfig,
         created_ts: float,
-    ):
+    ) -> None:
         self.id = epoch_id
         self.dyn = dyn
         self.created_ts = created_ts
@@ -156,7 +159,7 @@ class Epoch:
         self._tier_engines: dict[str, object] = {}
 
     # ------------------------------------------------------------------
-    def tier_engine(self, name: str):
+    def tier_engine(self, name: str) -> object:
         """A ladder-tier engine bound to this epoch's frozen view.
 
         Built lazily and memoised per epoch, so the service's
@@ -226,7 +229,7 @@ class EpochManager:
         config: UpdateConfig | None = None,
         clock: Callable[[], float] | None = None,
         base_seq: int | None = None,
-    ):
+    ) -> None:
         """``base_seq`` anchors replay: the highest journal sequence
         already reflected in ``dyn``.  ``None`` (the default) means the
         published watermark — right when the caller persisted the index
@@ -304,7 +307,7 @@ class EpochManager:
             r for r in self.journal.records() if r.seq > self._epoch.id
         ]
 
-    def live_network(self):
+    def live_network(self) -> "RoadNetwork":
         """The network with *every* acknowledged delta applied.
 
         Unlike the serving epoch (which lags behind by the backlog),
@@ -344,7 +347,9 @@ class EpochManager:
     # ------------------------------------------------------------------
     def apply(
         self,
-        deltas: Sequence[EdgeDelta] | Sequence[tuple],
+        deltas: Sequence[EdgeDelta] | Sequence[
+            tuple[int, float | None, float | None]
+        ],
     ) -> UpdateReport:
         """Journal one delta batch, repair a clone, publish it.
 
@@ -498,7 +503,7 @@ class EpochManager:
                 f"(unrepairable, skipped): {exc}"
             ),
         )
-        self._epoch.id = record.seq
+        self._epoch.id = record.seq  # lint: allow=QHL009 re-badge only: quarantine publishes the serving epoch as the no-op batch, and an int store is atomic for readers
         self.journal.mark_published(record.seq)
         registry = get_registry()
         if registry.enabled:

@@ -34,7 +34,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from typing import Iterator, NamedTuple
+from typing import BinaryIO, Iterator, NamedTuple
 
 from repro.exceptions import SerializationError, UpdateJournalError
 from repro.service.faults import get_injector
@@ -65,20 +65,20 @@ class JournalRecord(NamedTuple):
     deltas: tuple[EdgeDelta, ...]
 
 
-def _canonical(body: dict) -> bytes:
+def _canonical(body: dict[str, object]) -> bytes:
     return json.dumps(
         body, sort_keys=True, separators=(",", ":")
     ).encode("utf-8")
 
 
-def _checksum(body: dict) -> str:
+def _checksum(body: dict[str, object]) -> str:
     return hashlib.sha256(_canonical(body)).hexdigest()
 
 
 class UpdateJournal:
     """Append-only, checksummed journal of acknowledged delta batches."""
 
-    def __init__(self, directory: str):
+    def __init__(self, directory: str) -> None:
         self.directory = directory
         self.torn_lines = 0
         try:
@@ -161,7 +161,9 @@ class UpdateJournal:
 
     # ------------------------------------------------------------------
     def append(
-        self, deltas: list[EdgeDelta] | list[tuple], ts: float
+        self,
+        deltas: list[EdgeDelta] | list[tuple[int, float | None, float | None]],
+        ts: float,
     ) -> JournalRecord:
         """Durably acknowledge one delta batch; returns its record.
 
@@ -211,7 +213,7 @@ class UpdateJournal:
         self._records.append(record)
         return record
 
-    def _rewind(self, handle, offset: int) -> None:
+    def _rewind(self, handle: BinaryIO, offset: int) -> None:
         """Undo a failed append so disk never runs ahead of memory.
 
         A fault between write+flush and fsync-return leaves the full

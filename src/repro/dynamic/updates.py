@@ -31,12 +31,13 @@ from __future__ import annotations
 import copy
 import time
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.core.engine import QHLIndex, random_index_queries
 from repro.core.pruning import build_pruning_index
 from repro.exceptions import InvalidGraphError
 from repro.graph.network import RoadNetwork
+from repro.hierarchy.tree import TreeDecomposition
 from repro.labeling.labels import LabelStore
 from repro.service.deadline import Deadline
 from repro.service.faults import get_injector
@@ -45,7 +46,7 @@ from repro.skyline.set_ops import SkylineSet, join, merge, skyline_of
 from repro.types import CSPQuery, QueryResult
 
 
-def _timing_clock():
+def _timing_clock() -> Callable[[], float]:
     """The repair-timing clock: the injected one when chaos is active.
 
     Mirrors ``QueryService._deadline_clock`` — tests jump time
@@ -80,7 +81,7 @@ class DynamicQHLIndex:
     """
 
     def __init__(self, index: QHLIndex, index_queries: list[CSPQuery],
-                 store_paths: bool):
+                 store_paths: bool) -> None:
         self.index = index
         self._index_queries = index_queries
         self._store_paths = store_paths
@@ -112,11 +113,14 @@ class DynamicQHLIndex:
         return cls(index, list(index_queries), store_paths)
 
     # ------------------------------------------------------------------
-    def query(self, source, target, budget, want_path=False) -> QueryResult:
+    def query(
+        self, source: int, target: int, budget: float,
+        want_path: bool = False,
+    ) -> QueryResult:
         """Answer a CSP query against the current metrics."""
         return self.index.query(source, target, budget, want_path=want_path)
 
-    def network_edges(self):
+    def network_edges(self) -> list[tuple[int, int, float, float]]:
         """The current edge list (insertion order, updated metrics)."""
         return list(self._edges)
 
@@ -311,14 +315,14 @@ class DynamicQHLIndex:
         )
 
 
-def _ordered(a: int, b: int, tree) -> tuple[int, int]:
+def _ordered(a: int, b: int, tree: TreeDecomposition) -> tuple[int, int]:
     """Order a pair as (earlier-eliminated, later-eliminated)."""
     if tree.position[a] < tree.position[b]:
         return (a, b)
     return (b, a)
 
 
-def _label_key(w: int, u: int, tree) -> tuple[int, int]:
+def _label_key(w: int, u: int, tree: TreeDecomposition) -> tuple[int, int]:
     """The (deeper, shallower) key under which P_wu is stored."""
     if tree.depth[w] >= tree.depth[u]:
         return (w, u)
@@ -329,7 +333,9 @@ def _pairs(entries: SkylineSet) -> list[tuple[float, float]]:
     return [(e[0], e[1]) for e in entries]
 
 
-def _build_contributor_index(tree) -> dict[tuple[int, int], list[int]]:
+def _build_contributor_index(
+    tree: TreeDecomposition,
+) -> dict[tuple[int, int], list[int]]:
     """``contributors[(v, w)]`` = vertices ``x`` with ``v, w ∈ X(x)``.
 
     Eliminating such an ``x`` folds ``S(x,v) ⊗ S(x,w)`` into

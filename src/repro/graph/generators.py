@@ -260,7 +260,7 @@ def random_geometric_network(
         weight = max(1, round(length * rng.uniform(0.7, 1.6)))
         network.add_edge(i, j, weight, length)
 
-    for a, b in zip(order, order[1:]):
+    for a, b in zip(order, order[1:], strict=False):
         add(a, b)
     for i in range(num_vertices):
         for j in range(i + 1, num_vertices):

@@ -200,7 +200,7 @@ class RoadNetwork:
             raise InvalidGraphError("a path needs at least one vertex")
         total_w = 0.0
         total_c = 0.0
-        for u, v in zip(path, path[1:]):
+        for u, v in zip(path, path[1:], strict=False):
             options = self.edge_metrics(u, v)
             if not options:
                 raise InvalidGraphError(f"({u}, {v}) is not an edge")

@@ -82,6 +82,22 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print the rule catalog and exit",
     )
+    parser.add_argument(
+        "--graph-out",
+        metavar="FILE",
+        default=None,
+        help="export the whole-program call graph (modules, functions, "
+        "call/reference edges, spawn sites, reachability) as JSON",
+    )
+    parser.add_argument(
+        "--changed",
+        nargs="?",
+        const="HEAD",
+        default=None,
+        metavar="GIT_REF",
+        help="lint only files that differ from GIT_REF (default HEAD), "
+        "plus untracked ones; whole-program completeness rules skip",
+    )
 
 
 def _rule_set(value: str | None) -> frozenset[str] | None:
@@ -106,6 +122,43 @@ def _list_rules() -> str:
     return "\n".join(lines)
 
 
+def _changed_files(
+    root: str, ref: str, paths: list[str]
+) -> list[str]:
+    """Python files under ``paths`` differing from ``ref`` (plus
+    untracked ones), root-relative.  Raises :class:`LintConfigError`
+    when git cannot answer — a broken ref must fail loudly (exit 2),
+    not lint nothing and report clean."""
+    import subprocess
+
+    def git(*argv: str) -> list[str]:
+        proc = subprocess.run(
+            ["git", *argv],
+            cwd=root,
+            capture_output=True,
+            text=True,
+        )
+        if proc.returncode != 0:
+            raise LintConfigError(
+                f"git {' '.join(argv)} failed: "
+                f"{proc.stderr.strip() or proc.stdout.strip()}"
+            )
+        return [line for line in proc.stdout.splitlines() if line]
+
+    candidates = set(git("diff", "--name-only", ref, "--", *paths))
+    candidates.update(
+        git("ls-files", "--others", "--exclude-standard", "--", *paths)
+    )
+    import os
+
+    return sorted(
+        path
+        for path in candidates
+        if path.endswith(".py")
+        and os.path.isfile(os.path.join(root, path))
+    )
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     """The subcommand body; returns the process exit code."""
     if args.list_rules:
@@ -123,9 +176,32 @@ def cmd_lint(args: argparse.Namespace) -> int:
         else os.path.join(root, args.baseline)
     )
     baseline = None if args.no_baseline else Baseline.load(baseline_path)
+    paths = args.paths
+    partial = False
+    if args.changed is not None:
+        paths = _changed_files(root, args.changed, args.paths)
+        partial = True
+        if not paths:
+            print(
+                f"no python files changed against {args.changed}; "
+                f"nothing to lint"
+            )
+            return 0
     result = run_lint(
-        args.paths, config=config, root=root, baseline=baseline
+        paths, config=config, root=root, baseline=baseline,
+        partial=partial,
     )
+
+    if args.graph_out is not None and result.project is not None:
+        graph_path = (
+            args.graph_out
+            if os.path.isabs(args.graph_out)
+            else os.path.join(root, args.graph_out)
+        )
+        with open(graph_path, "w", encoding="utf-8") as handle:
+            handle.write(result.project.graph().to_json())
+            handle.write("\n")
+        print(f"wrote call graph -> {graph_path}", file=sys.stderr)
 
     if args.write_baseline:
         if result.errors:

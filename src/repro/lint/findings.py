@@ -12,6 +12,10 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import cycle guard
+    from repro.lint.rules.base import Project
 
 
 @dataclass
@@ -84,6 +88,9 @@ class LintResult:
     stale_baseline: list[dict[str, object]] = field(default_factory=list)
     errors: list[LintError] = field(default_factory=list)
     files_checked: int = 0
+    #: The analysed project, for callers that want the call graph
+    #: (``--graph-out``) after the run.
+    project: "Project | None" = None
 
     @property
     def clean(self) -> bool:

@@ -11,10 +11,15 @@ from repro.lint.rules.base import (
 from repro.lint.rules import (  # noqa: F401  (import = registration)
     deadline,
     determinism,
+    durability,
     exceptions,
     fault_points,
     floats,
+    fork_safety,
+    immutability,
     metrics,
+    pragmas,
+    reachability,
 )
 
 __all__ = [

@@ -5,11 +5,14 @@ from __future__ import annotations
 import ast
 import os
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Type
+from typing import TYPE_CHECKING, Iterable, Iterator, Type
 
 from repro.exceptions import LintConfigError
 from repro.lint.context import Module
 from repro.lint.findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import cycle guard
+    from repro.lint.graph import CallGraph
 
 
 @dataclass
@@ -18,12 +21,28 @@ class Project:
 
     root: str
     modules: list[Module] = field(default_factory=list)
+    #: True when the run covers only a slice of the tree (``--changed``):
+    #: rules whose verdicts need the *whole* program (reachability,
+    #: unused-registry directions) must skip rather than guess.
+    partial: bool = False
+    _graph: "CallGraph | None" = field(
+        default=None, repr=False, compare=False
+    )
 
     def find_module(self, package_rel: str) -> Module | None:
         for module in self.modules:
             if module.package_rel == package_rel or module.rel == package_rel:
                 return module
         return None
+
+    def graph(self) -> "CallGraph":
+        """The whole-program call graph, built once per run on first
+        use and shared by every rule."""
+        if self._graph is None:
+            from repro.lint.graph import build_graph
+
+            self._graph = build_graph(self)
+        return self._graph
 
 
 class Rule:
@@ -41,7 +60,7 @@ class Rule:
     rationale: str = ""
     default_options: dict[str, object] = {}
 
-    def __init__(self, options: dict[str, object] | None = None):
+    def __init__(self, options: dict[str, object] | None = None) -> None:
         self.options: dict[str, object] = {
             **self.default_options, **(options or {})
         }

@@ -9,13 +9,22 @@ enforced by reviewer memory across ``core/``, ``baselines/`` and
 
 A loop body satisfies the rule when, anywhere in its subtree, it
 
-* calls ``<deadline>.check(...)`` or ``<deadline>.expired()`` on the
-  function's deadline parameter (masked variants like
-  ``if pops & MASK == 0: deadline.check(stats)`` count — the call just
-  has to be reachable inside the iteration), or
-* forwards the deadline to a callee (positionally or as
-  ``deadline=...``) — cooperative delegation: the callee's own loops
-  are checked when *it* is linted.
+* calls ``.check(...)`` / ``.expired()`` on the function's deadline
+  parameter or on any deadline-named receiver (``self._deadline``, a
+  rebound ``remaining_deadline``) — masked variants like ``if pops &
+  MASK == 0: deadline.check(stats)`` count, the call just has to be
+  reachable inside the iteration; or
+* calls a function that **transitively checkpoints** (bounded by
+  ``interprocedural_depth`` hops over the call graph) — cooperative
+  delegation, now *verified* instead of assumed; or
+* forwards the deadline to a callee the call graph cannot resolve
+  (an external library, a constructor, a dynamic dispatch) — the old
+  blind-credit idiom, kept only where verification is impossible.
+
+Forwarding the deadline to a **resolved project function that never
+checks it** is no longer credit — it is its own finding: the deadline
+dies in a sink and the loop runs unbudgeted, which is exactly the bug
+the blind idiom used to hide.
 
 Loops over literal tuple/list/set displays (``for v_end in (s, t):``)
 are exempt: their trip count is a small syntactic constant.
@@ -24,14 +33,19 @@ are exempt: their trip count is a small syntactic constant.
 from __future__ import annotations
 
 import ast
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from repro.lint.context import Module
+from repro.lint.dataflow import call_name
 from repro.lint.findings import Finding
-from repro.lint.rules.base import Rule, register
+from repro.lint.rules.base import Project, Rule, register
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.graph import CallGraph, _FunctionScope
 
 _FUNCTIONS = (ast.FunctionDef, ast.AsyncFunctionDef)
 _LOOPS = (ast.For, ast.AsyncFor, ast.While)
+_CHECK_METHODS = ("check", "expired")
 
 
 def _deadline_params(
@@ -70,29 +84,56 @@ def _walk_same_function(node: ast.AST) -> Iterator[ast.AST]:
             stack.extend(ast.iter_child_nodes(child))
 
 
-def _loop_checkpoints(loop: ast.stmt, params: set[str]) -> bool:
-    """Whether the loop's subtree checks or forwards a deadline."""
-    for node in _walk_same_function(loop):
-        if not isinstance(node, ast.Call):
-            continue
-        func = node.func
-        if (
-            isinstance(func, ast.Attribute)
-            and func.attr in ("check", "expired")
-            and isinstance(func.value, ast.Name)
-            and func.value.id in params
-        ):
-            return True
-        for arg in node.args:
-            if isinstance(arg, ast.Name) and arg.id in params:
-                return True
-        for keyword in node.keywords:
-            if keyword.arg in params or (
-                isinstance(keyword.value, ast.Name)
-                and keyword.value.id in params
+def _is_direct_check(node: ast.Call, params: set[str]) -> bool:
+    """``<deadline>.check()`` / ``.expired()`` on a param or any
+    deadline-named receiver chain."""
+    func = node.func
+    if not (
+        isinstance(func, ast.Attribute) and func.attr in _CHECK_METHODS
+    ):
+        return False
+    receiver = call_name(func.value)
+    if receiver is None:
+        return False
+    if receiver in params:
+        return True
+    return "deadline" in receiver.rpartition(".")[2].lower()
+
+
+def _checkpointing_functions(
+    graph: "CallGraph",
+    param_names: tuple[str, ...],
+    annotation_names: tuple[str, ...],
+    depth: int,
+) -> set[str]:
+    """Functions that check a deadline, directly or through up to
+    ``depth`` call-graph hops."""
+    direct: set[str] = set()
+    for qname, info in graph.functions.items():
+        params = _deadline_params(info.node, param_names, annotation_names)
+        for node in _walk_same_function(info.node):
+            if isinstance(node, ast.Call) and _is_direct_check(
+                node, params
             ):
-                return True
-    return False
+                direct.add(qname)
+                break
+    callers: dict[str, set[str]] = {}
+    for caller, callees in graph.edges.items():
+        for callee in callees:
+            callers.setdefault(callee, set()).add(caller)
+    known = set(direct)
+    frontier = direct
+    for _ in range(depth):
+        frontier = {
+            caller
+            for callee in frontier
+            for caller in callers.get(callee, ())
+            if caller not in known
+        }
+        if not frontier:
+            break
+        known |= frontier
+    return known
 
 
 @register
@@ -101,43 +142,114 @@ class DeadlineCheckpointRule(Rule):
     name = "deadline-checkpoint"
     rationale = (
         "Deadlines are cooperative: a loop that never calls "
-        "Deadline.check() (or forwards the deadline) can overrun any "
-        "budget, defeating the PR-2 serving guarantee."
+        "Deadline.check() (or delegates to code that verifiably does) "
+        "can overrun any budget, defeating the PR-2 serving guarantee."
     )
     default_options = {
         # Parameters treated as deadlines: by name, or by annotation
         # mentioning one of these type names.
         "param_names": ("deadline", "batch_deadline"),
         "annotation_names": ("Deadline",),
+        # How many call-graph hops a checkpoint may sit away from the
+        # loop before delegation stops counting.
+        "interprocedural_depth": 5,
         # Package prefixes this rule runs on; empty = whole tree.
         "packages": (),
     }
 
     def check_module(self, module: Module) -> Iterable[Finding]:
-        if not self.applies_to(module):
-            return
-        param_names = tuple(self.options["param_names"])
-        annotation_names = tuple(self.options["annotation_names"])
-        for node in ast.walk(module.tree):
-            if not isinstance(node, _FUNCTIONS):
+        return ()
+
+    def finish(self, project: Project) -> Iterable[Finding]:
+        graph = project.graph()
+        param_names = tuple(self.options["param_names"])  # type: ignore[arg-type]
+        annotation_names = tuple(self.options["annotation_names"])  # type: ignore[arg-type]
+        depth = int(self.options["interprocedural_depth"])  # type: ignore[arg-type]
+        checkpointing = _checkpointing_functions(
+            graph, param_names, annotation_names, depth
+        )
+        for qname in sorted(graph.functions):
+            info = graph.functions[qname]
+            if not self.applies_to(info.module):
                 continue
-            params = _deadline_params(node, param_names, annotation_names)
+            params = _deadline_params(
+                info.node, param_names, annotation_names
+            )
             if not params:
                 continue
-            for child in _walk_same_function(node):
+            scope = graph.scope_for(info)
+            for child in _walk_same_function(info.node):
                 if not isinstance(child, _LOOPS):
                     continue
                 if isinstance(child, (ast.For, ast.AsyncFor)) and (
                     _is_literal_iterable(child.iter)
                 ):
                     continue
-                if _loop_checkpoints(child, params):
-                    continue
-                yield self.finding(
-                    module,
-                    child,
-                    f"loop in deadline-taking function "
-                    f"{node.name}() never checks or forwards "
-                    f"{'/'.join(sorted(params))} — an expired budget "
-                    f"cannot interrupt it",
+                yield from self._loop_findings(
+                    graph, scope, info.module, info.node.name, child,
+                    params, checkpointing,
                 )
+
+    # ------------------------------------------------------------------
+    def _loop_findings(
+        self,
+        graph: "CallGraph",
+        scope: "_FunctionScope",
+        module: Module,
+        func_name: str,
+        loop: ast.stmt,
+        params: set[str],
+        checkpointing: set[str],
+    ) -> Iterable[Finding]:
+        sinks: set[str] = set()
+        blind_credit = False
+        for node in _walk_same_function(loop):
+            if not isinstance(node, ast.Call):
+                continue
+            if _is_direct_check(node, params):
+                return
+            targets = scope.resolve_call(node)
+            resolved = [t for t in targets if t in graph.functions]
+            if any(t in checkpointing for t in resolved):
+                return  # verified delegation
+            forwards = any(
+                isinstance(arg, ast.Name) and arg.id in params
+                for arg in node.args
+            ) or any(
+                keyword.arg in params
+                or (
+                    isinstance(keyword.value, ast.Name)
+                    and keyword.value.id in params
+                )
+                for keyword in node.keywords
+            )
+            if forwards:
+                if resolved:
+                    sinks.update(
+                        graph.functions[t].name for t in resolved
+                    )
+                else:
+                    # Constructor / external / dynamic callee: cannot
+                    # verify, keep the old cooperative credit.
+                    blind_credit = True
+        if blind_credit:
+            return
+        joined = "/".join(sorted(params))
+        if sinks:
+            yield self.finding(
+                module,
+                loop,
+                f"loop in {func_name}() forwards {joined} only to "
+                f"{', '.join(sorted(sinks))}(), which never checks a "
+                f"deadline (transitively) — the deadline dies in a "
+                f"sink and cannot interrupt the loop",
+            )
+        else:
+            yield self.finding(
+                module,
+                loop,
+                f"loop in deadline-taking function {func_name}() "
+                f"never checks {joined}, and no callee in its body "
+                f"transitively checkpoints — an expired budget cannot "
+                f"interrupt it",
+            )

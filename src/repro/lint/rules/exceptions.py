@@ -99,7 +99,7 @@ class ExceptionTaxonomyRule(Rule):
         "packages": (),
     }
 
-    def __init__(self, options: dict[str, object] | None = None):
+    def __init__(self, options: dict[str, object] | None = None) -> None:
         super().__init__(options)
         self._edges: dict[str, list[str]] = {}
         self._raises: list[tuple[Module, ast.Raise, str]] = []

@@ -60,7 +60,7 @@ class FaultPointRegistryRule(Rule):
         "packages": (),
     }
 
-    def __init__(self, options: dict[str, object] | None = None):
+    def __init__(self, options: dict[str, object] | None = None) -> None:
         super().__init__(options)
         self._calls: list[tuple[Module, ast.Call, str]] = []
 

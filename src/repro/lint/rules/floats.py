@@ -78,7 +78,7 @@ class FloatEqualityRule(Rule):
             operands = [node.left, *node.comparators]
             for op, left, right in zip(
                 node.ops, operands, operands[1:]
-            ):
+            , strict=False):
                 if not isinstance(op, (ast.Eq, ast.NotEq)):
                     continue
                 if _is_weight_cost_operand(left, markers) or (

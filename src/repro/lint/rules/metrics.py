@@ -83,7 +83,7 @@ class MetricNameRegistryRule(Rule):
         "packages": (),
     }
 
-    def __init__(self, options: dict[str, object] | None = None):
+    def __init__(self, options: dict[str, object] | None = None) -> None:
         super().__init__(options)
         self._used: set[str] = set()
         self._calls: list[tuple[Module, ast.Call, str]] = []
@@ -129,11 +129,12 @@ class MetricNameRegistryRule(Rule):
                     f"{registry_rel}; declare it (or fix the typo)",
                 )
         registry_module = project.find_module(registry_rel)
-        if registry_module is None:
-            # The registry file is outside the linted paths, so the
-            # scan cannot claim completeness: skip the unused-entry
-            # direction (a partial lint of one module must not flag
-            # every metric that module happens not to emit).
+        if registry_module is None or project.partial:
+            # The registry file is outside the linted paths (or the run
+            # covers only changed files), so the scan cannot claim
+            # completeness: skip the unused-entry direction (a partial
+            # lint of one module must not flag every metric that module
+            # happens not to emit).
             return
         for name, lineno in sorted(declared.items()):
             if name not in self._used:

@@ -14,7 +14,7 @@ from repro.lint.findings import (
     LintResult,
     assign_fingerprints,
 )
-from repro.lint.rules import Project, all_rules
+from repro.lint.rules import Project, Rule, all_rules
 
 
 def collect_files(paths: list[str], root: str) -> list[str]:
@@ -48,23 +48,79 @@ def _relative(path: str, root: str) -> str:
     return rel.replace(os.sep, "/")
 
 
+def _stale_pragma_findings(
+    project: Project,
+    rules: list[Rule],
+    inline_suppressed: list[Finding],
+) -> list[Finding]:
+    """QHL000: pragmas that suppressed nothing this run.
+
+    Only rules that actually *ran* can prove a pragma stale — a
+    ``--select`` subset proves nothing about the others.  Pragmas
+    naming a rule id that is not registered at all are always stale:
+    they can never suppress anything.
+    """
+    executed = {rule.id for rule in rules}
+    known = set(all_rules())
+    used = {(f.path, f.line, f.rule) for f in inline_suppressed}
+    findings: list[Finding] = []
+    for module in project.modules:
+        for line in sorted(module.suppressions):
+            for rule_id in sorted(module.suppressions[line]):
+                if rule_id == "QHL000":
+                    continue
+                if rule_id not in known:
+                    message = (
+                        f"pragma allows unknown rule {rule_id!r} — it "
+                        f"can never suppress anything; fix the id or "
+                        f"delete the pragma"
+                    )
+                elif rule_id in executed and (
+                    (module.rel, line, rule_id) not in used
+                ):
+                    message = (
+                        f"stale pragma: {rule_id} no longer fires on "
+                        f"this line — the suppression pre-authorises "
+                        f"the next violation; delete it (or re-justify "
+                        f"with an allow=QHL000 pragma)"
+                    )
+                else:
+                    continue
+                findings.append(Finding(
+                    rule="QHL000",
+                    path=module.rel,
+                    line=line,
+                    col=0,
+                    message=message,
+                    snippet=module.line_text(line),
+                ))
+    return findings
+
+
 def run_lint(
     paths: list[str],
     config: LintConfig | None = None,
     root: str | None = None,
     baseline: Baseline | None = None,
+    partial: bool = False,
 ) -> LintResult:
     """Lint ``paths`` and return the partitioned result.
 
     Pipeline: parse every file -> per-module rule passes -> project
-    passes (registry cross-checks) -> inline-pragma suppression ->
-    fingerprinting -> baseline split.
+    passes (registry cross-checks, call-graph rules) -> inline-pragma
+    suppression -> stale-pragma findings -> fingerprinting -> baseline
+    split.
+
+    ``partial`` marks runs that cover only a slice of the tree
+    (``--changed``): whole-program rules skip their completeness
+    claims instead of guessing.
     """
     root = os.path.abspath(root or os.getcwd())
     config = config or LintConfig()
     result = LintResult()
 
-    project = Project(root=root)
+    project = Project(root=root, partial=partial)
+    result.project = project
     for path in collect_files(paths, root):
         rel = _relative(path, root)
         try:
@@ -98,6 +154,18 @@ def run_lint(
             result.inline_suppressed.append(finding)
         else:
             kept.append(finding)
+
+    if config.enabled("QHL000"):
+        for finding in _stale_pragma_findings(
+            project, rules, result.inline_suppressed
+        ):
+            module = modules_by_rel.get(finding.path)
+            if module is not None and module.suppressed(
+                finding.line, "QHL000"
+            ):
+                result.inline_suppressed.append(finding)
+            else:
+                kept.append(finding)
 
     kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     assign_fingerprints(kept)

@@ -82,11 +82,11 @@ class MultiCSPEngine:
             for w1, costs1 in label_s[h]:
                 for w2, costs2 in label_t[h]:
                     total_costs = tuple(
-                        a + b for a, b in zip(costs1, costs2)
+                        a + b for a, b in zip(costs1, costs2, strict=True)
                     )
                     if any(
                         c > budget
-                        for c, budget in zip(total_costs, budgets)
+                        for c, budget in zip(total_costs, budgets, strict=True)
                     ):
                         continue
                     candidate = (w1 + w2, total_costs)
@@ -136,7 +136,9 @@ def multi_dijkstra_reference(
 
     def dominated(v, w, costs):
         return any(
-            fw <= w and all(fc <= c for fc, c in zip(fcosts, costs))
+            fw <= w and all(
+                fc <= c for fc, c in zip(fcosts, costs, strict=True)
+            )
             for fw, fcosts in frontier[v]
         )
 
@@ -144,7 +146,9 @@ def multi_dijkstra_reference(
         frontier[v] = [
             (fw, fcosts)
             for fw, fcosts in frontier[v]
-            if not (w <= fw and all(c <= fc for c, fc in zip(costs, fcosts)))
+            if not (w <= fw and all(
+                c <= fc for c, fc in zip(costs, fcosts, strict=True)
+            ))
         ]
         frontier[v].append((w, costs))
 
@@ -159,8 +163,8 @@ def multi_dijkstra_reference(
             continue
         for nbr, ew, ecosts in network.neighbors(v):
             nw = w + ew
-            ncosts = tuple(c + ec for c, ec in zip(costs, ecosts))
-            if any(nc > b for nc, b in zip(ncosts, budgets)):
+            ncosts = tuple(c + ec for c, ec in zip(costs, ecosts, strict=True))
+            if any(nc > b for nc, b in zip(ncosts, budgets, strict=True)):
                 continue
             if dominated(nbr, nw, ncosts):
                 continue

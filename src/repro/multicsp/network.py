@@ -118,7 +118,7 @@ class MultiMetricNetwork:
         """``(w, costs)`` of a concrete vertex path."""
         total_w = 0.0
         total_c = [0.0] * self._k
-        for u, v in zip(path, path[1:]):
+        for u, v in zip(path, path[1:], strict=False):
             options = [
                 (w, costs) for nbr, w, costs in self._adj[u] if nbr == v
             ]

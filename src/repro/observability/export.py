@@ -56,7 +56,7 @@ def metric_to_dict(metric: Metric) -> dict:
         record["max"] = metric.max if metric.count else None
         record["buckets"] = [
             {"le": bound, "count": count}
-            for bound, count in zip(metric.bounds, metric.counts)
+            for bound, count in zip(metric.bounds, metric.counts, strict=False)
         ]
         record["buckets"].append(
             {"le": "+Inf", "count": metric.counts[-1]}
@@ -231,7 +231,9 @@ def to_prometheus(registry) -> str:
             lines.append(f"# TYPE {metric.name} {metric.kind}")
         if isinstance(metric, Histogram):
             cumulative = 0
-            for bound, count in zip(metric.bounds, metric.counts):
+            for bound, count in zip(
+                metric.bounds, metric.counts, strict=False
+            ):
                 cumulative += count
                 labels = _format_labels(
                     metric.labels, {"le": _format_value(bound)}

@@ -257,7 +257,7 @@ def _chunk_body(indices, triples, want_path, deadline_ms, span,
     """
     engine_name = getattr(_WORKER_ENGINE, "name", "?")
     out = []
-    for i, (s, t, c) in zip(indices, triples):
+    for i, (s, t, c) in zip(indices, triples, strict=True):
         heartbeat()
         deadline = _fresh_deadline(deadline_ms, None)
         try:
@@ -323,7 +323,7 @@ def _split_chunk(payload):
     indices, triples, want_path, deadline_ms = payload
     return [
         ([i], [triple], want_path, deadline_ms)
-        for i, triple in zip(indices, triples)
+        for i, triple in zip(indices, triples, strict=True)
     ]
 
 
@@ -395,7 +395,7 @@ def _execute_batch_supervised(
                     results[i] = result
         for lost in report.failures:
             indices, triples, _, _ = lost.payload
-            for i, (s, t, c) in zip(indices, triples):
+            for i, (s, t, c) in zip(indices, triples, strict=True):
                 _note_failure(
                     failures, trace_id, engine_name, i,
                     CSPQuery(s, t, c), lost.error,
@@ -553,7 +553,7 @@ def execute_batch(
             # anything announced-but-unended is genuinely dead.
             if spool is not None:
                 stitch(spool, parent=parent)
-        for chunk, chunk_out in zip(chunks, chunk_outs):
+        for chunk, chunk_out in zip(chunks, chunk_outs, strict=True):
             if chunk_out is None:
                 for i in chunk:
                     s, t, c = tuple(queries[i])[:3]

@@ -492,9 +492,9 @@ def _pair_arcs(
         )
     if all(
         (aw[0], aw[1]) == (ac[0], ac[1])
-        for aw, ac in zip(arcs_w, arcs_c)
+        for aw, ac in zip(arcs_w, arcs_c, strict=True)
     ):
-        for aw, ac in zip(arcs_w, arcs_c):
+        for aw, ac in zip(arcs_w, arcs_c, strict=True):
             yield (aw[0], aw[1], aw[2], ac[2], aw[3], aw[4])
         return
 

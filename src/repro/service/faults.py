@@ -91,7 +91,6 @@ INJECTION_POINTS: tuple[str, ...] = (
     "update-journal-append",
     "update-repair",
     "update-publish",
-    "clock",
 )
 
 

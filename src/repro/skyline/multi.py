@@ -22,9 +22,11 @@ def m_dominates(a: MultiEntry, b: MultiEntry) -> bool:
     """Vector dominance: no-worse everywhere, strictly better somewhere."""
     if a[0] > b[0]:
         return False
-    if any(ac > bc for ac, bc in zip(a[1], b[1])):
+    if any(ac > bc for ac, bc in zip(a[1], b[1], strict=True)):
         return False
-    return a[0] < b[0] or any(ac < bc for ac, bc in zip(a[1], b[1]))
+    return a[0] < b[0] or any(
+        ac < bc for ac, bc in zip(a[1], b[1], strict=True)
+    )
 
 
 def m_skyline(entries: Iterable[MultiEntry]) -> list[MultiEntry]:
@@ -59,9 +61,11 @@ def m_join(
     products: list[MultiEntry] = []
     for lw, lcosts in a:
         for rw, rcosts in b:
-            costs = tuple(lc + rc for lc, rc in zip(lcosts, rcosts))
+            costs = tuple(
+                lc + rc for lc, rc in zip(lcosts, rcosts, strict=True)
+            )
             if budgets is not None and any(
-                c > budget for c, budget in zip(costs, budgets)
+                c > budget for c, budget in zip(costs, budgets, strict=True)
             ):
                 continue
             products.append((lw + rw, costs))
@@ -74,7 +78,9 @@ def m_best_under(
     """Minimum-weight entry meeting every budget, or ``None``."""
     best: MultiEntry | None = None
     for entry in entries:
-        if any(c > budget for c, budget in zip(entry[1], budgets)):
+        if any(
+            c > budget for c, budget in zip(entry[1], budgets, strict=True)
+        ):
             continue
         if best is None or entry[0] < best[0]:
             best = entry

@@ -38,7 +38,7 @@ def is_canonical(entries: Sequence[Entry]) -> bool:
     decreasing weight.  (Those two conditions already imply
     dominance-freeness.)
     """
-    for prev, cur in zip(entries, entries[1:]):
+    for prev, cur in zip(entries, entries[1:], strict=False):
         if not (prev[1] < cur[1] and prev[0] > cur[0]):
             return False
     return True

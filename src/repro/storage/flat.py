@@ -144,7 +144,7 @@ class FlatLabelStore:
         rows = self._hub_rows.get(v)
         if rows is None:
             lo, hi = self.set_offsets[v], self.set_offsets[v + 1]
-            rows = dict(zip(self.hubs[lo:hi], range(lo, hi)))
+            rows = dict(zip(self.hubs[lo:hi], range(lo, hi), strict=True))
             self._hub_rows[v] = rows
         return rows
 
@@ -165,6 +165,7 @@ class FlatLabelStore:
             sizes = dict(zip(
                 self.hubs[lo:hi],
                 map(sub, offsets[lo + 1:hi + 1], offsets[lo:hi]),
+                strict=True,
             ))
             self._hub_sizes[v] = sizes
         return sizes

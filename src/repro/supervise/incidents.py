@@ -30,7 +30,10 @@ import json
 from dataclasses import asdict, dataclass, fields
 from typing import Iterator
 
-#: Incident kinds a supervisor emits, in rough lifecycle order.
+#: Incident kinds a supervisor emits, in rough lifecycle order,
+#: followed by the live-update lifecycle kinds the
+#: :class:`~repro.dynamic.epochs.EpochManager` records through the
+#: same sink.
 INCIDENT_KINDS: tuple[str, ...] = (
     "spawn",
     "restart",
@@ -40,6 +43,9 @@ INCIDENT_KINDS: tuple[str, ...] = (
     "requeue",
     "quarantine",
     "stop",
+    "update-journal-torn",
+    "update-rollback",
+    "update-quarantined",
 )
 
 

@@ -595,7 +595,7 @@ class Supervisor:
         """``{dead pid: respawned pid}`` across every worker's history."""
         successions: dict[int, int] = {}
         for state in self.workers.values():
-            for old, new in zip(state.pids, state.pids[1:]):
+            for old, new in zip(state.pids, state.pids[1:], strict=False):
                 successions[old] = new
         return successions
 

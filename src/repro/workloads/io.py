@@ -36,7 +36,9 @@ def write_query_sets(sets: dict[str, QuerySet] | list[QuerySet],
         f.write("# repro query sets: q source target budget distance\n")
         for query_set in ordered:
             f.write(f"qset {query_set.name} {len(query_set)}\n")
-            for query, d in zip(query_set.queries, query_set.distances):
+            for query, d in zip(
+                query_set.queries, query_set.distances, strict=True
+            ):
                 f.write(
                     f"q {query.source} {query.target} "
                     f"{_num(query.budget)} {_num(d)}\n"

@@ -129,7 +129,7 @@ def generate_ratio_sets(
     for r in ratios:
         queries = [
             CSPQuery(q.source, q.target, r * c_max + (1 - r) * d)
-            for q, d in zip(q3.queries, q3.distances)
+            for q, d in zip(q3.queries, q3.distances, strict=True)
         ]
         result[r] = QuerySet(f"R(r={r})", queries, list(q3.distances))
     return result

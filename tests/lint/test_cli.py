@@ -222,3 +222,124 @@ def test_main_cli_exposes_lint_subcommand(harness, capsys, flag):
         argv.append(flag)
     assert repro_main(argv) == 0
     capsys.readouterr()
+
+
+class TestGraphOut:
+    def test_graph_export_writes_json(self, harness, capsys, tmp_path):
+        harness.write(
+            "src/repro/core/sample.py",
+            """
+def public():
+    return _private()
+
+def _private():
+    return 1
+""",
+        )
+        out = tmp_path / "graph.json"
+        assert _lint(harness, "--graph-out", str(out)) == 0
+        capsys.readouterr()
+        data = json.loads(out.read_text())
+        assert data["version"] == 1
+        qnames = {f["qname"] for f in data["functions"]}
+        assert "repro.core.sample.public" in qnames
+        assert ["repro.core.sample.public", "repro.core.sample._private"] in (
+            data["edges"]
+        )
+
+    def test_graph_export_does_not_change_exit_code(
+        self, harness, capsys, tmp_path
+    ):
+        harness.write("src/repro/core/sample.py", _DIRTY)
+        out = tmp_path / "graph.json"
+        assert _lint(harness, "--graph-out", str(out)) == 1
+        capsys.readouterr()
+        assert out.exists()
+
+
+class TestChangedMode:
+    def _git(self, harness, *argv: str) -> None:
+        import subprocess
+
+        subprocess.run(
+            ["git", *argv],
+            cwd=str(harness.root),
+            check=True,
+            capture_output=True,
+            env={
+                "PATH": __import__("os").environ["PATH"],
+                "GIT_AUTHOR_NAME": "t",
+                "GIT_AUTHOR_EMAIL": "t@example.com",
+                "GIT_COMMITTER_NAME": "t",
+                "GIT_COMMITTER_EMAIL": "t@example.com",
+                "HOME": str(harness.root),
+            },
+        )
+
+    def _init_repo(self, harness) -> None:
+        self._git(harness, "init", "-q")
+        self._git(harness, "add", "-A")
+        self._git(harness, "commit", "-q", "-m", "seed")
+
+    def test_lints_only_changed_files(self, harness, capsys):
+        harness.write("src/repro/core/clean.py", _CLEAN)
+        harness.write("src/repro/core/dirty.py", _CLEAN)
+        self._init_repo(harness)
+        # dirty.py gains a violation after the commit; clean.py gains
+        # one too but stays committed-identical, so only dirty.py is
+        # linted.
+        harness.write("src/repro/core/dirty.py", _DIRTY)
+        assert _lint(harness, "--changed", "HEAD") == 1
+        out = capsys.readouterr().out
+        assert "dirty.py" in out
+        assert "checked 1 files" in out
+
+    def test_untracked_files_are_included(self, harness, capsys):
+        harness.write("src/repro/core/clean.py", _CLEAN)
+        self._init_repo(harness)
+        harness.write("src/repro/core/fresh.py", _DIRTY)
+        assert _lint(harness, "--changed") == 1
+        out = capsys.readouterr().out
+        assert "fresh.py" in out
+
+    def test_no_changes_exits_zero(self, harness, capsys):
+        harness.write("src/repro/core/clean.py", _CLEAN)
+        self._init_repo(harness)
+        assert _lint(harness, "--changed", "HEAD") == 0
+        out = capsys.readouterr().out
+        assert "nothing to lint" in out
+
+    def test_bad_ref_exits_two(self, harness, capsys):
+        harness.write("src/repro/core/clean.py", _CLEAN)
+        self._init_repo(harness)
+        assert _lint(harness, "--changed", "no-such-ref") == 2
+        capsys.readouterr()
+
+    def test_changed_runs_are_partial(self, harness, capsys):
+        # A whole-program rule (QHL010) must not judge registry
+        # completeness from a one-file slice: registry declares a point
+        # fired only by an *unchanged* (so unlinted) module.
+        harness.write(
+            "src/repro/service/faults.py",
+            'INJECTION_POINTS = ("index-load",)\n'
+            "class FaultInjector:\n"
+            "    def fire(self, point, **context):\n"
+            "        return None\n",
+        )
+        harness.write(
+            "src/repro/storage/loader.py",
+            "from repro.service.faults import FaultInjector\n\n\n"
+            "def load(injector: FaultInjector):\n"
+            '    injector.fire("index-load")\n',
+        )
+        self._init_repo(harness)
+        harness.write(
+            "src/repro/service/faults.py",
+            'INJECTION_POINTS = ("index-load",)\n'
+            "class FaultInjector:\n"
+            "    def fire(self, point, **context):\n"
+            "        return None\n"
+            "\n\ndef helper():\n    return None\n",
+        )
+        assert _lint(harness, "--changed", "HEAD") == 0
+        capsys.readouterr()

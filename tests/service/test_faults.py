@@ -90,7 +90,9 @@ class TestEveryInjectionPoint:
     def test_all_points_are_exercised_here(self):
         covered = {
             "index-load", "save-index", "label-fetch", "engine-query",
-            "clock",
+            # (Time travel is not a registered point: the injector's
+            # clock= argument replaces the deadline time source
+            # directly, with no fire site — see docs/robustness.md.)
             # build-level's scenarios live in test_kill_resume.py: it
             # crashes checkpointed builds at every level boundary.
             "build-level",
